@@ -1,0 +1,38 @@
+// Command lhexplain prints the compiled plan (hypergraph, GHD,
+// attribute orders with §V cost terms) of the paper's TPC-H benchmark
+// queries against a small generated database.
+//
+// Usage: lhexplain [query ...]   (defaults to all seven)
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/tpch"
+)
+
+func main() {
+	eng := core.New()
+	if _, err := tpch.Populate(eng.Catalog(), 0.005, 2026); err != nil {
+		log.Fatal(err)
+	}
+	names := os.Args[1:]
+	if len(names) == 0 {
+		names = tpch.QueryNames
+	}
+	for _, q := range names {
+		sql, ok := tpch.Queries[q]
+		if !ok {
+			log.Fatalf("unknown query %q", q)
+		}
+		s, err := eng.Explain(sql)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("=== " + q)
+		fmt.Print(s)
+	}
+}

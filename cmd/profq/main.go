@@ -1,0 +1,34 @@
+// Command profq captures a CPU profile of one benchmark query (dev tool).
+package main
+
+import (
+	"log"
+	"os"
+	"runtime/pprof"
+
+	"repro/internal/core"
+	"repro/internal/tpch"
+)
+
+func main() {
+	q := "q8"
+	if len(os.Args) > 1 {
+		q = os.Args[1]
+	}
+	eng := core.New()
+	if _, err := tpch.Populate(eng.Catalog(), 0.01, 2026); err != nil {
+		log.Fatal(err)
+	}
+	if _, err := eng.Query(tpch.Queries[q]); err != nil {
+		log.Fatal(err)
+	}
+	f, _ := os.Create("/tmp/q.prof")
+	pprof.StartCPUProfile(f)
+	for i := 0; i < 60; i++ {
+		if _, err := eng.Query(tpch.Queries[q]); err != nil {
+			log.Fatal(err)
+		}
+	}
+	pprof.StopCPUProfile()
+	f.Close()
+}

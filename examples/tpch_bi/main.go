@@ -1,0 +1,81 @@
+// Command tpch_bi runs the paper's seven TPC-H business-intelligence
+// queries (Table II's BI half) on a generated scaled database and
+// prints per-query timings alongside the HyPer- and MonetDB-style
+// baseline engines.
+//
+// Usage: tpch_bi [-sf 0.01] [-runs 3]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/colstore"
+	"repro/internal/core"
+	"repro/internal/pairwise"
+	"repro/internal/tpch"
+)
+
+func main() {
+	sf := flag.Float64("sf", 0.01, "TPC-H scale factor (1.0 = 6M lineitems)")
+	runs := flag.Int("runs", 3, "timed runs per query (best reported)")
+	flag.Parse()
+
+	eng := core.New()
+	start := time.Now()
+	sz, err := tpch.Populate(eng.Catalog(), *sf, 2026)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := eng.Freeze(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("generated TPC-H sf=%g: %d lineitems, %d orders, %d customers (%.1fs)\n\n",
+		*sf, sz.Lineitem, sz.Orders, sz.Customer, time.Since(start).Seconds())
+
+	pw := pairwise.New(eng.Catalog())
+	cs := colstore.New(eng.Catalog())
+
+	fmt.Printf("%-5s %12s %12s %12s %8s\n", "query", "levelheaded", "pairwise", "colstore", "rows")
+	for _, name := range tpch.QueryNames {
+		lhT, rows := best(*runs, func() int {
+			res, err := eng.Query(tpch.Queries[name])
+			if err != nil {
+				log.Fatalf("%s: %v", name, err)
+			}
+			return res.NumRows
+		})
+		pwT, _ := best(*runs, func() int {
+			r, err := pw.RunTPCH(name)
+			if err != nil {
+				log.Fatal(err)
+			}
+			return r.NumRows()
+		})
+		csT, _ := best(*runs, func() int {
+			r, err := cs.RunTPCH(name)
+			if err != nil {
+				log.Fatal(err)
+			}
+			return r.NumRows()
+		})
+		fmt.Printf("%-5s %12s %12s %12s %8d\n", name, lhT, pwT, csT, rows)
+	}
+}
+
+// best runs f n times and returns the fastest duration plus f's last
+// return value.
+func best(n int, f func() int) (time.Duration, int) {
+	bestD := time.Duration(1<<62 - 1)
+	rows := 0
+	for i := 0; i < n; i++ {
+		t0 := time.Now()
+		rows = f()
+		if d := time.Since(t0); d < bestD {
+			bestD = d
+		}
+	}
+	return bestD.Round(time.Microsecond), rows
+}

@@ -1,0 +1,205 @@
+package blas
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func refGemm(m, k, n int, a, b []float64) []float64 {
+	c := make([]float64, m*n)
+	for i := 0; i < m; i++ {
+		for kk := 0; kk < k; kk++ {
+			for j := 0; j < n; j++ {
+				c[i*n+j] += a[i*k+kk] * b[kk*n+j]
+			}
+		}
+	}
+	return c
+}
+
+func close2(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if math.Abs(a[i]-b[i]) > 1e-9*math.Max(1, math.Abs(b[i])) {
+			return false
+		}
+	}
+	return true
+}
+
+func randMat(r *rand.Rand, n int) []float64 {
+	m := make([]float64, n)
+	for i := range m {
+		m[i] = r.NormFloat64()
+	}
+	return m
+}
+
+func TestGemmMatchesReference(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	dims := [][3]int{{1, 1, 1}, {3, 5, 2}, {64, 64, 64}, {65, 63, 67}, {130, 40, 200}}
+	for _, d := range dims {
+		m, k, n := d[0], d[1], d[2]
+		a, b := randMat(r, m*k), randMat(r, k*n)
+		want := refGemm(m, k, n, a, b)
+		c := make([]float64, m*n)
+		Gemm(m, k, n, a, b, c)
+		if !close2(c, want) {
+			t.Fatalf("Gemm %v mismatch", d)
+		}
+		cs := make([]float64, m*n)
+		GemmSerial(m, k, n, a, b, cs)
+		if !close2(cs, want) {
+			t.Fatalf("GemmSerial %v mismatch", d)
+		}
+	}
+}
+
+func TestGemvMatchesReference(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	for _, d := range [][2]int{{1, 1}, {7, 13}, {100, 333}, {2000, 57}} {
+		m, n := d[0], d[1]
+		a, x := randMat(r, m*n), randMat(r, n)
+		y := make([]float64, m)
+		Gemv(m, n, a, x, y)
+		want := make([]float64, m)
+		for i := 0; i < m; i++ {
+			for j := 0; j < n; j++ {
+				want[i] += a[i*n+j] * x[j]
+			}
+		}
+		if !close2(y, want) {
+			t.Fatalf("Gemv %v mismatch", d)
+		}
+	}
+}
+
+func randCOO(r *rand.Rand, rows, cols, nnz int) *COO {
+	i := make([]int32, nnz)
+	j := make([]int32, nnz)
+	v := make([]float64, nnz)
+	for k := range i {
+		i[k] = int32(r.Intn(rows))
+		j[k] = int32(r.Intn(cols))
+		v[k] = r.NormFloat64()
+	}
+	c, _ := NewCOO(rows, cols, i, j, v)
+	return c
+}
+
+func (m *CSR) dense() []float64 {
+	d := make([]float64, m.Rows*m.Cols)
+	for r := 0; r < m.Rows; r++ {
+		for p := m.RowPtr[r]; p < m.RowPtr[r+1]; p++ {
+			d[r*m.Cols+int(m.ColIdx[p])] += m.Vals[p]
+		}
+	}
+	return d
+}
+
+func (c *COO) dense() []float64 {
+	d := make([]float64, c.Rows*c.Cols)
+	for k := range c.I {
+		d[int(c.I[k])*c.Cols+int(c.J[k])] += c.V[k]
+	}
+	return d
+}
+
+func TestCompressCOO(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 20; trial++ {
+		coo := randCOO(r, 20, 30, 100)
+		csr := CompressCOO(coo)
+		if !close2(csr.dense(), coo.dense()) {
+			t.Fatal("CompressCOO mismatch")
+		}
+		// Rows sorted, no duplicates.
+		for row := 0; row < csr.Rows; row++ {
+			for p := csr.RowPtr[row] + 1; p < csr.RowPtr[row+1]; p++ {
+				if csr.ColIdx[p-1] >= csr.ColIdx[p] {
+					t.Fatal("CSR row not strictly sorted")
+				}
+			}
+		}
+	}
+}
+
+func TestNewCOOValidation(t *testing.T) {
+	if _, err := NewCOO(2, 2, []int32{0}, []int32{0, 1}, []float64{1}); err == nil {
+		t.Error("ragged COO should error")
+	}
+}
+
+func TestSpMV(t *testing.T) {
+	r := rand.New(rand.NewSource(4))
+	coo := randCOO(r, 50, 40, 300)
+	csr := CompressCOO(coo)
+	x := randMat(r, 40)
+	y := make([]float64, 50)
+	SpMV(csr, x, y)
+	dense := csr.dense()
+	want := make([]float64, 50)
+	for i := 0; i < 50; i++ {
+		for j := 0; j < 40; j++ {
+			want[i] += dense[i*40+j] * x[j]
+		}
+	}
+	if !close2(y, want) {
+		t.Fatal("SpMV mismatch")
+	}
+}
+
+func TestSpGEMM(t *testing.T) {
+	r := rand.New(rand.NewSource(5))
+	a := CompressCOO(randCOO(r, 30, 25, 200))
+	b := CompressCOO(randCOO(r, 25, 35, 200))
+	c := SpGEMM(a, b)
+	want := refGemm(30, 25, 35, a.dense(), b.dense())
+	if !close2(c.dense(), want) {
+		t.Fatal("SpGEMM mismatch")
+	}
+}
+
+func TestSpGEMMEmptyRows(t *testing.T) {
+	// Matrix with empty rows and columns must survive multiplication.
+	coo, _ := NewCOO(5, 5, []int32{0, 4}, []int32{4, 0}, []float64{2, 3})
+	a := CompressCOO(coo)
+	c := SpGEMM(a, a)
+	want := refGemm(5, 5, 5, a.dense(), a.dense())
+	if !close2(c.dense(), want) {
+		t.Fatal("SpGEMM with empty rows mismatch")
+	}
+}
+
+// Property: (A·B)·x == A·(B·x) for random sparse matrices.
+func TestSpGEMMAssociativityWithVector(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 10 + r.Intn(20)
+		a := CompressCOO(randCOO(r, n, n, n*3))
+		b := CompressCOO(randCOO(r, n, n, n*3))
+		x := randMat(r, n)
+		// (A·B)·x
+		ab := SpGEMM(a, b)
+		y1 := make([]float64, n)
+		SpMV(ab, x, y1)
+		// A·(B·x)
+		bx := make([]float64, n)
+		SpMV(b, x, bx)
+		y2 := make([]float64, n)
+		SpMV(a, bx, y2)
+		for i := range y1 {
+			if math.Abs(y1[i]-y2[i]) > 1e-6*math.Max(1, math.Abs(y2[i])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}

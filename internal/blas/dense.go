@@ -1,0 +1,185 @@
+// Package blas is the reproduction's stand-in for Intel MKL (paper
+// §III-D): pure-Go dense and sparse linear algebra kernels with the
+// BLAS-style row-major calling conventions LevelHeaded targets.
+//
+// Substitution note (DESIGN.md §1.2): MKL is proprietary and relies on
+// SIMD intrinsics unavailable to pure Go. These kernels use the same
+// algorithmic structure (cache blocking, parallel row panels, Gustavson
+// SpGEMM, CSR SpMV) so every engine in this repository runs on the same
+// scalar backend and the paper's *relative* comparisons keep their
+// shape.
+package blas
+
+import (
+	"runtime"
+	"sync"
+)
+
+// blockSize is the micro-tile edge for the blocked GEMM kernel, sized so
+// three float64 tiles fit comfortably in L1.
+const blockSize = 64
+
+// Threads returns the default worker count.
+func Threads() int { return runtime.GOMAXPROCS(0) }
+
+// Gemm computes C = A·B for row-major dense matrices: A is m×k, B is
+// k×n, C is m×n. C must be zeroed by the caller or freshly allocated.
+func Gemm(m, k, n int, a, b, c []float64) {
+	gemmParallel(m, k, n, a, b, c, Threads())
+}
+
+// GemmSerial is the single-threaded kernel (used by tests and by callers
+// that parallelize at a higher level).
+func GemmSerial(m, k, n int, a, b, c []float64) {
+	gemmBlocked(0, m, k, n, a, b, c)
+}
+
+func gemmParallel(m, k, n int, a, b, c []float64, threads int) {
+	if threads <= 1 || m < 2*blockSize {
+		gemmBlocked(0, m, k, n, a, b, c)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (m + threads - 1) / threads
+	// Round row panels to the blocking factor to keep tiles aligned.
+	if chunk%blockSize != 0 {
+		chunk += blockSize - chunk%blockSize
+	}
+	for lo := 0; lo < m; lo += chunk {
+		hi := lo + chunk
+		if hi > m {
+			hi = m
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			gemmBlocked(lo, hi, k, n, a, b, c)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// gemmBlocked computes the row panel C[lo:hi] with i-k-j loop order and
+// cache blocking; the innermost loop is a saxpy over contiguous B and C
+// rows, which the Go compiler keeps in registers reasonably well.
+func gemmBlocked(lo, hi, k, n int, a, b, c []float64) {
+	for ii := lo; ii < hi; ii += blockSize {
+		iMax := min(ii+blockSize, hi)
+		for kk := 0; kk < k; kk += blockSize {
+			kMax := min(kk+blockSize, k)
+			for jj := 0; jj < n; jj += blockSize {
+				jMax := min(jj+blockSize, n)
+				for i := ii; i < iMax; i++ {
+					arow := a[i*k : i*k+k]
+					crow := c[i*n : i*n+n]
+					for kx := kk; kx < kMax; kx++ {
+						av := arow[kx]
+						if av == 0 {
+							continue
+						}
+						brow := b[kx*n : kx*n+n]
+						for j := jj; j < jMax; j++ {
+							crow[j] += av * brow[j]
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// Gemv computes y = A·x for row-major A (m×n) and dense x (n). y must
+// have length m.
+func Gemv(m, n int, a, x, y []float64) {
+	threads := Threads()
+	if threads <= 1 || m < 1024 {
+		gemvRange(0, m, n, a, x, y)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (m + threads - 1) / threads
+	for lo := 0; lo < m; lo += chunk {
+		hi := min(lo+chunk, m)
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			gemvRange(lo, hi, n, a, x, y)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+func gemvRange(lo, hi, n int, a, x, y []float64) {
+	for i := lo; i < hi; i++ {
+		row := a[i*n : i*n+n]
+		var s0, s1, s2, s3 float64
+		j := 0
+		for ; j+4 <= n; j += 4 {
+			s0 += row[j] * x[j]
+			s1 += row[j+1] * x[j+1]
+			s2 += row[j+2] * x[j+2]
+			s3 += row[j+3] * x[j+3]
+		}
+		s := s0 + s1 + s2 + s3
+		for ; j < n; j++ {
+			s += row[j] * x[j]
+		}
+		y[i] = s
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+// GemmNT computes C = A·Bᵀ for row-major A (m×k) and row-major B (n×k):
+// C[i][j] = Σ_x A[i][x]·B[j][x]. This is the natural kernel when both
+// output attributes precede the shared attribute in a trie order, so the
+// second matrix arrives transposed.
+func GemmNT(m, k, n int, a, bt, c []float64) {
+	threads := Threads()
+	if threads <= 1 || m < 64 {
+		gemmNTRange(0, m, k, n, a, bt, c)
+		return
+	}
+	var wg sync.WaitGroup
+	chunk := (m + threads - 1) / threads
+	for lo := 0; lo < m; lo += chunk {
+		hi := min(lo+chunk, m)
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			gemmNTRange(lo, hi, k, n, a, bt, c)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+func gemmNTRange(lo, hi, k, n int, a, bt, c []float64) {
+	for ii := lo; ii < hi; ii += blockSize {
+		iMax := min(ii+blockSize, hi)
+		for jj := 0; jj < n; jj += blockSize {
+			jMax := min(jj+blockSize, n)
+			for i := ii; i < iMax; i++ {
+				arow := a[i*k : i*k+k]
+				for j := jj; j < jMax; j++ {
+					brow := bt[j*k : j*k+k]
+					var s0, s1 float64
+					x := 0
+					for ; x+2 <= k; x += 2 {
+						s0 += arow[x] * brow[x]
+						s1 += arow[x+1] * brow[x+1]
+					}
+					s := s0 + s1
+					for ; x < k; x++ {
+						s += arow[x] * brow[x]
+					}
+					c[i*n+j] = s
+				}
+			}
+		}
+	}
+}

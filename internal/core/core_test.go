@@ -1,0 +1,152 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/storage"
+	"repro/internal/tpch"
+)
+
+func tpchEngine(t *testing.T, opts ...Option) *Engine {
+	t.Helper()
+	eng := New(opts...)
+	if _, err := tpch.Populate(eng.Catalog(), 0.002, 3); err != nil {
+		t.Fatal(err)
+	}
+	return eng
+}
+
+func TestQueryLifecycle(t *testing.T) {
+	eng := tpchEngine(t)
+	res, err := eng.Query(tpch.Queries["q5"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumRows == 0 {
+		t.Fatal("q5 returned no rows")
+	}
+	if res.Col("n_name") == nil || res.Col("revenue") == nil {
+		t.Fatalf("missing output columns")
+	}
+	// Catalog is frozen after the first query; creating tables now fails.
+	if _, err := eng.CreateTable(storage.Schema{Name: "late", Cols: []storage.ColumnDef{
+		{Name: "x", Kind: storage.Int64, Role: storage.Key},
+	}}); err == nil {
+		t.Error("create after first query should fail")
+	}
+}
+
+func TestAllPaperQueriesRun(t *testing.T) {
+	eng := tpchEngine(t)
+	for _, name := range tpch.QueryNames {
+		res, err := eng.Query(tpch.Queries[name])
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if res.NumRows == 0 && name != "q8" {
+			// q8's tight type+region+date predicates can select nothing at
+			// tiny scale; everything else must produce rows.
+			t.Errorf("%s returned no rows", name)
+		}
+	}
+}
+
+func TestAblationOptionsProduceSameAnswers(t *testing.T) {
+	ref := tpchEngine(t)
+	want, err := ref.Query(tpch.Queries["q5"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, opts := range [][]Option{
+		{WithAttributeElimination(false)},
+		{WithCostOptimizer(false)},
+		{WithWorstOrder(true)},
+		{WithBLAS(false)},
+		{WithTrieCache(false)},
+		{WithThreads(1)},
+	} {
+		eng := tpchEngine(t, opts...)
+		got, err := eng.Query(tpch.Queries["q5"])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.NumRows != want.NumRows {
+			t.Fatalf("%v: %d rows, want %d", opts, got.NumRows, want.NumRows)
+		}
+	}
+}
+
+func TestQueryWithForcedOrderAndWorst(t *testing.T) {
+	eng := tpchEngine(t)
+	// Worst order must still be correct.
+	res, err := eng.QueryWith(tpch.Queries["q3"], QueryOptions{WorstOrder: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	base, err := eng.Query(tpch.Queries["q3"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumRows != base.NumRows {
+		t.Fatalf("worst order rows = %d, want %d", res.NumRows, base.NumRows)
+	}
+}
+
+func TestExplainOutputs(t *testing.T) {
+	eng := tpchEngine(t)
+	s, err := eng.Explain(tpch.Queries["q5"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frag := range []string{"hypergraph:", "GHD", "order=", "icost="} {
+		if !strings.Contains(s, frag) {
+			t.Errorf("explain missing %q:\n%s", frag, s)
+		}
+	}
+	s6, err := eng.Explain(tpch.Queries["q6"])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(s6, "scalar scan") {
+		t.Errorf("q6 explain = %q", s6)
+	}
+}
+
+func TestTrieCacheGrows(t *testing.T) {
+	eng := tpchEngine(t)
+	if eng.CacheSize() != 0 {
+		t.Fatal("cache should start empty")
+	}
+	if _, err := eng.Query(tpch.Queries["q5"]); err != nil {
+		t.Fatal(err)
+	}
+	if eng.CacheSize() == 0 {
+		t.Error("unfiltered tries should be cached")
+	}
+}
+
+func TestPrepareExecuteSplit(t *testing.T) {
+	eng := tpchEngine(t)
+	p, ch, err := eng.Prepare(tpch.Queries["q5"], QueryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := eng.Execute(p, ch, QueryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumRows == 0 {
+		t.Fatal("prepared execution returned no rows")
+	}
+}
+
+func TestBadSQLSurfacesError(t *testing.T) {
+	eng := tpchEngine(t)
+	if _, err := eng.Query("SELECT FROM nothing"); err == nil {
+		t.Error("bad SQL should error")
+	}
+	if _, err := eng.Query("SELECT x FROM missing_table"); err == nil {
+		t.Error("missing table should error")
+	}
+}

@@ -1,0 +1,517 @@
+// Package costopt implements LevelHeaded's cost-based optimizer for
+// WCOJ attribute ordering (paper §V) — the first of its kind. For each
+// GHD node it enumerates the attribute orders that satisfy the
+// materialized-attributes-first rule (plus the §V-A2 one-attribute-union
+// relaxation) and scores each with
+//
+//	cost = Σ_i icost(v_i) × weight(v_i)
+//
+// where icost follows Observation 5.1 (a relation's first trie level is
+// likely a bitset, the rest uints; icost(bs∩bs)=1, icost(bs∩uint)=10,
+// icost(uint∩uint)=50; completely dense relations cost 0) and weight
+// follows Observation 5.2 (highest-cardinality attributes first:
+// relation scores are cardinalities relative to the heaviest relation,
+// a vertex takes its max-score edge under an equality selection and its
+// min-score edge otherwise).
+package costopt
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/ghd"
+	"repro/internal/planner"
+)
+
+// Intersection cost constants from Fig. 5a.
+const (
+	costBsBs     = 1
+	costBsUint   = 10
+	costUintUint = 50
+)
+
+// VertexCost records the per-attribute cost terms for EXPLAIN output
+// and the Fig. 5b/5c experiments.
+type VertexCost struct {
+	Vertex string
+	ICost  int
+	Weight int
+}
+
+// Order is a chosen attribute order for one GHD node.
+type Order struct {
+	// Attrs is the execution order of the node's vertices.
+	Attrs []string
+	// MatSet marks which attrs are materialized (output) at this node.
+	MatSet map[string]bool
+	// Relaxed marks the §V-A2 shape: the last attribute is materialized,
+	// the second-to-last projected away, executed with a 1-attribute
+	// union.
+	Relaxed bool
+	Cost    float64
+	Per     []VertexCost
+}
+
+// String renders the order for EXPLAIN output.
+func (o *Order) String() string {
+	s := fmt.Sprintf("order=%v cost=%.0f", o.Attrs, o.Cost)
+	if o.Relaxed {
+		s += " (relaxed: 1-attr union)"
+	}
+	return s
+}
+
+// Choice holds the per-node orders of a plan.
+type Choice struct {
+	Orders map[*ghd.Node]*Order
+}
+
+// Options configures order selection.
+type Options struct {
+	// Disabled selects orders the way EmptyHeaded might: bag order with
+	// materialized attributes first, no cost model, no relaxation. Used
+	// for the LogicBlox comparison column and the Table III ablation.
+	Disabled bool
+	// PickWorst selects the highest-cost valid order instead of the
+	// lowest (the "-Attr. Ord." rows of Table III).
+	PickWorst bool
+	// Forced pins the order of the root node (Fig. 5b/5c experiments).
+	// The listed attributes must be a permutation of the root bag.
+	Forced []string
+	// ForcedRelaxed marks the forced order as a relaxed (1-attr union)
+	// order.
+	ForcedRelaxed bool
+}
+
+// nodeEdge is one relation (or child-result) edge visible to a node.
+type nodeEdge struct {
+	name     string
+	vertices []string
+	score    int
+	selected bool
+	dense    bool
+}
+
+func (e *nodeEdge) covers(v string) bool {
+	for _, x := range e.vertices {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// Choose selects an attribute order for every node of the plan's GHD.
+func Choose(p *planner.Plan, opts Options) (*Choice, error) {
+	if p.GHD == nil {
+		return &Choice{Orders: map[*ghd.Node]*Order{}}, nil
+	}
+	c := &chooser{p: p, opts: opts, out: &Choice{Orders: map[*ghd.Node]*Order{}}, globalPos: map[string]int{}}
+	c.relScores()
+	if err := c.walk(p.GHD.Root, nil); err != nil {
+		return nil, err
+	}
+	return c.out, nil
+}
+
+type chooser struct {
+	p         *planner.Plan
+	opts      Options
+	out       *Choice
+	scores    []int
+	dense     []bool
+	globalPos map[string]int
+	globalSeq int
+}
+
+// relScores computes each relation's cardinality score (§V-B) and its
+// complete-density flag.
+func (c *chooser) relScores() {
+	maxCard := 1
+	for i := range c.p.Rels {
+		if n := c.p.Rels[i].Table.NumRows; n > maxCard {
+			maxCard = n
+		}
+	}
+	c.scores = make([]int, len(c.p.Rels))
+	c.dense = make([]bool, len(c.p.Rels))
+	for i := range c.p.Rels {
+		r := &c.p.Rels[i]
+		c.scores[i] = int(math.Ceil(float64(r.Table.NumRows) / float64(maxCard) * 100))
+		if c.scores[i] < 1 {
+			c.scores[i] = 1
+		}
+		c.dense[i] = relCompletelyDense(r)
+	}
+}
+
+// relCompletelyDense reports whether the relation's key structure is a
+// full cross product of its join domains — the icost-0 case (§V-A1).
+func relCompletelyDense(r *planner.RelInfo) bool {
+	if len(r.PseudoVertices) > 0 || len(r.Vertices) == 0 {
+		return false
+	}
+	prod := 1.0
+	for _, v := range r.Vertices {
+		col := r.Table.Col(r.VertexCol[v])
+		if col == nil || col.Dict() == nil {
+			return false
+		}
+		prod *= float64(col.Dict().Len())
+		if prod > 1e15 {
+			return false
+		}
+	}
+	// A filter can break density, so require unfiltered too.
+	return r.Filter == nil && prod == float64(r.Table.NumRows)
+}
+
+// nodeEdges assembles the edges visible to a node: its relations plus
+// one pseudo-edge per child result.
+func (c *chooser) nodeEdges(n *ghd.Node) []nodeEdge {
+	var edges []nodeEdge
+	for _, ei := range n.Edges {
+		r := &c.p.Rels[ei]
+		edges = append(edges, nodeEdge{
+			name:     r.Alias,
+			vertices: append([]string(nil), r.Vertices...),
+			score:    c.scores[ei],
+			selected: r.HasEqualitySelection,
+			dense:    c.dense[ei],
+		})
+	}
+	for _, ch := range n.Children {
+		shared := intersectStrs(n.Bag, ch.Bag)
+		edges = append(edges, nodeEdge{
+			name:     "child",
+			vertices: shared,
+			score:    c.subtreeMinScore(ch),
+			selected: c.subtreeSelected(ch),
+		})
+	}
+	return edges
+}
+
+func (c *chooser) subtreeMinScore(n *ghd.Node) int {
+	s := 101
+	var rec func(n *ghd.Node)
+	rec = func(n *ghd.Node) {
+		for _, ei := range n.Edges {
+			if c.scores[ei] < s {
+				s = c.scores[ei]
+			}
+		}
+		for _, ch := range n.Children {
+			rec(ch)
+		}
+	}
+	rec(n)
+	if s > 100 {
+		s = 1
+	}
+	return s
+}
+
+func (c *chooser) subtreeSelected(n *ghd.Node) bool {
+	for _, ei := range n.Edges {
+		if c.p.Rels[ei].HasEqualitySelection {
+			return true
+		}
+	}
+	for _, ch := range n.Children {
+		if c.subtreeSelected(ch) {
+			return true
+		}
+	}
+	return false
+}
+
+// walk assigns orders top-down so materialized attributes keep a
+// consistent global order across nodes.
+func (c *chooser) walk(n *ghd.Node, parent *ghd.Node) error {
+	mat := c.materializedAt(n, parent)
+	edges := c.nodeEdges(n)
+	var chosen *Order
+	if parent == nil && len(c.opts.Forced) > 0 {
+		if err := validatePerm(c.opts.Forced, n.Bag); err != nil {
+			return err
+		}
+		chosen = c.scoreOrder(c.opts.Forced, mat, edges, c.opts.ForcedRelaxed)
+	} else {
+		cands := c.candidates(n, mat, edges)
+		if len(cands) == 0 {
+			return fmt.Errorf("costopt: no valid order for node %v", n.Bag)
+		}
+		chosen = cands[0]
+		for _, cand := range cands[1:] {
+			if c.opts.PickWorst {
+				if cand.Cost > chosen.Cost {
+					chosen = cand
+				}
+			} else if better(cand, chosen) {
+				chosen = cand
+			}
+		}
+	}
+	c.out.Orders[n] = chosen
+	// Record global positions of materialized attributes.
+	for _, v := range chosen.Attrs {
+		if chosen.MatSet[v] {
+			if _, ok := c.globalPos[v]; !ok {
+				c.globalPos[v] = c.globalSeq
+				c.globalSeq++
+			}
+		}
+	}
+	for _, ch := range n.Children {
+		if err := c.walk(ch, n); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// better orders candidates: primarily by cost; cost ties break by
+// Observation 5.2 directly — the heavier (higher-weight) attributes
+// should come first, so the weight sequence is compared for
+// lexicographically *descending* preference. (The icost × weight sum is
+// position-independent, so without this tie-break a low-cardinality
+// materialized attribute could land in the outer loop and multiply the
+// work of every inner intersection.)
+func better(a, b *Order) bool {
+	if a.Cost != b.Cost {
+		return a.Cost < b.Cost
+	}
+	for i := range a.Per {
+		if i >= len(b.Per) {
+			break
+		}
+		if a.Per[i].Weight != b.Per[i].Weight {
+			return a.Per[i].Weight > b.Per[i].Weight
+		}
+	}
+	return false
+}
+
+// materializedAt computes the vertices a node must materialize: the
+// plan's output vertices for the root, the parent-shared vertices for
+// inner nodes (both restricted to the bag).
+func (c *chooser) materializedAt(n *ghd.Node, parent *ghd.Node) map[string]bool {
+	mat := map[string]bool{}
+	if parent == nil {
+		for _, v := range c.p.OutVertices {
+			if containsStr(n.Bag, v) {
+				mat[v] = true
+			}
+		}
+	} else {
+		for _, v := range intersectStrs(n.Bag, parent.Bag) {
+			mat[v] = true
+		}
+	}
+	return mat
+}
+
+// candidates enumerates valid orders: permutations with materialized
+// attributes first (respecting the global order), plus relaxed variants.
+func (c *chooser) candidates(n *ghd.Node, mat map[string]bool, edges []nodeEdge) []*Order {
+	var matAttrs, projAttrs []string
+	for _, v := range n.Bag {
+		if mat[v] {
+			matAttrs = append(matAttrs, v)
+		} else {
+			projAttrs = append(projAttrs, v)
+		}
+	}
+	var out []*Order
+	if c.opts.Disabled {
+		// EmptyHeaded-style: bag order, materialized first, no cost model.
+		order := append(append([]string(nil), matAttrs...), projAttrs...)
+		return []*Order{c.scoreOrder(order, mat, edges, false)}
+	}
+	matPerms := permsRespecting(matAttrs, c.globalPos)
+	projPerms := perms(projAttrs)
+	for _, mp := range matPerms {
+		for _, pp := range projPerms {
+			order := append(append([]string(nil), mp...), pp...)
+			out = append(out, c.scoreOrder(order, mat, edges, false))
+			// §V-A2 relaxation: exactly one projected attribute at the
+			// end, preceded by a materialized one — consider the swap.
+			if len(pp) == 1 && len(mp) >= 1 {
+				sw := append([]string(nil), order...)
+				last := len(sw) - 1
+				sw[last], sw[last-1] = sw[last-1], sw[last]
+				out = append(out, c.scoreOrder(sw, mat, edges, true))
+			}
+		}
+	}
+	return out
+}
+
+// scoreOrder computes the §V cost of one attribute order.
+func (c *chooser) scoreOrder(order []string, mat map[string]bool, edges []nodeEdge, relaxed bool) *Order {
+	o := &Order{Attrs: order, MatSet: mat, Relaxed: relaxed}
+	seen := make([]bool, len(edges))
+	for _, v := range order {
+		var layouts []int // 0 = bs, 1 = uint
+		weightLo, weightHi := 101, 0
+		selectedVertex := false
+		nEdges := 0
+		for ei := range edges {
+			e := &edges[ei]
+			if !e.covers(v) {
+				continue
+			}
+			nEdges++
+			if e.score < weightLo {
+				weightLo = e.score
+			}
+			if e.score > weightHi {
+				weightHi = e.score
+			}
+			if e.selected {
+				selectedVertex = true
+			}
+			if !e.dense {
+				if seen[ei] {
+					layouts = append(layouts, 1)
+				} else {
+					layouts = append(layouts, 0)
+				}
+			}
+		}
+		for ei := range edges {
+			if edges[ei].covers(v) {
+				seen[ei] = true
+			}
+		}
+		ic := icostOf(layouts)
+		w := weightLo
+		if selectedVertex {
+			w = weightHi
+		}
+		if nEdges == 0 {
+			w = 1
+		}
+		o.Per = append(o.Per, VertexCost{Vertex: v, ICost: ic, Weight: w})
+		o.Cost += float64(ic * w)
+	}
+	return o
+}
+
+// icostOf computes the N-way intersection cost: bitsets first, pairwise
+// accumulation with uint = l(bs ∩ uint) (§V-A1).
+func icostOf(layouts []int) int {
+	if len(layouts) < 2 {
+		return 0
+	}
+	sort.Ints(layouts) // bs (0) first
+	cost := 0
+	cur := layouts[0]
+	for _, l := range layouts[1:] {
+		switch {
+		case cur == 0 && l == 0:
+			cost += costBsBs
+			cur = 0
+		case cur == 1 && l == 1:
+			cost += costUintUint
+			cur = 1
+		default:
+			cost += costBsUint
+			cur = 1 // uint = l(bs ∩ uint)
+		}
+	}
+	return cost
+}
+
+// perms enumerates permutations (n ≤ 7 in practice).
+func perms(items []string) [][]string {
+	if len(items) == 0 {
+		return [][]string{nil}
+	}
+	var out [][]string
+	var rec func(cur []string, rest []string)
+	rec = func(cur []string, rest []string) {
+		if len(rest) == 0 {
+			out = append(out, append([]string(nil), cur...))
+			return
+		}
+		for i := range rest {
+			next := append([]string(nil), rest[:i]...)
+			next = append(next, rest[i+1:]...)
+			rec(append(cur, rest[i]), next)
+		}
+	}
+	rec(nil, items)
+	return out
+}
+
+// permsRespecting enumerates permutations consistent with previously
+// assigned global positions (attributes without positions are free).
+func permsRespecting(items []string, pos map[string]int) [][]string {
+	all := perms(items)
+	var out [][]string
+	for _, p := range all {
+		ok := true
+		last := -1
+		for _, v := range p {
+			if gp, has := pos[v]; has {
+				if gp < last {
+					ok = false
+					break
+				}
+				last = gp
+			}
+		}
+		if ok {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+func validatePerm(order, bag []string) error {
+	if len(order) != len(bag) {
+		return fmt.Errorf("costopt: forced order %v is not a permutation of %v", order, bag)
+	}
+	have := map[string]bool{}
+	for _, v := range bag {
+		have[v] = true
+	}
+	for _, v := range order {
+		if !have[v] {
+			return fmt.Errorf("costopt: forced order attribute %q not in bag %v", v, bag)
+		}
+	}
+	return nil
+}
+
+func containsStr(xs []string, v string) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+func intersectStrs(a, b []string) []string {
+	var out []string
+	for _, x := range a {
+		if containsStr(b, x) {
+			out = append(out, x)
+		}
+	}
+	return out
+}
+
+// RelaxedValid reports whether an order satisfies the §V-A2 execution
+// conditions given its materialized set.
+func RelaxedValid(o *Order) bool {
+	n := len(o.Attrs)
+	if n < 2 {
+		return false
+	}
+	return o.MatSet[o.Attrs[n-1]] && !o.MatSet[o.Attrs[n-2]]
+}

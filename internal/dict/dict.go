@@ -1,0 +1,219 @@
+// Package dict implements the order-preserving dictionary encoding that
+// LevelHeaded applies to every key attribute before it enters a trie
+// (paper §III-B). Codes are dense uint32 ranks, so range predicates on
+// encoded values are equivalent to range predicates on the original
+// values, and join-compatible columns that share a dictionary join by
+// simple code equality.
+package dict
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Kind is the logical type of the values held by a dictionary.
+type Kind uint8
+
+const (
+	// Int covers int and long SQL types, plus dates (days since epoch).
+	Int Kind = iota
+	// Float covers float and double SQL types used as keys.
+	Float
+	// String covers string keys.
+	String
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Int:
+		return "int"
+	case Float:
+		return "float"
+	case String:
+		return "string"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Dictionary maps values of one Kind to dense, order-preserving uint32
+// codes. A Dictionary is immutable after Build.
+//
+// The identity form (NewIdentity) maps the integers [0, n) to
+// themselves with no storage; it is the natural encoding of matrix
+// indices and other already-dense keys.
+type Dictionary struct {
+	kind     Kind
+	identity bool
+	n        int
+	ints     []int64
+	floats   []float64
+	strs     []string
+}
+
+// NewIdentity returns the identity dictionary over [0, n).
+func NewIdentity(n int) *Dictionary {
+	return &Dictionary{kind: Int, identity: true, n: n}
+}
+
+// Kind reports the logical type of the dictionary's values.
+func (d *Dictionary) Kind() Kind { return d.kind }
+
+// Len reports the number of distinct values (the code space size).
+func (d *Dictionary) Len() int { return d.n }
+
+// Identity reports whether d is an identity dictionary.
+func (d *Dictionary) Identity() bool { return d.identity }
+
+// EncodeInt returns the code for v. ok is false if v is not in the
+// dictionary.
+func (d *Dictionary) EncodeInt(v int64) (uint32, bool) {
+	if d.identity {
+		if v < 0 || v >= int64(d.n) {
+			return 0, false
+		}
+		return uint32(v), true
+	}
+	if d.kind != Int {
+		return 0, false
+	}
+	i := sort.Search(len(d.ints), func(i int) bool { return d.ints[i] >= v })
+	if i < len(d.ints) && d.ints[i] == v {
+		return uint32(i), true
+	}
+	return 0, false
+}
+
+// EncodeFloat returns the code for v.
+func (d *Dictionary) EncodeFloat(v float64) (uint32, bool) {
+	if d.kind != Float {
+		return 0, false
+	}
+	i := sort.Search(len(d.floats), func(i int) bool { return d.floats[i] >= v })
+	if i < len(d.floats) && d.floats[i] == v {
+		return uint32(i), true
+	}
+	return 0, false
+}
+
+// EncodeString returns the code for v.
+func (d *Dictionary) EncodeString(v string) (uint32, bool) {
+	if d.kind != String {
+		return 0, false
+	}
+	i := sort.Search(len(d.strs), func(i int) bool { return d.strs[i] >= v })
+	if i < len(d.strs) && d.strs[i] == v {
+		return uint32(i), true
+	}
+	return 0, false
+}
+
+// LowerBoundInt returns the smallest code whose value is >= v. If every
+// value is < v, it returns Len(). Order preservation makes this the
+// translation of a range predicate into code space.
+func (d *Dictionary) LowerBoundInt(v int64) uint32 {
+	if d.identity {
+		switch {
+		case v < 0:
+			return 0
+		case v > int64(d.n):
+			return uint32(d.n)
+		default:
+			return uint32(v)
+		}
+	}
+	return uint32(sort.Search(len(d.ints), func(i int) bool { return d.ints[i] >= v }))
+}
+
+// LowerBoundFloat is LowerBoundInt for float dictionaries.
+func (d *Dictionary) LowerBoundFloat(v float64) uint32 {
+	return uint32(sort.Search(len(d.floats), func(i int) bool { return d.floats[i] >= v }))
+}
+
+// LowerBoundString is LowerBoundInt for string dictionaries.
+func (d *Dictionary) LowerBoundString(v string) uint32 {
+	return uint32(sort.Search(len(d.strs), func(i int) bool { return d.strs[i] >= v }))
+}
+
+// DecodeInt returns the integer value for code c.
+func (d *Dictionary) DecodeInt(c uint32) int64 {
+	if d.identity {
+		return int64(c)
+	}
+	return d.ints[c]
+}
+
+// DecodeFloat returns the float value for code c.
+func (d *Dictionary) DecodeFloat(c uint32) float64 { return d.floats[c] }
+
+// DecodeString returns the string value for code c.
+func (d *Dictionary) DecodeString(c uint32) string { return d.strs[c] }
+
+// Builder accumulates values across one or more columns that share a
+// join domain and produces their common Dictionary.
+type Builder struct {
+	kind   Kind
+	seenI  map[int64]struct{}
+	seenF  map[float64]struct{}
+	seenS  map[string]struct{}
+	sealed bool
+}
+
+// NewBuilder returns a Builder for values of the given kind.
+func NewBuilder(kind Kind) *Builder {
+	b := &Builder{kind: kind}
+	switch kind {
+	case Int:
+		b.seenI = make(map[int64]struct{})
+	case Float:
+		b.seenF = make(map[float64]struct{})
+	case String:
+		b.seenS = make(map[string]struct{})
+	}
+	return b
+}
+
+// AddInt records an integer value.
+func (b *Builder) AddInt(v int64) { b.seenI[v] = struct{}{} }
+
+// AddFloat records a float value.
+func (b *Builder) AddFloat(v float64) { b.seenF[v] = struct{}{} }
+
+// AddString records a string value.
+func (b *Builder) AddString(v string) { b.seenS[v] = struct{}{} }
+
+// Build seals the builder and returns the order-preserving dictionary.
+// If every recorded integer lies in [0, 4·count) and forms a dense
+// enough prefix, Build still returns an explicit dictionary; callers
+// that know their keys are exactly [0, n) should use NewIdentity.
+func (b *Builder) Build() *Dictionary {
+	if b.sealed {
+		panic("dict: Build called twice")
+	}
+	b.sealed = true
+	d := &Dictionary{kind: b.kind}
+	switch b.kind {
+	case Int:
+		d.ints = make([]int64, 0, len(b.seenI))
+		for v := range b.seenI {
+			d.ints = append(d.ints, v)
+		}
+		sort.Slice(d.ints, func(i, j int) bool { return d.ints[i] < d.ints[j] })
+		d.n = len(d.ints)
+	case Float:
+		d.floats = make([]float64, 0, len(b.seenF))
+		for v := range b.seenF {
+			d.floats = append(d.floats, v)
+		}
+		sort.Float64s(d.floats)
+		d.n = len(d.floats)
+	case String:
+		d.strs = make([]string, 0, len(b.seenS))
+		for v := range b.seenS {
+			d.strs = append(d.strs, v)
+		}
+		sort.Strings(d.strs)
+		d.n = len(d.strs)
+	}
+	return d
+}

@@ -1,0 +1,182 @@
+package dict
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestIntDictionaryOrderPreserving(t *testing.T) {
+	b := NewBuilder(Int)
+	vals := []int64{500, -3, 0, 999999, -3, 42}
+	for _, v := range vals {
+		b.AddInt(v)
+	}
+	d := b.Build()
+	if d.Len() != 5 {
+		t.Fatalf("Len = %d, want 5 distinct", d.Len())
+	}
+	sorted := []int64{-3, 0, 42, 500, 999999}
+	for i, v := range sorted {
+		code, ok := d.EncodeInt(v)
+		if !ok || code != uint32(i) {
+			t.Fatalf("EncodeInt(%d) = %d,%v, want %d", v, code, ok, i)
+		}
+		if d.DecodeInt(code) != v {
+			t.Fatalf("DecodeInt(%d) = %d", code, d.DecodeInt(code))
+		}
+	}
+	if _, ok := d.EncodeInt(7777); ok {
+		t.Error("absent value should not encode")
+	}
+}
+
+func TestStringDictionary(t *testing.T) {
+	b := NewBuilder(String)
+	for _, s := range []string{"BUILDING", "AUTOMOBILE", "MACHINERY", "BUILDING"} {
+		b.AddString(s)
+	}
+	d := b.Build()
+	if d.Len() != 3 {
+		t.Fatalf("Len = %d", d.Len())
+	}
+	ca, _ := d.EncodeString("AUTOMOBILE")
+	cb, _ := d.EncodeString("BUILDING")
+	cm, _ := d.EncodeString("MACHINERY")
+	if !(ca < cb && cb < cm) {
+		t.Fatal("string codes not order-preserving")
+	}
+	if d.DecodeString(cb) != "BUILDING" {
+		t.Fatal("decode wrong")
+	}
+	if _, ok := d.EncodeString("zzz"); ok {
+		t.Error("absent string should not encode")
+	}
+}
+
+func TestFloatDictionary(t *testing.T) {
+	b := NewBuilder(Float)
+	for _, v := range []float64{2.5, -1, 0.25} {
+		b.AddFloat(v)
+	}
+	d := b.Build()
+	if d.Kind() != Float || d.Len() != 3 {
+		t.Fatalf("dict = %+v", d)
+	}
+	c, ok := d.EncodeFloat(0.25)
+	if !ok || d.DecodeFloat(c) != 0.25 {
+		t.Fatal("float roundtrip failed")
+	}
+}
+
+func TestIdentityDictionary(t *testing.T) {
+	d := NewIdentity(100)
+	if !d.Identity() || d.Len() != 100 {
+		t.Fatalf("identity dict = %+v", d)
+	}
+	c, ok := d.EncodeInt(42)
+	if !ok || c != 42 || d.DecodeInt(42) != 42 {
+		t.Fatal("identity encode/decode wrong")
+	}
+	if _, ok := d.EncodeInt(100); ok {
+		t.Error("out-of-range should not encode")
+	}
+	if _, ok := d.EncodeInt(-1); ok {
+		t.Error("negative should not encode")
+	}
+	if d.LowerBoundInt(-5) != 0 || d.LowerBoundInt(42) != 42 || d.LowerBoundInt(1000) != 100 {
+		t.Error("identity lower bound wrong")
+	}
+}
+
+func TestLowerBound(t *testing.T) {
+	b := NewBuilder(Int)
+	for _, v := range []int64{10, 20, 30} {
+		b.AddInt(v)
+	}
+	d := b.Build()
+	cases := []struct {
+		v    int64
+		want uint32
+	}{{5, 0}, {10, 0}, {15, 1}, {30, 2}, {31, 3}}
+	for _, c := range cases {
+		if got := d.LowerBoundInt(c.v); got != c.want {
+			t.Errorf("LowerBoundInt(%d) = %d, want %d", c.v, got, c.want)
+		}
+	}
+	bs := NewBuilder(String)
+	bs.AddString("b")
+	bs.AddString("d")
+	ds := bs.Build()
+	if ds.LowerBoundString("a") != 0 || ds.LowerBoundString("c") != 1 || ds.LowerBoundString("e") != 2 {
+		t.Error("string lower bound wrong")
+	}
+	bf := NewBuilder(Float)
+	bf.AddFloat(1.5)
+	df := bf.Build()
+	if df.LowerBoundFloat(1.0) != 0 || df.LowerBoundFloat(2.0) != 1 {
+		t.Error("float lower bound wrong")
+	}
+}
+
+func TestBuildTwicePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("second Build should panic")
+		}
+	}()
+	b := NewBuilder(Int)
+	b.AddInt(1)
+	b.Build()
+	b.Build()
+}
+
+func TestKindMismatchEncoding(t *testing.T) {
+	b := NewBuilder(Int)
+	b.AddInt(1)
+	d := b.Build()
+	if _, ok := d.EncodeString("x"); ok {
+		t.Error("string encode on int dict should fail")
+	}
+	if _, ok := d.EncodeFloat(1); ok {
+		t.Error("float encode on int dict should fail")
+	}
+}
+
+// Property: encode/decode roundtrip for arbitrary int sets, and codes
+// are exactly the sort ranks.
+func TestIntDictProperty(t *testing.T) {
+	f := func(vals []int64) bool {
+		if len(vals) == 0 {
+			return true
+		}
+		b := NewBuilder(Int)
+		for _, v := range vals {
+			b.AddInt(v)
+		}
+		d := b.Build()
+		uniq := map[int64]bool{}
+		for _, v := range vals {
+			uniq[v] = true
+		}
+		if d.Len() != len(uniq) {
+			return false
+		}
+		sorted := make([]int64, 0, len(uniq))
+		for v := range uniq {
+			sorted = append(sorted, v)
+		}
+		sort.Slice(sorted, func(i, j int) bool { return sorted[i] < sorted[j] })
+		for i, v := range sorted {
+			c, ok := d.EncodeInt(v)
+			if !ok || int(c) != i || d.DecodeInt(c) != v {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(1))}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,696 @@
+package exec
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/costopt"
+	"repro/internal/dict"
+	"repro/internal/expr"
+	"repro/internal/ghd"
+	"repro/internal/planner"
+	"repro/internal/sqlparse"
+	"repro/internal/storage"
+	"repro/internal/trie"
+)
+
+// multAnn is the implicit duplicate-multiplicity annotation attached to
+// every query trie (one 1.0 per source row, sum-combined).
+const multAnn = "__mult"
+
+// part identifies one relation's participation at one node level.
+type part struct {
+	rel int // index into cNode.rels
+	lvl int // that relation's trie level for this attribute
+}
+
+// leafRef addresses one aggregate leaf: (aggregate index, leaf index).
+type leafRef struct{ agg, leaf int }
+
+// cRel is a compiled relation: a query trie plus bookkeeping.
+type cRel struct {
+	relIdx  int // index into plan.Rels; -1 for a child result
+	alias   string
+	tr      *trie.Trie
+	attrs   []string // vertex per trie level, in node order
+	hasDups bool
+	mult    []float64 // the __mult buffer (nil when dup-free)
+	child   *cNode    // non-nil for child results
+}
+
+// cAgg is a compiled aggregate at one node.
+type cAgg struct {
+	kind     planner.AggKind
+	skel     *planner.EmitNode
+	leafBufs [][]float64 // per leaf: pre-aggregated annotation buffer
+	leafRels []int       // per leaf: rel index in cNode.rels
+	multRels []int       // rels whose multiplicity multiplies in
+}
+
+// cNode is a compiled GHD node.
+type cNode struct {
+	gnode      *ghd.Node
+	order      []string
+	relaxed    bool
+	rels       []*cRel
+	parts      [][]part
+	nLevels    int
+	matCount   int // leading materialized levels (excludes the relaxed tail)
+	aggs       []cAgg
+	children   []*cNode
+	lastDomain int // code-space size of the last attribute (relaxed union)
+	// hashEmit: aggregate into a hash table keyed by metadata tokens at
+	// emit time (plan.HashEmit); hgroups computes one token per GROUP BY
+	// item from the current vertex bindings.
+	hashEmit bool
+	hgroups  []hashGroup
+}
+
+// hashGroup computes the emit-time group token of one GROUP BY item.
+type hashGroup struct {
+	level     int // position of the item's vertex in the node order
+	metaRows  []int32
+	metaCodes []uint32
+	metaVal   expr.Value
+}
+
+// pseudoDecoder decodes pseudo-vertex codes back to values.
+type pseudoDecoder struct {
+	strDict *dict.Dictionary // string pseudo: per-column dictionary
+	numVals []float64        // numeric pseudo: code → value
+	isDate  bool
+}
+
+// groupDecoder turns a result tuple into one GROUP BY output value.
+type groupDecoder struct {
+	item planner.GroupItem
+	pos  int // index of the vertex within the root's materialized key
+	// GroupVertex decode:
+	domain *dict.Dictionary
+	// GroupPseudo decode:
+	pseudo *pseudoDecoder
+	// GroupMeta decode (the metadata container M):
+	metaRows  []int32
+	metaVal   expr.Value
+	metaCodes []uint32
+	metaDict  *dict.Dictionary
+	metaDate  bool
+	outKind   Kind
+}
+
+type compiled struct {
+	p      *planner.Plan
+	cat    *storage.Catalog
+	opts   Options
+	root   *cNode
+	groups []groupDecoder
+}
+
+// compile builds query tries for every relation of every GHD node and
+// resolves metadata lookups and group decoders.
+func compile(p *planner.Plan, ch *costopt.Choice, cat *storage.Catalog, opts Options) (*compiled, error) {
+	c := &compiled{p: p, cat: cat, opts: opts}
+	if p.GHD == nil {
+		return nil, fmt.Errorf("exec: plan has no GHD")
+	}
+	// Multi-node plans require every aggregate leaf in the root node
+	// (the child contribution is then a pure multiplicity, which is the
+	// only cross-node factorization this engine implements).
+	if p.GHD.NumNodes > 1 {
+		rootRels := map[int]bool{}
+		for _, e := range p.GHD.Root.Edges {
+			rootRels[e] = true
+		}
+		for _, a := range p.Aggs {
+			for _, l := range a.Leaves {
+				if !rootRels[l.Rel] {
+					return nil, fmt.Errorf("exec: aggregate over relation %s in a non-root GHD node is not supported",
+						p.Rels[l.Rel].Alias)
+				}
+			}
+		}
+	}
+	root, err := c.compileNode(p.GHD.Root, ch, true)
+	if err != nil {
+		return nil, err
+	}
+	c.root = root
+	if err := c.buildGroupDecoders(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// compileNode compiles one GHD node and, recursively, its children.
+func (c *compiled) compileNode(n *ghd.Node, ch *costopt.Choice, isRoot bool) (*cNode, error) {
+	ord := ch.Orders[n]
+	if ord == nil {
+		return nil, fmt.Errorf("exec: no attribute order for node %v", n.Bag)
+	}
+	cn := &cNode{gnode: n, order: ord.Attrs, relaxed: ord.Relaxed, nLevels: len(ord.Attrs)}
+	mat := 0
+	for _, v := range ord.Attrs {
+		if ord.MatSet[v] {
+			mat++
+		} else {
+			break
+		}
+	}
+	cn.matCount = mat
+	if cn.relaxed {
+		if cn.nLevels < 2 || !ord.MatSet[ord.Attrs[cn.nLevels-1]] || ord.MatSet[ord.Attrs[cn.nLevels-2]] {
+			return nil, fmt.Errorf("exec: invalid relaxed order %v", ord.Attrs)
+		}
+		cn.matCount = cn.nLevels - 2
+	} else {
+		for _, v := range ord.Attrs[mat:] {
+			if ord.MatSet[v] {
+				return nil, fmt.Errorf("exec: materialized attribute %s after projected ones in %v", v, ord.Attrs)
+			}
+		}
+	}
+
+	// Aggregates at this node: the plan's for the root, a single
+	// multiplicity count for inner nodes (Yannakakis partial aggregate).
+	var aggSpecs []planner.AggSpec
+	if isRoot {
+		aggSpecs = c.p.Aggs
+	} else {
+		aggSpecs = []planner.AggSpec{{Name: "__childmult", Kind: planner.AggCount}}
+	}
+
+	// Collect leaf annotations per relation, deduping identical
+	// expressions (Q8 uses the same revenue leaf twice).
+	leafRefs := map[int]map[string][]leafRef{}    // relIdx → expr key → refs
+	leafAST := map[int]map[string]sqlparse.Expr{} // relIdx → expr key → AST
+	for ai := range aggSpecs {
+		for li, leaf := range aggSpecs[ai].Leaves {
+			if leafRefs[leaf.Rel] == nil {
+				leafRefs[leaf.Rel] = map[string][]leafRef{}
+				leafAST[leaf.Rel] = map[string]sqlparse.Expr{}
+			}
+			// The combine class is part of the identity: min(x) and
+			// max(x) must not share a pre-aggregated buffer.
+			key := combineClass(aggSpecs[ai].Kind) + leaf.Expr.String()
+			leafRefs[leaf.Rel][key] = append(leafRefs[leaf.Rel][key], leafRef{ai, li})
+			leafAST[leaf.Rel][key] = leaf.Expr
+		}
+	}
+
+	// Build relation tries; bind leaf buffers.
+	leafBufs := map[leafRef][]float64{}
+	leafBound := map[leafRef]bool{}
+	for _, ei := range n.Edges {
+		combines := map[string]trie.CombineFunc{}
+		for key, refs := range leafRefs[ei] {
+			for _, ref := range refs {
+				switch aggSpecs[ref.agg].Kind {
+				case planner.AggMin:
+					combines[key] = minCombine
+				case planner.AggMax:
+					combines[key] = maxCombine
+				}
+			}
+		}
+		cr, err := c.buildRel(ei, ord.Attrs, leafAST[ei], combines)
+		if err != nil {
+			return nil, err
+		}
+		cn.rels = append(cn.rels, cr)
+		for key, refs := range leafRefs[ei] {
+			ann := cr.tr.Ann("leaf:" + key)
+			if ann == nil {
+				return nil, fmt.Errorf("exec: missing leaf annotation %q on %s", key, cr.alias)
+			}
+			for _, ref := range refs {
+				leafBufs[ref] = ann.F64
+				leafBound[ref] = true
+			}
+		}
+	}
+
+	// Children: compiled now, tries built at run time.
+	for _, gch := range n.Children {
+		childCN, err := c.compileNode(gch, ch, false)
+		if err != nil {
+			return nil, err
+		}
+		cn.rels = append(cn.rels, &cRel{
+			relIdx:  -1,
+			alias:   "child",
+			attrs:   sharedInOrder(ord.Attrs, gch.Bag),
+			hasDups: true,
+			child:   childCN,
+		})
+		cn.children = append(cn.children, childCN)
+	}
+
+	// Assemble compiled aggregates.
+	for ai := range aggSpecs {
+		spec := &aggSpecs[ai]
+		ca := cAgg{kind: spec.Kind, skel: spec.Skeleton}
+		leafRelSet := map[int]bool{}
+		for li, leaf := range spec.Leaves {
+			buf := leafBufs[leafRef{ai, li}]
+			if !leafBound[leafRef{ai, li}] {
+				return nil, fmt.Errorf("exec: unbound leaf %d of aggregate %s", li, spec.Name)
+			}
+			relPos := cn.relPos(leaf.Rel)
+			if relPos < 0 {
+				return nil, fmt.Errorf("exec: leaf relation %d not in node", leaf.Rel)
+			}
+			ca.leafBufs = append(ca.leafBufs, buf)
+			ca.leafRels = append(ca.leafRels, relPos)
+			leafRelSet[relPos] = true
+		}
+		// Multiplicity factors: duplicated relations not consumed by a
+		// leaf, plus all child results — except under min/max, which
+		// multiplicities cannot affect.
+		if spec.Kind != planner.AggMin && spec.Kind != planner.AggMax {
+			for rp, cr := range cn.rels {
+				if !leafRelSet[rp] && cr.hasDups {
+					ca.multRels = append(ca.multRels, rp)
+				}
+			}
+		}
+		cn.aggs = append(cn.aggs, ca)
+	}
+
+	// Level participation table.
+	cn.parts = make([][]part, cn.nLevels)
+	for d, v := range ord.Attrs {
+		for rp, cr := range cn.rels {
+			for lvl, a := range cr.attrs {
+				if a == v {
+					cn.parts[d] = append(cn.parts[d], part{rel: rp, lvl: lvl})
+				}
+			}
+		}
+		if len(cn.parts[d]) == 0 {
+			return nil, fmt.Errorf("exec: attribute %s has no participating relation", v)
+		}
+	}
+	if cn.relaxed {
+		cn.lastDomain = c.vertexDomainSize(ord.Attrs[cn.nLevels-1])
+	}
+	return cn, nil
+}
+
+// combineClass tags the pre-aggregation semantics of an aggregate kind.
+func combineClass(k planner.AggKind) string {
+	switch k {
+	case planner.AggMin:
+		return "min|"
+	case planner.AggMax:
+		return "max|"
+	default:
+		return "sum|"
+	}
+}
+
+func minCombine(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func maxCombine(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// relPos maps a plan relation index to its position in cn.rels.
+func (cn *cNode) relPos(relIdx int) int {
+	for i, cr := range cn.rels {
+		if cr.relIdx == relIdx {
+			return i
+		}
+	}
+	return -1
+}
+
+// sharedInOrder lists the vertices of bag in the order they appear in
+// the node's attribute order.
+func sharedInOrder(order []string, bag []string) []string {
+	var out []string
+	for _, v := range order {
+		for _, b := range bag {
+			if v == b {
+				out = append(out, v)
+				break
+			}
+		}
+	}
+	return out
+}
+
+// vertexDomainSize finds the dictionary size of the domain backing a
+// vertex (0 when unknown).
+func (c *compiled) vertexDomainSize(vertex string) int {
+	for i := range c.p.Rels {
+		r := &c.p.Rels[i]
+		if colName, ok := r.VertexCol[vertex]; ok {
+			col := r.Table.Col(colName)
+			if col != nil {
+				if col.Def.Role == storage.Key && col.Dict() != nil {
+					return col.Dict().Len()
+				}
+				// Pseudo vertices: string codes come from the column
+				// dictionary; numeric ones from the ad-hoc encoding.
+				if col.Def.Kind == storage.String && col.Dict() != nil {
+					return col.Dict().Len()
+				}
+				codes, _ := c.pseudoEncode(col)
+				max := uint32(0)
+				for _, x := range codes {
+					if x > max {
+						max = x
+					}
+				}
+				return int(max) + 1
+			}
+		}
+	}
+	return 0
+}
+
+// buildRel builds (or fetches from cache) the query trie for one
+// relation: key levels in node order (attribute elimination: only the
+// vertices this query touches enter the trie), filters applied per row,
+// leaf and multiplicity annotations pre-aggregated over duplicate key
+// tuples.
+func (c *compiled) buildRel(relIdx int, order []string,
+	leafAST map[string]sqlparse.Expr, combines map[string]trie.CombineFunc) (*cRel, error) {
+
+	r := &c.p.Rels[relIdx]
+	attrs := sharedInOrder(order, r.Vertices)
+	if len(attrs) != len(r.Vertices) {
+		return nil, fmt.Errorf("exec: node order %v does not cover relation %s vertices %v", order, r.Alias, r.Vertices)
+	}
+
+	var leafKeys []string
+	for key := range leafAST {
+		leafKeys = append(leafKeys, key)
+	}
+	sort.Strings(leafKeys)
+
+	// Only unfiltered builds are cached: they are the reusable physical
+	// index whose creation the paper's measurements exclude.
+	cacheable := r.Filter == nil && !c.opts.NoAttrElim && c.opts.Cache != nil
+	cacheKey := fmt.Sprintf("%s|%v|%v", r.Table.Schema.Name, attrs, leafKeys)
+	if cacheable {
+		if v, ok := c.opts.Cache.get(cacheKey); ok {
+			return newCRel(relIdx, r.Alias, v.(*trie.Trie), attrs), nil
+		}
+	}
+
+	binding := &expr.Binding{Alias: r.Alias, Table: r.Table}
+	threads := c.opts.threads()
+
+	// Row selection (parallel: the compiled predicate closures only read
+	// immutable column buffers).
+	n := r.Table.NumRows
+	var rows []int32
+	if r.Filter != nil {
+		f, err := expr.CompileFilter(r.Filter, binding)
+		if err != nil {
+			return nil, err
+		}
+		chunks := make([][]int32, threads)
+		parallelRangeID(threads, n, func(id, lo, hi int) {
+			out := make([]int32, 0, (hi-lo)/4+1)
+			for i := int32(lo); i < int32(hi); i++ {
+				if f(i) {
+					out = append(out, i)
+				}
+			}
+			chunks[id] = out
+		})
+		rows = make([]int32, 0, n/4+1)
+		for _, ch := range chunks {
+			rows = append(rows, ch...)
+		}
+	}
+	nRows := n
+	if rows != nil {
+		nRows = len(rows)
+	}
+
+	// Key columns in node order.
+	in := trie.BuildInput{Attrs: attrs, Threads: threads}
+	for _, v := range attrs {
+		colName := r.VertexCol[v]
+		col := r.Table.Col(colName)
+		if col == nil {
+			return nil, fmt.Errorf("exec: missing column %s.%s", r.Alias, colName)
+		}
+		codes, err := c.keyCodesFor(r, col)
+		if err != nil {
+			return nil, err
+		}
+		in.Keys = append(in.Keys, gatherU32(codes, rows))
+	}
+
+	lastLvl := len(attrs) - 1
+	for _, key := range leafKeys {
+		val, err := expr.CompileValue(leafAST[key], binding)
+		if err != nil {
+			return nil, err
+		}
+		buf := make([]float64, nRows)
+		parallelRange(threads, nRows, func(lo, hi int) {
+			if rows == nil {
+				for i := lo; i < hi; i++ {
+					buf[i] = val(int32(i))
+				}
+			} else {
+				for i := lo; i < hi; i++ {
+					buf[i] = val(rows[i])
+				}
+			}
+		})
+		in.Anns = append(in.Anns, trie.AnnSpec{
+			Name: "leaf:" + key, Level: lastLvl, Kind: trie.F64, F64: buf,
+			Combine: combines[key],
+		})
+	}
+	ones := make([]float64, nRows)
+	for i := range ones {
+		ones[i] = 1
+	}
+	in.Anns = append(in.Anns, trie.AnnSpec{Name: multAnn, Level: lastLvl, Kind: trie.F64, F64: ones})
+
+	// Attribute-elimination ablation: load every annotation column into
+	// the trie, as an engine without physical elimination would.
+	if c.opts.NoAttrElim {
+		for _, cd := range r.Table.Schema.Cols {
+			if cd.Role != storage.Annotation {
+				continue
+			}
+			col := r.Table.Col(cd.Name)
+			name := "all:" + cd.Name
+			if f := col.AnnFloats(); f != nil {
+				in.Anns = append(in.Anns, trie.AnnSpec{Name: name, Level: lastLvl, Kind: trie.F64, F64: gatherF64(f, rows)})
+			} else if codes := col.AnnCodes(); codes != nil {
+				in.Anns = append(in.Anns, trie.AnnSpec{Name: name, Level: lastLvl, Kind: trie.Code, Codes: gatherU32(codes, rows)})
+			}
+		}
+	}
+
+	tr, err := trie.Build(in)
+	if err != nil {
+		return nil, fmt.Errorf("exec: building trie for %s: %v", r.Alias, err)
+	}
+	if cacheable {
+		c.opts.Cache.put(cacheKey, tr)
+	}
+	return newCRel(relIdx, r.Alias, tr, attrs), nil
+}
+
+func newCRel(relIdx int, alias string, tr *trie.Trie, attrs []string) *cRel {
+	cr := &cRel{relIdx: relIdx, alias: alias, tr: tr, attrs: attrs}
+	cr.hasDups = tr.SourceRows != tr.NumTuples
+	if a := tr.Ann(multAnn); a != nil {
+		cr.mult = a.F64
+	}
+	return cr
+}
+
+// keyCodesFor returns the code column for a key or pseudo-vertex column.
+func (c *compiled) keyCodesFor(r *planner.RelInfo, col *storage.Column) ([]uint32, error) {
+	if col.Def.Role == storage.Key {
+		codes := col.KeyCodes()
+		if codes == nil {
+			return nil, fmt.Errorf("exec: key column %s.%s not encoded", r.Alias, col.Def.Name)
+		}
+		return codes, nil
+	}
+	if col.Def.Kind == storage.String {
+		return col.AnnCodes(), nil
+	}
+	codes, _ := c.pseudoEncode(col)
+	return codes, nil
+}
+
+// pseudoEncode builds an ad-hoc order-preserving code space for a
+// numeric annotation column promoted to a trie level.
+func (c *compiled) pseudoEncode(col *storage.Column) ([]uint32, *pseudoDecoder) {
+	f := col.AnnFloats()
+	uniq := map[float64]struct{}{}
+	for _, v := range f {
+		uniq[v] = struct{}{}
+	}
+	vals := make([]float64, 0, len(uniq))
+	for v := range uniq {
+		vals = append(vals, v)
+	}
+	sort.Float64s(vals)
+	rank := make(map[float64]uint32, len(vals))
+	for i, v := range vals {
+		rank[v] = uint32(i)
+	}
+	codes := make([]uint32, len(f))
+	for i, v := range f {
+		codes[i] = rank[v]
+	}
+	return codes, &pseudoDecoder{numVals: vals, isDate: col.Def.Kind == storage.Date}
+}
+
+func gatherU32(src []uint32, rows []int32) []uint32 {
+	if rows == nil {
+		return src
+	}
+	out := make([]uint32, len(rows))
+	for i, r := range rows {
+		out[i] = src[r]
+	}
+	return out
+}
+
+func gatherF64(src []float64, rows []int32) []float64 {
+	if rows == nil {
+		return src
+	}
+	out := make([]float64, len(rows))
+	for i, r := range rows {
+		out[i] = src[r]
+	}
+	return out
+}
+
+// buildGroupDecoders resolves each GROUP BY item to a decoder over the
+// root's materialized key (the metadata container M of §IV-A rule 4).
+func (c *compiled) buildGroupDecoders() error {
+	root := c.root
+	posOf := map[string]int{}
+	if c.p.HashEmit {
+		// Hash-emit mode: any position in the order works — the token is
+		// computed from the live vertex binding.
+		root.hashEmit = true
+		for i, v := range root.order {
+			posOf[v] = i
+		}
+	} else {
+		for i := 0; i < root.matCount; i++ {
+			posOf[root.order[i]] = i
+		}
+		if root.relaxed {
+			// The relaxed tail's materialized attribute lands after the
+			// prefix in the output key.
+			posOf[root.order[root.nLevels-1]] = root.matCount
+		}
+	}
+	for _, g := range c.p.Groups {
+		pos, ok := posOf[g.Vertex]
+		if !ok {
+			return fmt.Errorf("exec: group vertex %s not bound in root order %v", g.Vertex, root.order)
+		}
+		gd := groupDecoder{item: g, pos: pos}
+		switch g.Kind {
+		case planner.GroupVertex:
+			col := c.p.Rels[g.Rel].Table.Col(g.Col)
+			gd.domain = col.Dict()
+			if col.Def.Kind == storage.String {
+				gd.outKind = KindString
+			} else {
+				gd.outKind = KindInt
+			}
+		case planner.GroupPseudo:
+			col := c.p.Rels[g.Rel].Table.Col(g.Col)
+			if col.Def.Kind == storage.String {
+				gd.pseudo = &pseudoDecoder{strDict: col.Dict()}
+				gd.outKind = KindString
+			} else {
+				_, dec := c.pseudoEncode(col)
+				gd.pseudo = dec
+				if dec.isDate {
+					gd.outKind = KindString
+				} else {
+					gd.outKind = KindFloat
+				}
+			}
+		case planner.GroupMeta:
+			r := &c.p.Rels[g.Rel]
+			pkCol := r.Table.Col(r.VertexCol[g.Vertex])
+			metaRows := make([]int32, pkCol.Dict().Len())
+			for i := range metaRows {
+				metaRows[i] = -1
+			}
+			for row, code := range pkCol.KeyCodes() {
+				metaRows[code] = int32(row)
+			}
+			gd.metaRows = metaRows
+			if col, isStr, isDate, ok := metaColRef(r, g.Expr); ok && isStr {
+				gd.metaCodes = col.AnnCodes()
+				gd.metaDict = col.Dict()
+				gd.outKind = KindString
+			} else {
+				binding := &expr.Binding{Alias: r.Alias, Table: r.Table}
+				val, err := expr.CompileValue(g.Expr, binding)
+				if err != nil {
+					return err
+				}
+				gd.metaVal = val
+				gd.metaDate = isDate
+				switch {
+				case isDate:
+					gd.outKind = KindString
+				case ok && col.Def.Kind == storage.Int64:
+					gd.outKind = KindInt
+				default:
+					gd.outKind = KindFloat
+				}
+			}
+		}
+		c.groups = append(c.groups, gd)
+		if c.p.HashEmit {
+			root.hgroups = append(root.hgroups, hashGroup{
+				level:     gd.pos,
+				metaRows:  gd.metaRows,
+				metaCodes: gd.metaCodes,
+				metaVal:   gd.metaVal,
+			})
+		}
+	}
+	return nil
+}
+
+// metaColRef inspects a GroupMeta expression: when it is a plain column
+// reference it returns the column and its type flags.
+func metaColRef(r *planner.RelInfo, e sqlparse.Expr) (col *storage.Column, isStr, isDate, ok bool) {
+	cr, isCR := e.(sqlparse.ColRef)
+	if !isCR {
+		return nil, false, false, false
+	}
+	if cr.Qualifier != "" && cr.Qualifier != r.Alias {
+		return nil, false, false, false
+	}
+	col = r.Table.Col(cr.Name)
+	if col == nil {
+		return nil, false, false, false
+	}
+	return col, col.Def.Kind == storage.String, col.Def.Kind == storage.Date, true
+}

@@ -1,0 +1,210 @@
+package exec
+
+import (
+	"repro/internal/blas"
+	"repro/internal/planner"
+	"repro/internal/trie"
+)
+
+// tryDenseDispatch implements §III-D: when attribute elimination has
+// left completely dense annotation buffers, matrix-multiply and
+// matrix-vector queries are routed to the BLAS package with no data
+// transformation — the buffers hanging off the tries are the row-major
+// matrices. Returns ok=false (and no error) when the query does not
+// match a dense kernel, in which case the WCOJ engine runs it.
+func tryDenseDispatch(c *compiled) (*Result, bool, error) {
+	n := c.root
+	if len(n.children) != 0 || len(n.rels) != 2 || n.relaxed {
+		return nil, false, nil
+	}
+	// Single SUM aggregate whose skeleton is leaf×leaf on the two rels.
+	if len(c.p.Aggs) != 1 || c.p.Aggs[0].Kind != planner.AggSum {
+		return nil, false, nil
+	}
+	ca := &n.aggs[0]
+	sk := ca.skel
+	if sk == nil || sk.Op != planner.EmitMul ||
+		sk.L.Op != planner.EmitLeaf || sk.R.Op != planner.EmitLeaf {
+		return nil, false, nil
+	}
+	if len(ca.leafRels) != 2 || ca.leafRels[0] == ca.leafRels[1] {
+		return nil, false, nil
+	}
+	if len(ca.multRels) != 0 {
+		return nil, false, nil // duplicate keys: not a plain matrix
+	}
+	// All trie levels completely dense.
+	for _, cr := range n.rels {
+		for _, l := range cr.tr.Levels {
+			if !l.Dense || l.NumElems() == 0 {
+				return nil, false, nil
+			}
+		}
+	}
+	// Group items must be plain vertices.
+	for _, g := range c.groups {
+		if g.item.Kind != planner.GroupVertex {
+			return nil, false, nil
+		}
+	}
+
+	a := n.rels[ca.leafRels[sk.L.Leaf]]
+	b := n.rels[ca.leafRels[sk.R.Leaf]]
+	aBuf := ca.leafBufs[sk.L.Leaf]
+	bBuf := ca.leafBufs[sk.R.Leaf]
+
+	switch {
+	case len(a.attrs) == 2 && len(b.attrs) == 2 && len(c.groups) == 2:
+		return denseMM(c, a, b, aBuf, bBuf)
+	case len(a.attrs) == 2 && len(b.attrs) == 1 && len(c.groups) == 1:
+		return denseMV(c, a, b, aBuf, bBuf)
+	case len(a.attrs) == 1 && len(b.attrs) == 2 && len(c.groups) == 1:
+		return denseMV(c, b, a, bBuf, aBuf)
+	}
+	return nil, false, nil
+}
+
+// denseDims extracts (rows, cols, row base, col base) of a dense 2-level
+// trie.
+func denseDims(tr *trie.Trie) (m, k int, rowBase, colBase uint32, ok bool) {
+	l0 := tr.Levels[0].Sets[0]
+	m = l0.Card()
+	if m == 0 {
+		return 0, 0, 0, 0, false
+	}
+	total := tr.Levels[1].NumElems()
+	if total%m != 0 {
+		return 0, 0, 0, 0, false
+	}
+	k = total / m
+	colBase = tr.Levels[1].Sets[0].Min()
+	// Every row must span the same column range for the buffer to be a
+	// rectangular matrix.
+	for i := range tr.Levels[1].Sets {
+		s := &tr.Levels[1].Sets[i]
+		if s.Card() != k || s.Min() != colBase {
+			return 0, 0, 0, 0, false
+		}
+	}
+	return m, k, l0.Min(), colBase, true
+}
+
+// denseMM runs C = A·Bᵀ-or-B depending on B's trie orientation. With the
+// materialized-first rule, both output vertices precede the shared one,
+// so B's trie is keyed (j, k) — the transpose — and the dot-product
+// kernel applies.
+func denseMM(c *compiled, a, b *cRel, aBuf, bBuf []float64) (*Result, bool, error) {
+	shared := a.attrs[1] // projected vertex
+	if b.attrs[1] != shared {
+		// Unexpected orientation; let the WCOJ engine handle it.
+		return nil, false, nil
+	}
+	m, k, aRowBase, aColBase, ok := denseDims(a.tr)
+	if !ok {
+		return nil, false, nil
+	}
+	nOut, k2, bRowBase, bColBase, ok := denseDims(b.tr)
+	if !ok || k2 != k || aColBase != bColBase {
+		return nil, false, nil
+	}
+	cBuf := make([]float64, m*nOut)
+	gemmNT(m, k, nOut, aBuf, bBuf, cBuf)
+
+	// Build the output: key columns plus the annotation (the <2% cost
+	// the paper notes for producing key values).
+	g0, g1 := &c.groups[0], &c.groups[1]
+	// groups[0] corresponds to A's first attr iff its vertex matches.
+	if g0.item.Vertex != a.attrs[0] {
+		g0, g1 = g1, g0
+	}
+	if g0.item.Vertex != a.attrs[0] || g1.item.Vertex != b.attrs[0] {
+		return nil, false, nil
+	}
+	res := &Result{NumRows: m * nOut}
+	iCol := &Column{Name: colNameFor(c, g0), Kind: KindInt, I64: make([]int64, m*nOut)}
+	jCol := &Column{Name: colNameFor(c, g1), Kind: KindInt, I64: make([]int64, m*nOut)}
+	vCol := &Column{Name: aggName(c), Kind: KindFloat, F64: cBuf}
+	for i := 0; i < m; i++ {
+		iv := g0.domain.DecodeInt(aRowBase + uint32(i))
+		for j := 0; j < nOut; j++ {
+			iCol.I64[i*nOut+j] = iv
+			jCol.I64[i*nOut+j] = g1.domain.DecodeInt(bRowBase + uint32(j))
+		}
+	}
+	res.Cols = orderOutputs(c, g0, g1, iCol, jCol, vCol)
+	return res, true, nil
+}
+
+// denseMV runs y = A·x.
+func denseMV(c *compiled, a, x *cRel, aBuf, xBuf []float64) (*Result, bool, error) {
+	if a.attrs[1] != x.attrs[0] {
+		return nil, false, nil
+	}
+	m, k, aRowBase, aColBase, ok := denseDims(a.tr)
+	if !ok {
+		return nil, false, nil
+	}
+	xs := x.tr.Levels[0].Sets[0]
+	if xs.Card() != k || xs.Min() != aColBase {
+		return nil, false, nil
+	}
+	y := make([]float64, m)
+	blas.Gemv(m, k, aBuf, xBuf, y)
+	g0 := &c.groups[0]
+	if g0.item.Vertex != a.attrs[0] {
+		return nil, false, nil
+	}
+	iCol := &Column{Name: colNameFor(c, g0), Kind: KindInt, I64: make([]int64, m)}
+	for i := 0; i < m; i++ {
+		iCol.I64[i] = g0.domain.DecodeInt(aRowBase + uint32(i))
+	}
+	vCol := &Column{Name: aggName(c), Kind: KindFloat, F64: y}
+	res := &Result{NumRows: m}
+	res.Cols = orderOutputs(c, g0, nil, iCol, nil, vCol)
+	return res, true, nil
+}
+
+// gemmNT computes C[i][j] = Σ_k A[i][k]·B[j][k] (B stored transposed),
+// delegating to the blas package.
+func gemmNT(m, k, n int, a, bt, c []float64) {
+	blas.GemmNT(m, k, n, a, bt, c)
+}
+
+// colNameFor finds the SELECT-list name of a group item.
+func colNameFor(c *compiled, g *groupDecoder) string {
+	for _, o := range c.p.Outputs {
+		if o.Kind == planner.OutGroup && &c.groups[o.Index] == g {
+			return o.Name
+		}
+	}
+	return g.item.Name
+}
+
+// aggName finds the SELECT-list name of the single aggregate output.
+func aggName(c *compiled) string {
+	for _, o := range c.p.Outputs {
+		if o.Kind == planner.OutAgg || o.Kind == planner.OutAggExpr {
+			return o.Name
+		}
+	}
+	return "agg"
+}
+
+// orderOutputs arranges result columns in SELECT-list order.
+func orderOutputs(c *compiled, g0, g1 *groupDecoder, c0, c1, cv *Column) []*Column {
+	var out []*Column
+	for _, o := range c.p.Outputs {
+		switch o.Kind {
+		case planner.OutGroup:
+			gd := &c.groups[o.Index]
+			if gd == g0 {
+				out = append(out, c0)
+			} else if g1 != nil && gd == g1 {
+				out = append(out, c1)
+			}
+		default:
+			out = append(out, cv)
+		}
+	}
+	return out
+}

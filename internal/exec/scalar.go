@@ -1,0 +1,201 @@
+package exec
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"repro/internal/expr"
+	"repro/internal/planner"
+)
+
+// runScalarScan executes the single-relation, no-join, no-group-by fast
+// path (paper Q6): a parallel filtered fold over the base columns — the
+// |V| = 0 base case of the WCOJ recursion.
+func runScalarScan(p *planner.Plan, opts Options) (*Result, error) {
+	if len(p.Rels) != 1 {
+		return nil, fmt.Errorf("exec: scalar scan requires one relation")
+	}
+	r := &p.Rels[0]
+	binding := &expr.Binding{Alias: r.Alias, Table: r.Table}
+
+	var filter expr.Filter
+	if r.Filter != nil {
+		f, err := expr.CompileFilter(r.Filter, binding)
+		if err != nil {
+			return nil, err
+		}
+		filter = f
+	}
+
+	// Compile leaf expressions per aggregate.
+	type aggEval struct {
+		kind   planner.AggKind
+		skel   *planner.EmitNode
+		leaves []expr.Value
+	}
+	aggs := make([]aggEval, len(p.Aggs))
+	for ai := range p.Aggs {
+		spec := &p.Aggs[ai]
+		aggs[ai] = aggEval{kind: spec.Kind, skel: spec.Skeleton}
+		for _, leaf := range spec.Leaves {
+			v, err := expr.CompileValue(leaf.Expr, binding)
+			if err != nil {
+				return nil, err
+			}
+			aggs[ai].leaves = append(aggs[ai].leaves, v)
+		}
+	}
+
+	// Attribute-elimination ablation: without elimination the scan
+	// touches every annotation column of the relation, not just the ones
+	// the query references (the paper's Q1/Q6 rows of Table III).
+	var allCols [][]float64
+	if opts.NoAttrElim {
+		for _, cd := range r.Table.Schema.Cols {
+			if col := r.Table.Col(cd.Name); col != nil {
+				if f := col.AnnFloats(); f != nil {
+					allCols = append(allCols, f)
+				}
+			}
+		}
+	}
+
+	n := r.Table.NumRows
+	threads := opts.threads()
+	if threads > n {
+		threads = n
+	}
+	if threads < 1 {
+		threads = 1
+	}
+	partial := make([][]float64, threads)
+	touched := make([]bool, threads)
+	var wg sync.WaitGroup
+	chunk := (n + threads - 1) / threads
+	for t := 0; t < threads; t++ {
+		lo, hi := t*chunk, (t+1)*chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(t, lo, hi int) {
+			defer wg.Done()
+			acc := make([]float64, len(aggs))
+			for ai := range aggs {
+				switch aggs[ai].kind {
+				case planner.AggMin:
+					acc[ai] = math.Inf(1)
+				case planner.AggMax:
+					acc[ai] = math.Inf(-1)
+				}
+			}
+			any := false
+			sink := 0.0
+			for row := int32(lo); row < int32(hi); row++ {
+				for _, col := range allCols {
+					sink += col[row]
+				}
+				if filter != nil && !filter(row) {
+					continue
+				}
+				any = true
+				for ai := range aggs {
+					a := &aggs[ai]
+					var v float64
+					switch a.kind {
+					case planner.AggCount:
+						v = 1
+					case planner.AggMin, planner.AggMax:
+						v = a.leaves[0](row)
+					default:
+						v = evalScalarSkel(a.skel, a.leaves, row)
+					}
+					acc[ai] = combine1(a.kind, acc[ai], v)
+				}
+			}
+			if sink == 0.12345 {
+				acc[0] += 0 // keep the column touches from being elided
+			}
+			partial[t] = acc
+			touched[t] = any
+		}(t, lo, hi)
+	}
+	wg.Wait()
+
+	final := make([]float64, len(aggs))
+	for ai := range aggs {
+		switch aggs[ai].kind {
+		case planner.AggMin:
+			final[ai] = math.Inf(1)
+		case planner.AggMax:
+			final[ai] = math.Inf(-1)
+		}
+	}
+	anyRows := false
+	for t := range partial {
+		if partial[t] == nil || !touched[t] {
+			continue
+		}
+		anyRows = true
+		for ai := range aggs {
+			final[ai] = combine1(aggs[ai].kind, final[ai], partial[t][ai])
+		}
+	}
+	if !anyRows {
+		for ai := range final {
+			final[ai] = 0
+		}
+	}
+	for ai := range final {
+		if math.IsInf(final[ai], 0) {
+			final[ai] = 0
+		}
+	}
+
+	if p.Having != nil && !evalHaving(p.Having, final) {
+		res := &Result{NumRows: 0}
+		for _, o := range p.Outputs {
+			res.Cols = append(res.Cols, &Column{Name: o.Name, Kind: KindFloat})
+		}
+		return res, nil
+	}
+
+	res := &Result{NumRows: 1}
+	for _, o := range p.Outputs {
+		col := &Column{Name: o.Name, Kind: KindFloat, F64: make([]float64, 1)}
+		switch o.Kind {
+		case planner.OutAgg:
+			col.F64[0] = final[o.Index]
+		case planner.OutAggExpr:
+			col.F64[0] = evalAggExpr(o.Expr, final)
+		default:
+			return nil, fmt.Errorf("exec: scalar scan cannot produce group output %s", o.Name)
+		}
+		res.Cols = append(res.Cols, col)
+	}
+	return res, nil
+}
+
+// evalScalarSkel evaluates an aggregate skeleton with all leaves bound
+// to one source row.
+func evalScalarSkel(e *planner.EmitNode, leaves []expr.Value, row int32) float64 {
+	switch e.Op {
+	case planner.EmitLeaf:
+		return leaves[e.Leaf](row)
+	case planner.EmitConst:
+		return e.Const
+	case planner.EmitAdd:
+		return evalScalarSkel(e.L, leaves, row) + evalScalarSkel(e.R, leaves, row)
+	case planner.EmitSub:
+		return evalScalarSkel(e.L, leaves, row) - evalScalarSkel(e.R, leaves, row)
+	case planner.EmitMul:
+		return evalScalarSkel(e.L, leaves, row) * evalScalarSkel(e.R, leaves, row)
+	case planner.EmitDiv:
+		return evalScalarSkel(e.L, leaves, row) / evalScalarSkel(e.R, leaves, row)
+	}
+	return 0
+}

@@ -1,0 +1,742 @@
+package exec
+
+import (
+	"fmt"
+	"math"
+	"sync"
+
+	"repro/internal/planner"
+	"repro/internal/set"
+	"repro/internal/trie"
+)
+
+// rowsBuf is a node's output: materialized key codes and aggregate
+// values, struct-of-arrays.
+type rowsBuf struct {
+	kWidth, aWidth int
+	keys           []uint32
+	aggs           []float64
+}
+
+func (b *rowsBuf) n() int {
+	if b.kWidth > 0 {
+		return len(b.keys) / b.kWidth
+	}
+	if b.aWidth > 0 {
+		return len(b.aggs) / b.aWidth
+	}
+	return 0
+}
+
+func (b *rowsBuf) appendRow(keys []uint32, aggs []float64) {
+	b.keys = append(b.keys, keys...)
+	b.aggs = append(b.aggs, aggs...)
+}
+
+// hashAcc is the emit-time hash aggregation table (Fig. 4's
+// out(n_n) += pattern): group tokens → aggregate accumulators.
+type hashAcc struct {
+	idx    map[string]int
+	tokens []uint64  // nG per entry
+	aggs   []float64 // nA per entry
+	keyBuf []byte
+	nG, nA int
+}
+
+func newHashAcc(nG, nA int) *hashAcc {
+	return &hashAcc{idx: map[string]int{}, keyBuf: make([]byte, 8*nG), nG: nG, nA: nA}
+}
+
+func (h *hashAcc) n() int { return len(h.tokens) / max1(h.nG) }
+
+func max1(x int) int {
+	if x < 1 {
+		return 1
+	}
+	return x
+}
+
+// add combines one tuple's aggregate values into the group named by the
+// token tuple.
+func (h *hashAcc) add(n *cNode, toks []uint64, vals []float64) {
+	for i, t := range toks {
+		putU64(h.keyBuf[i*8:], t)
+	}
+	k := string(h.keyBuf)
+	gi, ok := h.idx[k]
+	if !ok {
+		gi = h.n()
+		h.idx[k] = gi
+		h.tokens = append(h.tokens, toks...)
+		base := len(h.aggs)
+		h.aggs = append(h.aggs, vals...)
+		for i := range n.aggs {
+			switch n.aggs[i].kind {
+			case planner.AggMin, planner.AggMax:
+				// First value stands as-is.
+			default:
+				h.aggs[base+i] = vals[i]
+			}
+		}
+		return
+	}
+	base := gi * h.nA
+	for i := range n.aggs {
+		h.aggs[base+i] = combine1(n.aggs[i].kind, h.aggs[base+i], vals[i])
+	}
+}
+
+// merge folds another accumulator into h.
+func (h *hashAcc) merge(n *cNode, o *hashAcc) {
+	ng := o.n()
+	for gi := 0; gi < ng; gi++ {
+		h.add(n, o.tokens[gi*o.nG:(gi+1)*o.nG], o.aggs[gi*o.nA:(gi+1)*o.nA])
+	}
+}
+
+func putU64(b []byte, v uint64) {
+	_ = b[7]
+	b[0] = byte(v)
+	b[1] = byte(v >> 8)
+	b[2] = byte(v >> 16)
+	b[3] = byte(v >> 24)
+	b[4] = byte(v >> 32)
+	b[5] = byte(v >> 40)
+	b[6] = byte(v >> 48)
+	b[7] = byte(v >> 56)
+}
+
+// outKeyWidth is the node's output key width: the materialized prefix
+// plus the relaxed tail attribute.
+func (n *cNode) outKeyWidth() int {
+	if n.relaxed {
+		return n.matCount + 1
+	}
+	return n.matCount
+}
+
+// outKeyAttrs lists the output key attributes in output-column order.
+func (n *cNode) outKeyAttrs() []string {
+	out := append([]string(nil), n.order[:n.matCount]...)
+	if n.relaxed {
+		out = append(out, n.order[n.nLevels-1])
+	}
+	return out
+}
+
+// runNode executes a compiled node bottom-up: children first (their
+// results become relations of this node — Yannakakis' algorithm), then
+// the WCOJ recursion with the outermost loop parallelized (parfor,
+// §III-D).
+func runNode(n *cNode, opts Options) (*rowsBuf, *hashAcc, error) {
+	for _, cr := range n.rels {
+		if cr.child == nil {
+			continue
+		}
+		childRows, _, err := runNode(cr.child, opts)
+		if err != nil {
+			return nil, nil, err
+		}
+		tr, err := buildChildTrie(cr.child, childRows, cr.attrs)
+		if err != nil {
+			return nil, nil, err
+		}
+		cr.tr = tr
+		if a := tr.Ann(multAnn); a != nil {
+			cr.mult = a.F64
+		}
+	}
+
+	nAggs := len(n.aggs)
+	out := &rowsBuf{kWidth: n.outKeyWidth(), aWidth: nAggs}
+
+	// Level-0 iteration set.
+	vals, err := levelZeroValues(n)
+	if err != nil {
+		return nil, nil, err
+	}
+	if len(vals) == 0 {
+		if n.hashEmit {
+			return out, newHashAcc(len(n.hgroups), nAggs), nil
+		}
+		if n.matCount == 0 && !n.relaxed {
+			// A grand aggregate over an empty join still yields one row of
+			// semiring zeros (COUNT/SUM → 0); matching SQL-without-NULL
+			// semantics used throughout this engine.
+			acc := make([]float64, nAggs)
+			resetAcc(n, acc)
+			zeroAccToFinal(n, acc)
+			out.appendRow(nil, acc)
+		}
+		return out, nil, nil
+	}
+
+	threads := opts.threads()
+	if threads > len(vals) {
+		threads = len(vals)
+	}
+	if threads < 1 {
+		threads = 1
+	}
+	workers := make([]*worker, threads)
+	var wg sync.WaitGroup
+	chunk := (len(vals) + threads - 1) / threads
+	errs := make([]error, threads)
+	for t := 0; t < threads; t++ {
+		lo := t * chunk
+		hi := lo + chunk
+		if hi > len(vals) {
+			hi = len(vals)
+		}
+		if lo >= hi {
+			workers[t] = nil
+			continue
+		}
+		w := newWorker(n)
+		w.id = t
+		workers[t] = w
+		wg.Add(1)
+		go func(w *worker, vs []uint32) {
+			defer wg.Done()
+			errs[w.id] = w.runChunk(vs)
+		}(w, vals[lo:hi])
+	}
+	wg.Wait()
+	for _, e := range errs {
+		if e != nil {
+			return nil, nil, e
+		}
+	}
+
+	// Combine worker outputs.
+	switch {
+	case n.hashEmit:
+		merged := newHashAcc(len(n.hgroups), nAggs)
+		for _, w := range workers {
+			if w != nil {
+				merged.merge(n, w.hacc)
+			}
+		}
+		return out, merged, nil
+	case n.matCount > 0:
+		for _, w := range workers {
+			if w == nil {
+				continue
+			}
+			out.keys = append(out.keys, w.out.keys...)
+			out.aggs = append(out.aggs, w.out.aggs...)
+		}
+	case n.relaxed:
+		// Global 1-attribute union: merge per-worker accumulators.
+		merged := newUnionAcc(n)
+		touchedAny := false
+		for _, w := range workers {
+			if w == nil {
+				continue
+			}
+			for _, j := range w.uAcc.touched {
+				merged.combineFrom(n, w.uAcc, j)
+				touchedAny = true
+			}
+		}
+		if touchedAny {
+			merged.flushInto(n, out, nil)
+		}
+	default:
+		// Grand aggregate: merge scalar accumulators.
+		acc := make([]float64, nAggs)
+		resetAcc(n, acc)
+		touched := false
+		for _, w := range workers {
+			if w == nil || !w.touched {
+				continue
+			}
+			combineAcc(n, acc, w.acc)
+			touched = true
+		}
+		if !touched {
+			resetAcc(n, acc)
+		}
+		zeroAccToFinal(n, acc)
+		out.appendRow(nil, acc)
+	}
+	return out, nil, nil
+}
+
+// levelZeroValues materializes the level-0 intersection.
+func levelZeroValues(n *cNode) ([]uint32, error) {
+	ps := n.parts[0]
+	if len(ps) == 1 {
+		s := n.rels[ps[0].rel].tr.Set(ps[0].lvl, 0)
+		return s.Values(), nil
+	}
+	sets := make([]*set.Set, len(ps))
+	for i, p := range ps {
+		sets[i] = n.rels[p.rel].tr.Set(p.lvl, 0)
+	}
+	var b1, b2 set.Buffer
+	isect := set.IntersectMany(&b1, &b2, sets)
+	return isect.Values(), nil
+}
+
+// worker executes a chunk of the outermost loop.
+type worker struct {
+	id      int
+	n       *cNode
+	ranks   [][]int32 // per rel: global rank at each of its levels
+	curKey  []uint32
+	acc     []float64
+	touched bool
+	out     *rowsBuf
+	bufs    []*levelBufs
+	uAcc    *unionAcc
+	scratch []float64
+	curVals []uint32 // per-level bound values (hash-emit mode)
+	hacc    *hashAcc
+	toks    []uint64
+}
+
+type levelBufs struct {
+	b1, b2 set.Buffer
+	sets   []*set.Set
+}
+
+func newWorker(n *cNode) *worker {
+	w := &worker{
+		n:       n,
+		curKey:  make([]uint32, n.outKeyWidth()),
+		acc:     make([]float64, len(n.aggs)),
+		out:     &rowsBuf{kWidth: n.outKeyWidth(), aWidth: len(n.aggs)},
+		scratch: make([]float64, len(n.aggs)),
+	}
+	w.ranks = make([][]int32, len(n.rels))
+	for i, cr := range n.rels {
+		w.ranks[i] = make([]int32, len(cr.attrs))
+	}
+	w.bufs = make([]*levelBufs, n.nLevels)
+	for d := range w.bufs {
+		w.bufs[d] = &levelBufs{sets: make([]*set.Set, 0, len(n.parts[d]))}
+	}
+	if n.relaxed {
+		w.uAcc = newUnionAcc(n)
+	}
+	if n.hashEmit {
+		w.curVals = make([]uint32, n.nLevels)
+		w.hacc = newHashAcc(len(n.hgroups), len(n.aggs))
+		w.toks = make([]uint64, len(n.hgroups))
+	}
+	resetAcc(n, w.acc)
+	return w
+}
+
+// runChunk processes the assigned level-0 values.
+func (w *worker) runChunk(vals []uint32) error {
+	n := w.n
+	ps := n.parts[0]
+	boundary := n.matCount - 1
+	for _, v := range vals {
+		for _, p := range ps {
+			rk := n.rels[p.rel].tr.RankOf(p.lvl, 0, v)
+			if rk < 0 {
+				return fmt.Errorf("exec: value %d missing from %s level %d", v, n.rels[p.rel].alias, p.lvl)
+			}
+			w.ranks[p.rel][p.lvl] = rk
+		}
+		if 0 < n.matCount {
+			w.curKey[0] = v
+		}
+		if w.curVals != nil {
+			w.curVals[0] = v
+		}
+		if boundary == 0 {
+			w.beginGroup()
+		}
+		if n.nLevels == 1 {
+			w.addTuple(v)
+		} else {
+			if err := w.recurse(1); err != nil {
+				return err
+			}
+		}
+		if boundary == 0 {
+			w.endGroup()
+		}
+	}
+	return nil
+}
+
+// recurse iterates level d.
+func (w *worker) recurse(d int) error {
+	n := w.n
+	ps := n.parts[d]
+	boundary := d == n.matCount-1
+	last := d == n.nLevels-1
+
+	visit := func(v uint32) error {
+		if d < n.matCount {
+			w.curKey[d] = v
+		}
+		if w.curVals != nil {
+			w.curVals[d] = v
+		}
+		if boundary {
+			w.beginGroup()
+		}
+		if last {
+			w.addTuple(v)
+		} else {
+			if err := w.recurse(d + 1); err != nil {
+				return err
+			}
+		}
+		if boundary {
+			w.endGroup()
+		}
+		return nil
+	}
+
+	if len(ps) == 1 {
+		p := ps[0]
+		cr := n.rels[p.rel]
+		parent := w.parentRank(p.rel, p.lvl)
+		s := cr.tr.Set(p.lvl, parent)
+		base := cr.tr.Levels[p.lvl].Starts[parent]
+		// Direct slice iteration for the common uint layout: no
+		// per-element closure in the innermost loops.
+		if vals, ok := s.Uints(); ok {
+			for idx, v := range vals {
+				w.ranks[p.rel][p.lvl] = base + int32(idx)
+				if err := visit(v); err != nil {
+					return err
+				}
+			}
+			return nil
+		}
+		var err error
+		idx := int32(0)
+		s.ForEachUntil(func(v uint32) bool {
+			w.ranks[p.rel][p.lvl] = base + idx
+			idx++
+			if e := visit(v); e != nil {
+				err = e
+				return false
+			}
+			return true
+		})
+		return err
+	}
+
+	lb := w.bufs[d]
+	lb.sets = lb.sets[:0]
+	for _, p := range ps {
+		cr := n.rels[p.rel]
+		lb.sets = append(lb.sets, cr.tr.Set(p.lvl, w.parentRank(p.rel, p.lvl)))
+	}
+	isect := set.IntersectMany(&lb.b1, &lb.b2, lb.sets)
+	bind := func(v uint32) error {
+		for _, p := range ps {
+			rk := n.rels[p.rel].tr.RankOf(p.lvl, w.parentRank(p.rel, p.lvl), v)
+			if rk < 0 {
+				return fmt.Errorf("exec: intersection value %d missing from %s", v, n.rels[p.rel].alias)
+			}
+			w.ranks[p.rel][p.lvl] = rk
+		}
+		return visit(v)
+	}
+	if vals, ok := isect.Uints(); ok {
+		for _, v := range vals {
+			if err := bind(v); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	var err error
+	isect.ForEachUntil(func(v uint32) bool {
+		if e := bind(v); e != nil {
+			err = e
+			return false
+		}
+		return true
+	})
+	return err
+}
+
+func (w *worker) parentRank(rel, lvl int) int32 {
+	if lvl == 0 {
+		return 0
+	}
+	return w.ranks[rel][lvl-1]
+}
+
+// beginGroup resets accumulators at the materialized-prefix boundary.
+func (w *worker) beginGroup() {
+	resetAcc(w.n, w.acc)
+	w.touched = false
+	if w.n.relaxed {
+		w.uAcc.reset()
+	}
+}
+
+// endGroup flushes the finished group(s).
+func (w *worker) endGroup() {
+	n := w.n
+	if n.relaxed {
+		if len(w.uAcc.touched) > 0 {
+			w.uAcc.flushInto(n, w.out, w.curKey[:n.matCount])
+		}
+		return
+	}
+	if !w.touched {
+		return
+	}
+	zeroAccToFinal(n, w.acc)
+	w.out.appendRow(w.curKey[:n.matCount], w.acc)
+}
+
+// addTuple folds the current full WCOJ tuple into the accumulators.
+func (w *worker) addTuple(lastVal uint32) {
+	n := w.n
+	vals := w.scratch
+	for ai := range n.aggs {
+		vals[ai] = w.evalAgg(&n.aggs[ai])
+	}
+	if n.hashEmit {
+		ok := true
+		for gi := range n.hgroups {
+			hg := &n.hgroups[gi]
+			code := w.curVals[hg.level]
+			row := hg.metaRows[code]
+			if row < 0 {
+				ok = false
+				break
+			}
+			if hg.metaCodes != nil {
+				w.toks[gi] = uint64(hg.metaCodes[row])
+			} else {
+				w.toks[gi] = floatBits(hg.metaVal(row))
+			}
+		}
+		if ok {
+			w.hacc.add(n, w.toks, vals)
+		}
+		return
+	}
+	if n.relaxed {
+		w.uAcc.add(n, lastVal, vals)
+		return
+	}
+	w.touched = true
+	for ai := range n.aggs {
+		w.acc[ai] = combine1(n.aggs[ai].kind, w.acc[ai], vals[ai])
+	}
+}
+
+// evalAgg computes one aggregate's contribution for the bound tuple.
+func (w *worker) evalAgg(a *cAgg) float64 {
+	var v float64
+	switch a.kind {
+	case planner.AggMin, planner.AggMax:
+		rel := a.leafRels[0]
+		return a.leafBufs[0][w.lastRank(rel)]
+	case planner.AggCount:
+		v = 1
+	default: // AggSum
+		v = w.evalSkel(a, a.skel)
+	}
+	for _, rel := range a.multRels {
+		v *= w.n.rels[rel].mult[w.lastRank(rel)]
+	}
+	return v
+}
+
+func (w *worker) lastRank(rel int) int32 {
+	lv := len(w.n.rels[rel].attrs) - 1
+	return w.ranks[rel][lv]
+}
+
+func (w *worker) evalSkel(a *cAgg, e *planner.EmitNode) float64 {
+	switch e.Op {
+	case planner.EmitLeaf:
+		return a.leafBufs[e.Leaf][w.lastRank(a.leafRels[e.Leaf])]
+	case planner.EmitConst:
+		return e.Const
+	case planner.EmitAdd:
+		return w.evalSkel(a, e.L) + w.evalSkel(a, e.R)
+	case planner.EmitSub:
+		return w.evalSkel(a, e.L) - w.evalSkel(a, e.R)
+	case planner.EmitMul:
+		return w.evalSkel(a, e.L) * w.evalSkel(a, e.R)
+	case planner.EmitDiv:
+		return w.evalSkel(a, e.L) / w.evalSkel(a, e.R)
+	}
+	return 0
+}
+
+func floatBits(f float64) uint64 { return math.Float64bits(f) }
+
+// combine1 merges one value into an accumulator per aggregate kind.
+func combine1(kind planner.AggKind, acc, v float64) float64 {
+	switch kind {
+	case planner.AggMin:
+		if v < acc {
+			return v
+		}
+		return acc
+	case planner.AggMax:
+		if v > acc {
+			return v
+		}
+		return acc
+	default:
+		return acc + v
+	}
+}
+
+// resetAcc initializes accumulators to the aggregate identities.
+func resetAcc(n *cNode, acc []float64) {
+	for i := range n.aggs {
+		switch n.aggs[i].kind {
+		case planner.AggMin:
+			acc[i] = math.Inf(1)
+		case planner.AggMax:
+			acc[i] = math.Inf(-1)
+		default:
+			acc[i] = 0
+		}
+	}
+}
+
+// combineAcc merges worker accumulators (grand-aggregate path).
+func combineAcc(n *cNode, dst, src []float64) {
+	for i := range n.aggs {
+		dst[i] = combine1(n.aggs[i].kind, dst[i], src[i])
+	}
+}
+
+// zeroAccToFinal normalizes untouched min/max groups: an empty group is
+// never flushed, so infinities only appear for all-empty grand
+// aggregates, where 0 is the least surprising output.
+func zeroAccToFinal(n *cNode, acc []float64) {
+	for i := range acc {
+		if math.IsInf(acc[i], 0) {
+			acc[i] = 0
+		}
+	}
+}
+
+// unionAcc is the §V-A2 one-attribute union accumulator: a dense
+// epoch-marked table over the last attribute's code space.
+type unionAcc struct {
+	vals    []float64 // lastDomain × nAggs
+	mark    []int32
+	epoch   int32
+	touched []uint32
+	nAggs   int
+}
+
+func newUnionAcc(n *cNode) *unionAcc {
+	dom := n.lastDomain
+	if dom < 1 {
+		dom = 1
+	}
+	return &unionAcc{
+		vals:  make([]float64, dom*len(n.aggs)),
+		mark:  make([]int32, dom),
+		epoch: 1,
+		nAggs: len(n.aggs),
+	}
+}
+
+func (u *unionAcc) reset() {
+	u.epoch++
+	u.touched = u.touched[:0]
+}
+
+func (u *unionAcc) add(n *cNode, j uint32, vals []float64) {
+	base := int(j) * u.nAggs
+	if u.mark[j] != u.epoch {
+		u.mark[j] = u.epoch
+		u.touched = append(u.touched, j)
+		for i := range n.aggs {
+			switch n.aggs[i].kind {
+			case planner.AggMin:
+				u.vals[base+i] = math.Inf(1)
+			case planner.AggMax:
+				u.vals[base+i] = math.Inf(-1)
+			default:
+				u.vals[base+i] = 0
+			}
+		}
+	}
+	for i := range n.aggs {
+		u.vals[base+i] = combine1(n.aggs[i].kind, u.vals[base+i], vals[i])
+	}
+}
+
+// combineFrom merges entry j of another worker's accumulator.
+func (u *unionAcc) combineFrom(n *cNode, src *unionAcc, j uint32) {
+	base := int(j) * u.nAggs
+	sbase := base
+	if u.mark[j] != u.epoch {
+		u.mark[j] = u.epoch
+		u.touched = append(u.touched, j)
+		copy(u.vals[base:base+u.nAggs], src.vals[sbase:sbase+u.nAggs])
+		return
+	}
+	for i := range n.aggs {
+		u.vals[base+i] = combine1(n.aggs[i].kind, u.vals[base+i], src.vals[sbase+i])
+	}
+}
+
+// flushInto appends one row per touched last-attribute value.
+func (u *unionAcc) flushInto(n *cNode, out *rowsBuf, prefix []uint32) {
+	row := make([]uint32, len(prefix)+1)
+	copy(row, prefix)
+	for _, j := range u.touched {
+		row[len(prefix)] = j
+		base := int(j) * u.nAggs
+		vals := u.vals[base : base+u.nAggs]
+		for i := range vals {
+			if math.IsInf(vals[i], 0) {
+				vals[i] = 0
+			}
+		}
+		out.appendRow(row, vals)
+	}
+}
+
+// buildChildTrie turns a child node's output rows into a trie keyed by
+// the parent's access order over the shared vertices, annotated with the
+// child multiplicity.
+func buildChildTrie(child *cNode, rows *rowsBuf, parentAttrs []string) (*trie.Trie, error) {
+	childAttrs := child.outKeyAttrs()
+	perm := make([]int, len(parentAttrs))
+	for i, pa := range parentAttrs {
+		perm[i] = -1
+		for j, ca := range childAttrs {
+			if ca == pa {
+				perm[i] = j
+				break
+			}
+		}
+		if perm[i] < 0 {
+			return nil, fmt.Errorf("exec: child output missing shared vertex %s (has %v)", pa, childAttrs)
+		}
+	}
+	nRows := rows.n()
+	in := trie.BuildInput{Attrs: parentAttrs}
+	for _, src := range perm {
+		col := make([]uint32, nRows)
+		for r := 0; r < nRows; r++ {
+			col[r] = rows.keys[r*rows.kWidth+src]
+		}
+		in.Keys = append(in.Keys, col)
+	}
+	vals := make([]float64, nRows)
+	for r := 0; r < nRows; r++ {
+		vals[r] = rows.aggs[r*rows.aWidth] // __childmult is the only agg
+	}
+	in.Anns = []trie.AnnSpec{{Name: multAnn, Level: len(parentAttrs) - 1, Kind: trie.F64, F64: vals}}
+	return trie.Build(in)
+}

@@ -1,0 +1,200 @@
+// Package hypergraph implements query hypergraphs (paper §II-A):
+// vertices are join attributes, hyperedges are relations. It provides
+// the fractional edge cover linear program underlying both the AGM
+// output-size bound and the fractional hypertree width (FHW) of GHD
+// nodes.
+package hypergraph
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Edge is one hyperedge: a relation with the set of hypergraph vertices
+// (join attributes) it spans.
+type Edge struct {
+	// Name identifies the relation occurrence (alias-qualified, so a
+	// self-join contributes distinct edges).
+	Name string
+	// Vertices are the hypergraph vertices covered, in relation key order.
+	Vertices []string
+	// Card is the relation's tuple cardinality (statistics input to the
+	// AGM bound and the cost-based optimizer).
+	Card int
+}
+
+// Covers reports whether the edge contains vertex v.
+func (e *Edge) Covers(v string) bool {
+	for _, x := range e.Vertices {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// Hypergraph is a query hypergraph H = (V, E).
+type Hypergraph struct {
+	Vertices []string
+	Edges    []Edge
+
+	vidx map[string]int
+}
+
+// New builds a hypergraph from edges; the vertex set is the union of the
+// edge vertex lists, in first-appearance order.
+func New(edges []Edge) (*Hypergraph, error) {
+	h := &Hypergraph{Edges: edges, vidx: map[string]int{}}
+	names := map[string]bool{}
+	for _, e := range edges {
+		if names[e.Name] {
+			return nil, fmt.Errorf("hypergraph: duplicate edge name %q", e.Name)
+		}
+		names[e.Name] = true
+		if len(e.Vertices) == 0 {
+			return nil, fmt.Errorf("hypergraph: edge %q has no vertices", e.Name)
+		}
+		for _, v := range e.Vertices {
+			if _, ok := h.vidx[v]; !ok {
+				h.vidx[v] = len(h.Vertices)
+				h.Vertices = append(h.Vertices, v)
+			}
+		}
+	}
+	return h, nil
+}
+
+// VertexIndex returns the index of v, or -1.
+func (h *Hypergraph) VertexIndex(v string) int {
+	if i, ok := h.vidx[v]; ok {
+		return i
+	}
+	return -1
+}
+
+// EdgesWith returns the indices of edges containing vertex v.
+func (h *Hypergraph) EdgesWith(v string) []int {
+	var out []int
+	for i := range h.Edges {
+		if h.Edges[i].Covers(v) {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// FractionalCover solves the fractional edge cover LP for the given
+// vertex subset using all edges of h: minimize Σ c(e)·x(e) subject to
+// every vertex in verts being covered with total weight ≥ 1. The cost
+// function c is supplied by the caller (1 for FHW, log|R| for AGM).
+func (h *Hypergraph) FractionalCover(verts []string, cost func(e *Edge) float64) (float64, []float64, error) {
+	c := make([]float64, len(h.Edges))
+	for i := range h.Edges {
+		c[i] = cost(&h.Edges[i])
+	}
+	covers := make([][]int, len(verts))
+	for i, v := range verts {
+		covers[i] = h.EdgesWith(v)
+		if len(covers[i]) == 0 {
+			return 0, nil, fmt.Errorf("hypergraph: vertex %q not covered by any edge", v)
+		}
+	}
+	return solveCoverLP(c, covers)
+}
+
+// Width is the fractional edge cover number of the vertex subset: the
+// FHW contribution of a GHD node whose bag is verts (paper §II-B).
+func (h *Hypergraph) Width(verts []string) (float64, error) {
+	if len(verts) == 0 {
+		return 0, nil
+	}
+	w, _, err := h.FractionalCover(verts, func(*Edge) float64 { return 1 })
+	return w, err
+}
+
+// AGMBound computes the Atserias–Grohe–Marx bound on the output size of
+// the full join: min Π |R_e|^{x_e} over fractional covers x of V
+// (paper §II-A). It returns +Inf overflow-free via logs.
+func (h *Hypergraph) AGMBound() (float64, error) {
+	if len(h.Vertices) == 0 {
+		return 1, nil
+	}
+	logObj, _, err := h.FractionalCover(h.Vertices, func(e *Edge) float64 {
+		card := e.Card
+		if card < 1 {
+			card = 1
+		}
+		return math.Log2(float64(card))
+	})
+	if err != nil {
+		return 0, err
+	}
+	return math.Exp2(logObj), nil
+}
+
+// ConnectedComponents partitions the given edge indices into components
+// connected through the given vertex set (edges sharing a vertex in
+// `through` are connected). Used by GHD enumeration: after a bag is
+// chosen, remaining edges split into components through non-bag
+// vertices.
+func (h *Hypergraph) ConnectedComponents(edgeIdx []int, through map[string]bool) [][]int {
+	parent := map[int]int{}
+	var find func(x int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[ra] = rb
+		}
+	}
+	for _, e := range edgeIdx {
+		parent[e] = e
+	}
+	byVertex := map[string][]int{}
+	for _, e := range edgeIdx {
+		for _, v := range h.Edges[e].Vertices {
+			if through[v] {
+				byVertex[v] = append(byVertex[v], e)
+			}
+		}
+	}
+	for _, es := range byVertex {
+		for i := 1; i < len(es); i++ {
+			union(es[0], es[i])
+		}
+	}
+	groups := map[int][]int{}
+	for _, e := range edgeIdx {
+		r := find(e)
+		groups[r] = append(groups[r], e)
+	}
+	out := make([][]int, 0, len(groups))
+	for _, g := range groups {
+		sort.Ints(g)
+		out = append(out, g)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i][0] < out[j][0] })
+	return out
+}
+
+// String renders the hypergraph for EXPLAIN output.
+func (h *Hypergraph) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "V={%s} E={", strings.Join(h.Vertices, ","))
+	for i, e := range h.Edges {
+		if i > 0 {
+			b.WriteString("; ")
+		}
+		fmt.Fprintf(&b, "%s(%s)", e.Name, strings.Join(e.Vertices, ","))
+	}
+	b.WriteString("}")
+	return b.String()
+}

@@ -1,0 +1,242 @@
+package hypergraph
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func triangle() *Hypergraph {
+	h, err := New([]Edge{
+		{Name: "R", Vertices: []string{"a", "b"}, Card: 1000},
+		{Name: "S", Vertices: []string{"b", "c"}, Card: 1000},
+		{Name: "T", Vertices: []string{"a", "c"}, Card: 1000},
+	})
+	if err != nil {
+		panic(err)
+	}
+	return h
+}
+
+func TestTriangleWidth(t *testing.T) {
+	h := triangle()
+	// The canonical WCOJ result: the triangle's fractional cover number
+	// is 3/2 (each edge weight 1/2).
+	w, err := h.Width(h.Vertices)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(w-1.5) > 1e-6 {
+		t.Fatalf("triangle width = %v, want 1.5", w)
+	}
+}
+
+func TestTriangleAGM(t *testing.T) {
+	h := triangle()
+	// AGM bound for the triangle is N^{3/2} = 1000^1.5.
+	b, err := h.AGMBound()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := math.Pow(1000, 1.5)
+	if math.Abs(b-want)/want > 1e-6 {
+		t.Fatalf("AGM = %v, want %v", b, want)
+	}
+}
+
+func TestPathQueryWidth(t *testing.T) {
+	// R(a,b) ⋈ S(b,c): acyclic, width 1 per bag {a,b} or {b,c}.
+	h, err := New([]Edge{
+		{Name: "R", Vertices: []string{"a", "b"}, Card: 10},
+		{Name: "S", Vertices: []string{"b", "c"}, Card: 10},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := h.Width([]string{"a", "b"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(w-1) > 1e-6 {
+		t.Fatalf("bag {a,b} width = %v, want 1", w)
+	}
+	// Whole vertex set needs both edges: width 2.
+	w, err = h.Width(h.Vertices)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(w-2) > 1e-6 {
+		t.Fatalf("full width = %v, want 2", w)
+	}
+}
+
+func TestTPCHQ5Hypergraph(t *testing.T) {
+	// The Fig. 4 hypergraph.
+	h, err := New([]Edge{
+		{Name: "customer", Vertices: []string{"custkey", "nationkey"}, Card: 150000},
+		{Name: "orders", Vertices: []string{"custkey", "orderkey"}, Card: 1500000},
+		{Name: "lineitem", Vertices: []string{"orderkey", "suppkey"}, Card: 6000000},
+		{Name: "supplier", Vertices: []string{"suppkey", "nationkey"}, Card: 10000},
+		{Name: "nation", Vertices: []string{"nationkey", "regionkey"}, Card: 25},
+		{Name: "region", Vertices: []string{"regionkey"}, Card: 5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(h.Vertices) != 5 {
+		t.Fatalf("vertices = %v", h.Vertices)
+	}
+	// The paper's expensive GHD node bag.
+	w, err := h.Width([]string{"orderkey", "custkey", "suppkey", "nationkey"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(w-2) > 1e-6 {
+		t.Fatalf("Q5 big bag width = %v, want 2", w)
+	}
+	// The filter node {regionkey, nationkey} has width 1 (nation covers both).
+	w, err = h.Width([]string{"regionkey", "nationkey"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(w-1) > 1e-6 {
+		t.Fatalf("Q5 filter bag width = %v, want 1", w)
+	}
+}
+
+func TestEdgesWithAndCovers(t *testing.T) {
+	h := triangle()
+	es := h.EdgesWith("b")
+	if len(es) != 2 {
+		t.Fatalf("EdgesWith(b) = %v", es)
+	}
+	if !h.Edges[0].Covers("a") || h.Edges[0].Covers("c") {
+		t.Error("Covers wrong")
+	}
+	if h.VertexIndex("c") != 2 || h.VertexIndex("zzz") != -1 {
+		t.Error("VertexIndex wrong")
+	}
+}
+
+func TestNewErrors(t *testing.T) {
+	if _, err := New([]Edge{{Name: "R", Vertices: []string{"a"}}, {Name: "R", Vertices: []string{"b"}}}); err == nil {
+		t.Error("duplicate edge names should error")
+	}
+	if _, err := New([]Edge{{Name: "R"}}); err == nil {
+		t.Error("empty edge should error")
+	}
+}
+
+func TestWidthUncoveredVertex(t *testing.T) {
+	h := triangle()
+	if _, err := h.Width([]string{"a", "zzz"}); err == nil {
+		t.Error("uncovered vertex should error")
+	}
+}
+
+func TestConnectedComponents(t *testing.T) {
+	h, err := New([]Edge{
+		{Name: "R", Vertices: []string{"a", "b"}},
+		{Name: "S", Vertices: []string{"b", "c"}},
+		{Name: "T", Vertices: []string{"d", "e"}},
+		{Name: "U", Vertices: []string{"e", "f"}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	all := map[string]bool{"a": true, "b": true, "c": true, "d": true, "e": true, "f": true}
+	comps := h.ConnectedComponents([]int{0, 1, 2, 3}, all)
+	if len(comps) != 2 {
+		t.Fatalf("components = %v, want 2 groups", comps)
+	}
+	// Cutting vertex b splits R from S.
+	noB := map[string]bool{"a": true, "c": true, "d": true, "e": true, "f": true}
+	comps = h.ConnectedComponents([]int{0, 1}, noB)
+	if len(comps) != 2 {
+		t.Fatalf("components without b = %v, want 2 groups", comps)
+	}
+}
+
+// Property: the LP solution is always a feasible cover and the objective
+// never exceeds the integral cover (all edges at weight 1).
+func TestFractionalCoverProperties(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		nV := 2 + r.Intn(5)
+		nE := 1 + r.Intn(5)
+		verts := make([]string, nV)
+		for i := range verts {
+			verts[i] = string(rune('a' + i))
+		}
+		edges := make([]Edge, nE)
+		for i := range edges {
+			var vs []string
+			for _, v := range verts {
+				if r.Intn(2) == 0 {
+					vs = append(vs, v)
+				}
+			}
+			if len(vs) == 0 {
+				vs = []string{verts[r.Intn(nV)]}
+			}
+			edges[i] = Edge{Name: string(rune('R' + i)), Vertices: vs, Card: 1 + r.Intn(1000)}
+		}
+		// Guarantee coverage: one edge with all vertices.
+		edges = append(edges, Edge{Name: "ALL", Vertices: verts, Card: 1 + r.Intn(1000)})
+		h, err := New(edges)
+		if err != nil {
+			return false
+		}
+		w, x, err := h.FractionalCover(h.Vertices, func(*Edge) float64 { return 1 })
+		if err != nil {
+			return false
+		}
+		// Feasibility.
+		for _, v := range h.Vertices {
+			total := 0.0
+			for _, e := range h.EdgesWith(v) {
+				total += x[e]
+			}
+			if total < 1-1e-6 {
+				return false
+			}
+		}
+		// Nonnegativity and upper bound (weight-1 "ALL" edge is feasible).
+		for _, xe := range x {
+			if xe < -1e-9 {
+				return false
+			}
+		}
+		return w <= 1+1e-6
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAGMMonotoneInCardinality(t *testing.T) {
+	small, _ := New([]Edge{
+		{Name: "R", Vertices: []string{"a", "b"}, Card: 100},
+		{Name: "S", Vertices: []string{"b", "c"}, Card: 100},
+	})
+	big, _ := New([]Edge{
+		{Name: "R", Vertices: []string{"a", "b"}, Card: 10000},
+		{Name: "S", Vertices: []string{"b", "c"}, Card: 10000},
+	})
+	bs, _ := small.AGMBound()
+	bb, _ := big.AGMBound()
+	if bb <= bs {
+		t.Fatalf("AGM not monotone: %v vs %v", bs, bb)
+	}
+	// For the path query the bound is |R|·|S|.
+	if math.Abs(bs-100*100)/1e4 > 1e-6 {
+		t.Fatalf("path AGM = %v, want 1e4", bs)
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	if s := triangle().String(); s == "" {
+		t.Error("String empty")
+	}
+}

@@ -1,0 +1,178 @@
+package hypergraph
+
+import (
+	"fmt"
+	"math"
+)
+
+// solveCoverLP solves the fractional edge cover linear program
+//
+//	minimize    Σ_e c[e]·x[e]
+//	subject to  Σ_{e : covers[v] ∋ e} x[e] ≥ 1   for every vertex v
+//	            x ≥ 0
+//
+// with a two-phase primal simplex on the standard-form tableau. The LPs
+// here are tiny (≤ ~16 edges, ≤ ~16 vertices), so numerical simplicity
+// beats sophistication; Bland's rule guarantees termination.
+func solveCoverLP(c []float64, covers [][]int) (obj float64, x []float64, err error) {
+	nVars := len(c)
+	nCons := len(covers)
+	if nCons == 0 {
+		return 0, make([]float64, nVars), nil
+	}
+	for v, row := range covers {
+		if len(row) == 0 {
+			return 0, nil, fmt.Errorf("hypergraph: vertex %d is covered by no edge", v)
+		}
+	}
+
+	// Standard form: A x - s + a = 1 with surplus s ≥ 0 and artificial
+	// a ≥ 0. Columns: [x (nVars) | s (nCons) | a (nCons) | rhs].
+	cols := nVars + 2*nCons + 1
+	tab := make([][]float64, nCons)
+	basis := make([]int, nCons)
+	for i := 0; i < nCons; i++ {
+		tab[i] = make([]float64, cols)
+		for _, e := range covers[i] {
+			tab[i][e] = 1
+		}
+		tab[i][nVars+i] = -1         // surplus
+		tab[i][nVars+nCons+i] = 1    // artificial
+		tab[i][cols-1] = 1           // rhs
+		basis[i] = nVars + nCons + i // artificials start basic
+	}
+
+	// Phase 1: minimize the sum of artificials.
+	phase1 := make([]float64, cols)
+	for i := 0; i < nCons; i++ {
+		phase1[nVars+nCons+i] = 1
+	}
+	if err := simplexIterate(tab, basis, phase1); err != nil {
+		return 0, nil, err
+	}
+	if v := objectiveValue(tab, basis, phase1); v > 1e-7 {
+		return 0, nil, fmt.Errorf("hypergraph: cover LP infeasible (phase-1 objective %g)", v)
+	}
+	// Drive any artificial still basic (at value 0) out of the basis.
+	for i := 0; i < nCons; i++ {
+		if basis[i] < nVars+nCons {
+			continue
+		}
+		pivoted := false
+		for j := 0; j < nVars+nCons; j++ {
+			if math.Abs(tab[i][j]) > 1e-9 {
+				pivot(tab, basis, i, j)
+				pivoted = true
+				break
+			}
+		}
+		if !pivoted {
+			// Redundant constraint row; harmless.
+			continue
+		}
+	}
+
+	// Phase 2: minimize the true objective, artificials forbidden.
+	phase2 := make([]float64, cols)
+	copy(phase2, c)
+	for i := 0; i < nCons; i++ {
+		phase2[nVars+nCons+i] = math.Inf(1) // never re-enter
+	}
+	if err := simplexIterate(tab, basis, phase2); err != nil {
+		return 0, nil, err
+	}
+
+	x = make([]float64, nVars)
+	for i, b := range basis {
+		if b < nVars {
+			x[b] = tab[i][cols-1]
+		}
+	}
+	obj = 0
+	for e, xe := range x {
+		obj += c[e] * xe
+	}
+	return obj, x, nil
+}
+
+// objectiveValue computes cᵀx for the current basic solution.
+func objectiveValue(tab [][]float64, basis []int, c []float64) float64 {
+	cols := len(tab[0])
+	v := 0.0
+	for i, b := range basis {
+		if !math.IsInf(c[b], 1) {
+			v += c[b] * tab[i][cols-1]
+		}
+	}
+	return v
+}
+
+// simplexIterate runs primal simplex (minimization) to optimality using
+// Bland's anti-cycling rule.
+func simplexIterate(tab [][]float64, basis []int, c []float64) error {
+	cols := len(tab[0])
+	nCols := cols - 1
+	for iter := 0; ; iter++ {
+		if iter > 10000 {
+			return fmt.Errorf("hypergraph: simplex failed to converge")
+		}
+		// Reduced costs: r_j = c_j - Σ_i c_{basis[i]}·tab[i][j].
+		enter := -1
+		for j := 0; j < nCols; j++ {
+			if math.IsInf(c[j], 1) {
+				continue
+			}
+			r := c[j]
+			for i, b := range basis {
+				if !math.IsInf(c[b], 1) && tab[i][j] != 0 {
+					r -= c[b] * tab[i][j]
+				}
+			}
+			if r < -1e-9 {
+				enter = j // Bland: first improving column
+				break
+			}
+		}
+		if enter < 0 {
+			return nil // optimal
+		}
+		// Ratio test, Bland tie-break on smallest basis index.
+		leave := -1
+		best := math.Inf(1)
+		for i := range tab {
+			a := tab[i][enter]
+			if a > 1e-9 {
+				ratio := tab[i][cols-1] / a
+				if ratio < best-1e-12 || (math.Abs(ratio-best) <= 1e-12 && (leave < 0 || basis[i] < basis[leave])) {
+					best = ratio
+					leave = i
+				}
+			}
+		}
+		if leave < 0 {
+			return fmt.Errorf("hypergraph: cover LP unbounded")
+		}
+		pivot(tab, basis, leave, enter)
+	}
+}
+
+// pivot performs a Gauss-Jordan pivot on tab[row][col].
+func pivot(tab [][]float64, basis []int, row, col int) {
+	p := tab[row][col]
+	for j := range tab[row] {
+		tab[row][j] /= p
+	}
+	for i := range tab {
+		if i == row {
+			continue
+		}
+		f := tab[i][col]
+		if f == 0 {
+			continue
+		}
+		for j := range tab[i] {
+			tab[i][j] -= f * tab[row][j]
+		}
+	}
+	basis[row] = col
+}

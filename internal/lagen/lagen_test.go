@@ -1,0 +1,151 @@
+package lagen
+
+import (
+	"testing"
+
+	"repro/internal/blas"
+	"repro/internal/storage"
+)
+
+func TestProfilesShape(t *testing.T) {
+	ps := Profiles(0.02)
+	if len(ps) != 3 {
+		t.Fatalf("profiles = %d", len(ps))
+	}
+	byName := map[string]SparseSpec{}
+	for _, p := range ps {
+		byName[p.Name] = p
+		if p.N < 64 {
+			t.Errorf("%s: N = %d below floor", p.Name, p.N)
+		}
+	}
+	// Relative nnz/row must match the originals: hv15r > harbor > nlp240.
+	if !(byName["hv15r"].NNZPerRow > byName["harbor"].NNZPerRow &&
+		byName["harbor"].NNZPerRow > byName["nlp240"].NNZPerRow) {
+		t.Errorf("nnz/row ordering broken: %+v", byName)
+	}
+	if !byName["nlp240"].Symmetric {
+		t.Error("nlp240 must be symmetric (KKT)")
+	}
+	if _, err := Profile("harbor", 0.01); err != nil {
+		t.Error(err)
+	}
+	if _, err := Profile("nope", 1); err == nil {
+		t.Error("unknown profile should error")
+	}
+}
+
+func TestTriplesProperties(t *testing.T) {
+	spec := SparseSpec{Name: "t", N: 500, NNZPerRow: 12, Bandwidth: 40}
+	i, j, v := Triples(spec, 7)
+	if len(i) != len(j) || len(j) != len(v) {
+		t.Fatal("ragged triples")
+	}
+	// Average nnz/row within 2x of the target.
+	avg := float64(len(i)) / float64(spec.N)
+	if avg < float64(spec.NNZPerRow)/2 || avg > float64(spec.NNZPerRow)*2 {
+		t.Fatalf("avg nnz/row = %v, want ≈ %d", avg, spec.NNZPerRow)
+	}
+	// Diagonal present, band respected, no duplicates.
+	diag := map[int32]bool{}
+	seen := map[int64]bool{}
+	for k := range i {
+		if i[k] == j[k] {
+			diag[i[k]] = true
+		}
+		off := int(i[k]) - int(j[k])
+		if off < -spec.Bandwidth || off > spec.Bandwidth {
+			t.Fatalf("entry (%d,%d) outside band", i[k], j[k])
+		}
+		key := int64(i[k])<<32 | int64(uint32(j[k]))
+		if seen[key] {
+			t.Fatalf("duplicate entry (%d,%d)", i[k], j[k])
+		}
+		seen[key] = true
+	}
+	if len(diag) != spec.N {
+		t.Fatalf("diagonal has %d of %d entries", len(diag), spec.N)
+	}
+}
+
+func TestSymmetricTriples(t *testing.T) {
+	spec := SparseSpec{Name: "s", N: 300, NNZPerRow: 10, Bandwidth: 30, Symmetric: true}
+	i, j, v := Triples(spec, 8)
+	vals := map[int64]float64{}
+	for k := range i {
+		vals[int64(i[k])<<32|int64(uint32(j[k]))] = v[k]
+	}
+	for k := range i {
+		mirror, ok := vals[int64(j[k])<<32|int64(uint32(i[k]))]
+		if !ok || mirror != v[k] {
+			t.Fatalf("entry (%d,%d) not mirrored", i[k], j[k])
+		}
+	}
+}
+
+func TestTriplesDeterministic(t *testing.T) {
+	spec := SparseSpec{Name: "d", N: 200, NNZPerRow: 8, Bandwidth: 20}
+	i1, j1, v1 := Triples(spec, 9)
+	i2, j2, v2 := Triples(spec, 9)
+	if len(i1) != len(i2) {
+		t.Fatal("nondeterministic size")
+	}
+	for k := range i1 {
+		if i1[k] != i2[k] || j1[k] != j2[k] || v1[k] != v2[k] {
+			t.Fatal("nondeterministic content")
+		}
+	}
+}
+
+func TestLoadSparseAndVector(t *testing.T) {
+	cat := storage.NewCatalog()
+	spec := SparseSpec{Name: "x", N: 128, NNZPerRow: 6, Bandwidth: 16}
+	nnz, err := LoadSparse(cat, spec, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cat.Freeze(); err != nil {
+		t.Fatal(err)
+	}
+	m := cat.Table("matrix")
+	vec := cat.Table("vec")
+	if m.NumRows != nnz || vec.NumRows != spec.N {
+		t.Fatalf("rows: matrix=%d (want %d) vec=%d (want %d)", m.NumRows, nnz, vec.NumRows, spec.N)
+	}
+	// The shared domain covers exactly [0, N).
+	d := cat.Domain("dim")
+	if d.Len() != spec.N {
+		t.Fatalf("dim domain = %d, want %d", d.Len(), spec.N)
+	}
+}
+
+func TestLoadDenseBuffer(t *testing.T) {
+	cat := storage.NewCatalog()
+	n := 32
+	if err := LoadDense(cat, n, 4); err != nil {
+		t.Fatal(err)
+	}
+	if err := cat.Freeze(); err != nil {
+		t.Fatal(err)
+	}
+	a, x, err := DenseBuffer(cat, n)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a) != n*n || len(x) != n {
+		t.Fatalf("buffer sizes %d, %d", len(a), len(x))
+	}
+	// Row-major layout: gemv through the buffer matches manual dot.
+	y := make([]float64, n)
+	blas.Gemv(n, n, a, x, y)
+	want := 0.0
+	for j := 0; j < n; j++ {
+		want += a[5*n+j] * x[j]
+	}
+	if diff := y[5] - want; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("row-major layout broken: %v vs %v", y[5], want)
+	}
+	if _, _, err := DenseBuffer(cat, n+1); err == nil {
+		t.Error("wrong order should error")
+	}
+}

@@ -1,0 +1,224 @@
+// Package ml provides the machine-learning substrate for the paper's
+// §VII voter-classification application: a CSR feature matrix, one-hot
+// encoding of categorical columns, and batch-gradient-descent logistic
+// regression (the Scikit-learn stand-in — every pipeline in Figure 6
+// trains with this same implementation, so only the SQL and encoding
+// phases differ across systems).
+package ml
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sync"
+)
+
+// Dataset is a CSR feature matrix with labels: row r's features are
+// (Cols[p], Vals[p]) for p in [RowPtr[r], RowPtr[r+1]).
+type Dataset struct {
+	N, D   int
+	RowPtr []int32
+	Cols   []int32
+	Vals   []float64
+	Y      []float64 // labels in {0, 1}
+}
+
+// Builder incrementally assembles a Dataset.
+type Builder struct {
+	d  *Dataset
+	np int
+}
+
+// NewBuilder starts a dataset with the given feature dimensionality.
+func NewBuilder(dim int) *Builder {
+	return &Builder{d: &Dataset{D: dim, RowPtr: []int32{0}}}
+}
+
+// AddRow appends one example. Feature indices need not be sorted.
+func (b *Builder) AddRow(cols []int32, vals []float64, label float64) error {
+	if len(cols) != len(vals) {
+		return fmt.Errorf("ml: %d cols for %d vals", len(cols), len(vals))
+	}
+	for _, c := range cols {
+		if int(c) >= b.d.D || c < 0 {
+			return fmt.Errorf("ml: feature %d out of range [0,%d)", c, b.d.D)
+		}
+	}
+	b.d.Cols = append(b.d.Cols, cols...)
+	b.d.Vals = append(b.d.Vals, vals...)
+	b.np += len(cols)
+	b.d.RowPtr = append(b.d.RowPtr, int32(b.np))
+	b.d.Y = append(b.d.Y, label)
+	b.d.N++
+	return nil
+}
+
+// Build seals the dataset.
+func (b *Builder) Build() *Dataset { return b.d }
+
+// Model is a trained logistic-regression model.
+type Model struct {
+	W    []float64
+	Bias float64
+}
+
+// TrainLogistic runs full-batch gradient descent for the given number
+// of iterations (the paper trains for five), parallelizing the gradient
+// over row chunks.
+func TrainLogistic(ds *Dataset, iters int, lr float64, threads int) *Model {
+	if threads <= 0 {
+		threads = runtime.GOMAXPROCS(0)
+	}
+	if threads > ds.N {
+		threads = ds.N
+	}
+	if threads < 1 {
+		threads = 1
+	}
+	m := &Model{W: make([]float64, ds.D)}
+	gradW := make([][]float64, threads)
+	gradB := make([]float64, threads)
+	for t := range gradW {
+		gradW[t] = make([]float64, ds.D)
+	}
+	chunk := (ds.N + threads - 1) / threads
+	for it := 0; it < iters; it++ {
+		var wg sync.WaitGroup
+		for t := 0; t < threads; t++ {
+			lo, hi := t*chunk, (t+1)*chunk
+			if hi > ds.N {
+				hi = ds.N
+			}
+			if lo >= hi {
+				for i := range gradW[t] {
+					gradW[t][i] = 0
+				}
+				gradB[t] = 0
+				continue
+			}
+			wg.Add(1)
+			go func(t, lo, hi int) {
+				defer wg.Done()
+				gw := gradW[t]
+				for i := range gw {
+					gw[i] = 0
+				}
+				gb := 0.0
+				for r := lo; r < hi; r++ {
+					p := m.predictRow(ds, r)
+					err := p - ds.Y[r]
+					for x := ds.RowPtr[r]; x < ds.RowPtr[r+1]; x++ {
+						gw[ds.Cols[x]] += err * ds.Vals[x]
+					}
+					gb += err
+				}
+				gradW[t] = gw
+				gradB[t] = gb
+			}(t, lo, hi)
+		}
+		wg.Wait()
+		scale := lr / float64(ds.N)
+		for t := 0; t < threads; t++ {
+			for i, g := range gradW[t] {
+				m.W[i] -= scale * g
+			}
+			m.Bias -= scale * gradB[t]
+		}
+	}
+	return m
+}
+
+func (m *Model) predictRow(ds *Dataset, r int) float64 {
+	z := m.Bias
+	for x := ds.RowPtr[r]; x < ds.RowPtr[r+1]; x++ {
+		z += m.W[ds.Cols[x]] * ds.Vals[x]
+	}
+	return sigmoid(z)
+}
+
+func sigmoid(z float64) float64 {
+	if z >= 0 {
+		return 1 / (1 + math.Exp(-z))
+	}
+	e := math.Exp(z)
+	return e / (1 + e)
+}
+
+// Predict returns P(y=1) for row r.
+func (m *Model) Predict(ds *Dataset, r int) float64 { return m.predictRow(ds, r) }
+
+// Accuracy evaluates the model on its own dataset (0.5 threshold).
+func (m *Model) Accuracy(ds *Dataset) float64 {
+	hit := 0
+	for r := 0; r < ds.N; r++ {
+		p := m.predictRow(ds, r)
+		if (p >= 0.5) == (ds.Y[r] >= 0.5) {
+			hit++
+		}
+	}
+	if ds.N == 0 {
+		return 0
+	}
+	return float64(hit) / float64(ds.N)
+}
+
+// LogLoss computes the mean cross-entropy on the dataset.
+func (m *Model) LogLoss(ds *Dataset) float64 {
+	s := 0.0
+	for r := 0; r < ds.N; r++ {
+		p := m.predictRow(ds, r)
+		p = math.Min(math.Max(p, 1e-12), 1-1e-12)
+		if ds.Y[r] >= 0.5 {
+			s -= math.Log(p)
+		} else {
+			s -= math.Log(1 - p)
+		}
+	}
+	if ds.N == 0 {
+		return 0
+	}
+	return s / float64(ds.N)
+}
+
+// FeatureSpace lays out a one-hot feature space: categorical columns
+// contribute one indicator feature per distinct value, numeric columns
+// one feature each.
+type FeatureSpace struct {
+	// CatOffsets[i] is the first feature index of categorical column i.
+	CatOffsets []int
+	// NumOffset is the first feature index of the numeric block.
+	NumOffset int
+	// Dim is the total feature count.
+	Dim int
+}
+
+// NewFeatureSpace builds the layout from categorical cardinalities and
+// the numeric column count.
+func NewFeatureSpace(catCards []int, numCols int) *FeatureSpace {
+	fs := &FeatureSpace{}
+	off := 0
+	for _, c := range catCards {
+		fs.CatOffsets = append(fs.CatOffsets, off)
+		off += c
+	}
+	fs.NumOffset = off
+	fs.Dim = off + numCols
+	return fs
+}
+
+// Row encodes one example: cats[i] is the code of categorical column i
+// (already dictionary-encoded, as LevelHeaded stores it), nums the
+// numeric values. The returned slices alias the provided scratch.
+func (fs *FeatureSpace) Row(cats []uint32, nums []float64, colScratch []int32, valScratch []float64) ([]int32, []float64) {
+	cols := colScratch[:0]
+	vals := valScratch[:0]
+	for i, c := range cats {
+		cols = append(cols, int32(fs.CatOffsets[i]+int(c)))
+		vals = append(vals, 1)
+	}
+	for i, v := range nums {
+		cols = append(cols, int32(fs.NumOffset+i))
+		vals = append(vals, v)
+	}
+	return cols, vals
+}

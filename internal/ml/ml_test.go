@@ -1,0 +1,116 @@
+package ml
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// synthDataset builds a linearly separable-ish problem with a known
+// generative model.
+func synthDataset(t *testing.T, n int, seed int64) *Dataset {
+	t.Helper()
+	r := rand.New(rand.NewSource(seed))
+	fs := NewFeatureSpace([]int{3}, 2) // one 3-way categorical + 2 numerics
+	b := NewBuilder(fs.Dim)
+	catW := []float64{-2, 0, 2}
+	var cs []int32
+	var vs []float64
+	for i := 0; i < n; i++ {
+		cat := uint32(r.Intn(3))
+		x1 := r.NormFloat64()
+		x2 := r.NormFloat64()
+		z := catW[cat] + 1.5*x1 - 0.5*x2
+		label := 0.0
+		if 1/(1+math.Exp(-z)) > r.Float64() {
+			label = 1
+		}
+		cols, vals := fs.Row([]uint32{cat}, []float64{x1, x2}, cs, vs)
+		if err := b.AddRow(cols, vals, label); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return b.Build()
+}
+
+func TestTrainingReducesLoss(t *testing.T) {
+	ds := synthDataset(t, 4000, 1)
+	m0 := &Model{W: make([]float64, ds.D)}
+	before := m0.LogLoss(ds)
+	m := TrainLogistic(ds, 50, 1.0, 0)
+	after := m.LogLoss(ds)
+	if after >= before {
+		t.Fatalf("loss did not decrease: %v -> %v", before, after)
+	}
+	if acc := m.Accuracy(ds); acc < 0.7 {
+		t.Fatalf("accuracy = %v, want >= 0.7 on separable-ish data", acc)
+	}
+}
+
+func TestTrainingDeterministicAcrossThreads(t *testing.T) {
+	ds := synthDataset(t, 2000, 2)
+	m1 := TrainLogistic(ds, 5, 0.5, 1)
+	m4 := TrainLogistic(ds, 5, 0.5, 4)
+	for i := range m1.W {
+		if math.Abs(m1.W[i]-m4.W[i]) > 1e-6 {
+			t.Fatalf("weights diverge across thread counts at %d: %v vs %v", i, m1.W[i], m4.W[i])
+		}
+	}
+	if math.Abs(m1.Bias-m4.Bias) > 1e-6 {
+		t.Fatal("bias differs across thread counts")
+	}
+}
+
+func TestBuilderValidation(t *testing.T) {
+	b := NewBuilder(4)
+	if err := b.AddRow([]int32{0, 1}, []float64{1}, 0); err == nil {
+		t.Error("ragged row should error")
+	}
+	if err := b.AddRow([]int32{9}, []float64{1}, 0); err == nil {
+		t.Error("out-of-range feature should error")
+	}
+	if err := b.AddRow([]int32{3}, []float64{1}, 1); err != nil {
+		t.Error(err)
+	}
+	ds := b.Build()
+	if ds.N != 1 || ds.D != 4 {
+		t.Fatalf("dataset = %+v", ds)
+	}
+}
+
+func TestFeatureSpaceLayout(t *testing.T) {
+	fs := NewFeatureSpace([]int{5, 3}, 2)
+	if fs.Dim != 10 || fs.CatOffsets[1] != 5 || fs.NumOffset != 8 {
+		t.Fatalf("layout = %+v", fs)
+	}
+	cols, vals := fs.Row([]uint32{4, 2}, []float64{0.5, -1}, nil, nil)
+	wantCols := []int32{4, 7, 8, 9}
+	for i, w := range wantCols {
+		if cols[i] != w {
+			t.Fatalf("cols = %v, want %v", cols, wantCols)
+		}
+	}
+	if vals[2] != 0.5 || vals[3] != -1 {
+		t.Fatalf("vals = %v", vals)
+	}
+}
+
+func TestSigmoidStability(t *testing.T) {
+	if s := sigmoid(1000); s != 1 {
+		t.Errorf("sigmoid(1000) = %v", s)
+	}
+	if s := sigmoid(-1000); s != 0 {
+		t.Errorf("sigmoid(-1000) = %v", s)
+	}
+	if s := sigmoid(0); math.Abs(s-0.5) > 1e-12 {
+		t.Errorf("sigmoid(0) = %v", s)
+	}
+}
+
+func TestEmptyDataset(t *testing.T) {
+	ds := NewBuilder(2).Build()
+	m := TrainLogistic(ds, 3, 0.1, 2)
+	if m.Accuracy(ds) != 0 || m.LogLoss(ds) != 0 {
+		t.Error("empty dataset metrics should be 0")
+	}
+}

@@ -1,0 +1,116 @@
+// Package semiring defines the commutative semirings over which
+// LevelHeaded's AJAR annotations are aggregated (paper §II-C). When
+// relations are joined, annotations multiply (⊗); when an attribute is
+// aggregated away, annotations sum (⊕) over the eliminated values.
+package semiring
+
+import "math"
+
+// Semiring is a commutative semiring over float64: (⊕, ⊗) with additive
+// identity Zero (which annihilates under ⊗ for the standard instances
+// used here) and multiplicative identity One.
+type Semiring interface {
+	// Name identifies the semiring, e.g. "sum-product".
+	Name() string
+	// Zero is the ⊕ identity.
+	Zero() float64
+	// One is the ⊗ identity.
+	One() float64
+	// Add is the commutative, associative ⊕ operator.
+	Add(a, b float64) float64
+	// Mul is the commutative, associative ⊗ operator distributing over ⊕.
+	Mul(a, b float64) float64
+}
+
+// SumProduct is the (ℝ, +, ×) semiring: the semiring of SQL SUM
+// aggregates and of sparse matrix multiplication.
+type SumProduct struct{}
+
+func (SumProduct) Name() string             { return "sum-product" }
+func (SumProduct) Zero() float64            { return 0 }
+func (SumProduct) One() float64             { return 1 }
+func (SumProduct) Add(a, b float64) float64 { return a + b }
+func (SumProduct) Mul(a, b float64) float64 { return a * b }
+
+// MinPlus is the tropical (ℝ∪{+∞}, min, +) semiring (shortest paths,
+// SQL MIN over summed annotations).
+type MinPlus struct{}
+
+func (MinPlus) Name() string  { return "min-plus" }
+func (MinPlus) Zero() float64 { return math.Inf(1) }
+func (MinPlus) One() float64  { return 0 }
+func (MinPlus) Add(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+func (MinPlus) Mul(a, b float64) float64 { return a + b }
+
+// MaxPlus is the (ℝ∪{-∞}, max, +) semiring (SQL MAX over summed
+// annotations, longest paths).
+type MaxPlus struct{}
+
+func (MaxPlus) Name() string  { return "max-plus" }
+func (MaxPlus) Zero() float64 { return math.Inf(-1) }
+func (MaxPlus) One() float64  { return 0 }
+func (MaxPlus) Add(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+func (MaxPlus) Mul(a, b float64) float64 { return a + b }
+
+// MinTimes is the (ℝ≥0∪{+∞}, min, ×) semiring.
+type MinTimes struct{}
+
+func (MinTimes) Name() string  { return "min-times" }
+func (MinTimes) Zero() float64 { return math.Inf(1) }
+func (MinTimes) One() float64  { return 1 }
+func (MinTimes) Add(a, b float64) float64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+func (MinTimes) Mul(a, b float64) float64 { return a * b }
+
+// MaxTimes is the (ℝ≥0∪{-∞}, max, ×) semiring.
+type MaxTimes struct{}
+
+func (MaxTimes) Name() string  { return "max-times" }
+func (MaxTimes) Zero() float64 { return math.Inf(-1) }
+func (MaxTimes) One() float64  { return 1 }
+func (MaxTimes) Add(a, b float64) float64 {
+	if a > b {
+		return a
+	}
+	return b
+}
+func (MaxTimes) Mul(a, b float64) float64 { return a * b }
+
+// BoolOrAnd is the boolean semiring ({0,1}, ∨, ∧): pure join existence
+// with no aggregation payload.
+type BoolOrAnd struct{}
+
+func (BoolOrAnd) Name() string  { return "bool-or-and" }
+func (BoolOrAnd) Zero() float64 { return 0 }
+func (BoolOrAnd) One() float64  { return 1 }
+func (BoolOrAnd) Add(a, b float64) float64 {
+	if a != 0 || b != 0 {
+		return 1
+	}
+	return 0
+}
+func (BoolOrAnd) Mul(a, b float64) float64 {
+	if a != 0 && b != 0 {
+		return 1
+	}
+	return 0
+}
+
+// All enumerates the semiring instances for property testing.
+func All() []Semiring {
+	return []Semiring{SumProduct{}, MinPlus{}, MaxPlus{}, MinTimes{}, MaxTimes{}, BoolOrAnd{}}
+}

@@ -1,0 +1,126 @@
+package semiring
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+)
+
+// closeEnough tolerates float associativity error for + and ×.
+func closeEnough(a, b float64) bool {
+	if a == b {
+		return true
+	}
+	if math.IsInf(a, 1) && math.IsInf(b, 1) {
+		return true
+	}
+	if math.IsInf(a, -1) && math.IsInf(b, -1) {
+		return true
+	}
+	diff := math.Abs(a - b)
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	return diff <= 1e-9*math.Max(scale, 1)
+}
+
+// boolVals restricts inputs to {0,1} for the boolean semiring.
+func domain(s Semiring, v float64) float64 {
+	switch s.(type) {
+	case BoolOrAnd:
+		if v > 0 {
+			return 1
+		}
+		return 0
+	case MinTimes, MaxTimes:
+		return math.Abs(v) // nonnegative domain keeps × monotone
+	default:
+		return v
+	}
+}
+
+func genVals(args []reflect.Value, r *rand.Rand) {
+	for i := range args {
+		args[i] = reflect.ValueOf(r.NormFloat64() * 10)
+	}
+}
+
+func TestSemiringLaws(t *testing.T) {
+	for _, s := range All() {
+		s := s
+		t.Run(s.Name(), func(t *testing.T) {
+			cfg := &quick.Config{MaxCount: 300, Values: genVals}
+
+			commutative := func(a, b float64) bool {
+				a, b = domain(s, a), domain(s, b)
+				return closeEnough(s.Add(a, b), s.Add(b, a)) &&
+					closeEnough(s.Mul(a, b), s.Mul(b, a))
+			}
+			if err := quick.Check(commutative, cfg); err != nil {
+				t.Errorf("commutativity: %v", err)
+			}
+
+			associative := func(a, b, c float64) bool {
+				a, b, c = domain(s, a), domain(s, b), domain(s, c)
+				return closeEnough(s.Add(s.Add(a, b), c), s.Add(a, s.Add(b, c))) &&
+					closeEnough(s.Mul(s.Mul(a, b), c), s.Mul(a, s.Mul(b, c)))
+			}
+			if err := quick.Check(associative, cfg); err != nil {
+				t.Errorf("associativity: %v", err)
+			}
+
+			identity := func(a float64) bool {
+				a = domain(s, a)
+				return closeEnough(s.Add(a, s.Zero()), a) &&
+					closeEnough(s.Mul(a, s.One()), a)
+			}
+			if err := quick.Check(identity, cfg); err != nil {
+				t.Errorf("identity: %v", err)
+			}
+
+			distributive := func(a, b, c float64) bool {
+				a, b, c = domain(s, a), domain(s, b), domain(s, c)
+				lhs := s.Mul(a, s.Add(b, c))
+				rhs := s.Add(s.Mul(a, b), s.Mul(a, c))
+				return closeEnough(lhs, rhs)
+			}
+			if err := quick.Check(distributive, cfg); err != nil {
+				t.Errorf("distributivity: %v", err)
+			}
+		})
+	}
+}
+
+func TestAnnihilation(t *testing.T) {
+	// Zero annihilates under Mul for sum-product and boolean semirings.
+	for _, s := range []Semiring{SumProduct{}, BoolOrAnd{}} {
+		if got := s.Mul(5, s.Zero()); got != s.Zero() {
+			t.Errorf("%s: 5 ⊗ 0 = %v, want %v", s.Name(), got, s.Zero())
+		}
+	}
+	// For min-plus, Mul with Zero (=+∞) stays +∞.
+	mp := MinPlus{}
+	if got := mp.Mul(5, mp.Zero()); !math.IsInf(got, 1) {
+		t.Errorf("min-plus: 5 ⊗ ∞ = %v, want +∞", got)
+	}
+}
+
+func TestSumProductMatchesArithmetic(t *testing.T) {
+	s := SumProduct{}
+	if s.Add(2, 3) != 5 || s.Mul(2, 3) != 6 {
+		t.Fatal("sum-product should be ordinary arithmetic")
+	}
+}
+
+func TestNames(t *testing.T) {
+	seen := map[string]bool{}
+	for _, s := range All() {
+		if s.Name() == "" {
+			t.Errorf("%T has empty name", s)
+		}
+		if seen[s.Name()] {
+			t.Errorf("duplicate semiring name %q", s.Name())
+		}
+		seen[s.Name()] = true
+	}
+}

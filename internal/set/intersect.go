@@ -1,0 +1,287 @@
+package set
+
+import (
+	"math/bits"
+	"sort"
+)
+
+// gallopThreshold is the size ratio beyond which uint∩uint switches from
+// linear merge to galloping (exponential) search from the smaller side.
+const gallopThreshold = 32
+
+// Intersect returns a ∩ b, allocating the result.
+func Intersect(a, b *Set) Set {
+	var buf Buffer
+	return IntersectInto(&buf, a, b)
+}
+
+// Buffer holds reusable scratch storage for intersection results so the
+// inner loops of the WCOJ algorithm do not allocate. A Buffer may back
+// at most one live Set at a time.
+type Buffer struct {
+	vals  []uint32
+	words []uint64
+}
+
+// IntersectInto computes a ∩ b into buf's storage and returns the
+// resulting set. The returned set aliases buf and is invalidated by the
+// next IntersectInto call on the same buffer.
+//
+// Kernel selection follows the paper's three cases (§V-A1, Fig. 5a):
+// bs∩bs (word AND), bs∩uint (membership probes), uint∩uint
+// (merge/galloping).
+func IntersectInto(buf *Buffer, a, b *Set) Set {
+	if a.card == 0 || b.card == 0 {
+		return Set{}
+	}
+	switch {
+	case a.layout == Bitset && b.layout == Bitset:
+		return intersectBsBs(buf, a, b)
+	case a.layout == Bitset && b.layout == Uint:
+		return intersectBsUint(buf, a, b)
+	case a.layout == Uint && b.layout == Bitset:
+		return intersectBsUint(buf, b, a)
+	default:
+		return intersectUintUint(buf, a, b)
+	}
+}
+
+func intersectBsBs(buf *Buffer, a, b *Set) Set {
+	// Overlap window in value space, aligned to words.
+	lo := a.base
+	if b.base > lo {
+		lo = b.base
+	}
+	aEnd := a.base + uint32(len(a.words)<<6)
+	bEnd := b.base + uint32(len(b.words)<<6)
+	hi := aEnd
+	if bEnd < hi {
+		hi = bEnd
+	}
+	if hi <= lo {
+		return Set{}
+	}
+	nw := int(hi-lo) >> 6
+	if cap(buf.words) < nw {
+		buf.words = make([]uint64, nw)
+	}
+	words := buf.words[:nw]
+	aw := a.words[(lo-a.base)>>6:]
+	bw := b.words[(lo-b.base)>>6:]
+	card := 0
+	for i := 0; i < nw; i++ {
+		w := aw[i] & bw[i]
+		words[i] = w
+		card += bits.OnesCount64(w)
+	}
+	if card == 0 {
+		return Set{}
+	}
+	return Set{layout: Bitset, words: words, base: lo, card: card}
+}
+
+func intersectBsUint(buf *Buffer, bs, ui *Set) Set {
+	if cap(buf.vals) < len(ui.vals) {
+		buf.vals = make([]uint32, len(ui.vals))
+	}
+	out := buf.vals[:0]
+	base := bs.base
+	end := base + uint32(len(bs.words)<<6)
+	// Skip uint values below the bitset window.
+	vals := ui.vals
+	start := sort.Search(len(vals), func(i int) bool { return vals[i] >= base })
+	for _, v := range vals[start:] {
+		if v >= end {
+			break
+		}
+		off := v - base
+		if bs.words[off>>6]&(1<<(off&63)) != 0 {
+			out = append(out, v)
+		}
+	}
+	buf.vals = out[:cap(out)]
+	if len(out) == 0 {
+		return Set{}
+	}
+	return Set{layout: Uint, vals: out, card: len(out)}
+}
+
+func intersectUintUint(buf *Buffer, a, b *Set) Set {
+	av, bv := a.vals, b.vals
+	if len(av) > len(bv) {
+		av, bv = bv, av
+	}
+	n := len(av)
+	if cap(buf.vals) < n {
+		buf.vals = make([]uint32, n)
+	}
+	out := buf.vals[:0]
+	if len(bv) >= gallopThreshold*len(av) {
+		out = gallopIntersect(out, av, bv)
+	} else {
+		out = mergeIntersect(out, av, bv)
+	}
+	buf.vals = out[:cap(out)]
+	if len(out) == 0 {
+		return Set{}
+	}
+	return Set{layout: Uint, vals: out, card: len(out)}
+}
+
+func mergeIntersect(out, a, b []uint32) []uint32 {
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		x, y := a[i], b[j]
+		switch {
+		case x < y:
+			i++
+		case x > y:
+			j++
+		default:
+			out = append(out, x)
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// gallopIntersect probes each element of the small side into the large
+// side with exponential search, advancing a moving lower bound.
+func gallopIntersect(out, small, large []uint32) []uint32 {
+	lo := 0
+	for _, v := range small {
+		// Exponential search for the first index >= v.
+		hi := lo + 1
+		for hi < len(large) && large[hi] < v {
+			lo = hi
+			hi *= 2
+		}
+		if hi > len(large) {
+			hi = len(large)
+		}
+		sub := large[lo:hi]
+		k := sort.Search(len(sub), func(i int) bool { return sub[i] >= v })
+		lo += k
+		if lo >= len(large) {
+			break
+		}
+		if large[lo] == v {
+			out = append(out, v)
+			lo++
+		}
+	}
+	return out
+}
+
+// IntersectMany intersects all of ss. The paper's icost model (§V-A1)
+// accounts bitsets first; execution orders operands by ascending
+// cardinality (bitsets preferred on ties) so the cheapest pair runs
+// first and every remaining set — bitsets especially — serves as an
+// O(1)-probe filter of an already-small intermediate. The operand slice
+// is reordered in place (callers pass scratch), and the result is
+// written through buf/buf2 scratch space — this runs in the innermost
+// WCOJ loops and must not allocate.
+func IntersectMany(buf, buf2 *Buffer, ss []*Set) Set {
+	switch len(ss) {
+	case 0:
+		return Set{}
+	case 1:
+		return *ss[0]
+	}
+	// Insertion sort (N is the number of relations on one attribute,
+	// almost always ≤ 4).
+	for i := 1; i < len(ss); i++ {
+		for j := i; j > 0 && lessSet(ss[j], ss[j-1]); j-- {
+			ss[j], ss[j-1] = ss[j-1], ss[j]
+		}
+	}
+	cur := IntersectInto(buf, ss[0], ss[1])
+	for _, s := range ss[2:] {
+		if cur.card == 0 {
+			return Set{}
+		}
+		cur = IntersectInto(buf2, &cur, s)
+		buf, buf2 = buf2, buf
+	}
+	return cur
+}
+
+func lessSet(a, b *Set) bool {
+	if a.card != b.card {
+		return a.card < b.card
+	}
+	return a.layout == Bitset && b.layout != Bitset
+}
+
+// Union returns a ∪ b as a newly allocated set.
+func Union(a, b *Set) Set {
+	out := make([]uint32, 0, a.card+b.card)
+	av, bv := a.Values(), b.Values()
+	i, j := 0, 0
+	for i < len(av) && j < len(bv) {
+		x, y := av[i], bv[j]
+		switch {
+		case x < y:
+			out = append(out, x)
+			i++
+		case x > y:
+			out = append(out, y)
+			j++
+		default:
+			out = append(out, x)
+			i++
+			j++
+		}
+	}
+	out = append(out, av[i:]...)
+	out = append(out, bv[j:]...)
+	return FromSorted(out)
+}
+
+// Difference returns the elements of a not in b, as a uint-layout set.
+func Difference(a, b *Set) Set {
+	out := make([]uint32, 0, a.card)
+	a.ForEach(func(v uint32) {
+		if !b.Contains(v) {
+			out = append(out, v)
+		}
+	})
+	return FromSortedSparse(out)
+}
+
+// Equal reports whether a and b contain the same elements, regardless of
+// layout.
+func Equal(a, b *Set) bool {
+	if a.card != b.card {
+		return false
+	}
+	eq := true
+	i := 0
+	bv := b.Values()
+	a.ForEachUntil(func(v uint32) bool {
+		if bv[i] != v {
+			eq = false
+			return false
+		}
+		i++
+		return true
+	})
+	return eq
+}
+
+// Clone returns a deep copy of s that does not alias its storage. Use it
+// to persist a set produced into a Buffer.
+func (s *Set) Clone() Set {
+	c := *s
+	if s.vals != nil {
+		c.vals = append([]uint32(nil), s.vals...)
+	}
+	if s.words != nil {
+		c.words = append([]uint64(nil), s.words...)
+	}
+	if s.ranks != nil {
+		c.ranks = append([]int32(nil), s.ranks...)
+	}
+	return c
+}

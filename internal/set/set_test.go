@@ -1,0 +1,392 @@
+package set
+
+import (
+	"math/rand"
+	"reflect"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func sortedUnique(vals []uint32) []uint32 {
+	sort.Slice(vals, func(i, j int) bool { return vals[i] < vals[j] })
+	return dedupSorted(vals)
+}
+
+func refIntersect(a, b []uint32) []uint32 {
+	m := make(map[uint32]bool, len(a))
+	for _, v := range a {
+		m[v] = true
+	}
+	out := []uint32{}
+	for _, v := range b {
+		if m[v] {
+			out = append(out, v)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+func randomVals(r *rand.Rand, n int, span uint32) []uint32 {
+	vals := make([]uint32, n)
+	for i := range vals {
+		vals[i] = uint32(r.Int63n(int64(span)))
+	}
+	return sortedUnique(vals)
+}
+
+func TestLayoutSelection(t *testing.T) {
+	sparse := FromSorted([]uint32{0, 1000, 2000, 3000})
+	if sparse.Layout() != Uint {
+		t.Errorf("sparse set got layout %v, want uint", sparse.Layout())
+	}
+	denseVals := make([]uint32, 100)
+	for i := range denseVals {
+		denseVals[i] = uint32(i * 2)
+	}
+	dense := FromSorted(denseVals)
+	if dense.Layout() != Bitset {
+		t.Errorf("dense set got layout %v, want bs", dense.Layout())
+	}
+}
+
+func TestEmptySet(t *testing.T) {
+	var s Set
+	if !s.Empty() || s.Card() != 0 {
+		t.Fatal("zero Set should be empty")
+	}
+	if s.Contains(0) {
+		t.Error("empty set should not contain 0")
+	}
+	if got := s.Values(); len(got) != 0 {
+		t.Errorf("empty set Values = %v", got)
+	}
+	e := FromSorted(nil)
+	if !e.Empty() {
+		t.Error("FromSorted(nil) should be empty")
+	}
+}
+
+func TestValuesRoundTrip(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 50; trial++ {
+		vals := randomVals(r, 1+r.Intn(500), 1+uint32(r.Intn(100000)))
+		for _, s := range []Set{FromSorted(append([]uint32(nil), vals...)), FromSortedSparse(vals), BitsetFromSorted(vals)} {
+			if got := s.Values(); !reflect.DeepEqual(got, vals) {
+				t.Fatalf("layout %v: Values = %v, want %v", s.Layout(), got, vals)
+			}
+			if s.Card() != len(vals) {
+				t.Fatalf("layout %v: Card = %d, want %d", s.Layout(), s.Card(), len(vals))
+			}
+		}
+	}
+}
+
+func TestContainsRankSelect(t *testing.T) {
+	r := rand.New(rand.NewSource(2))
+	vals := randomVals(r, 300, 5000)
+	for _, s := range []Set{FromSortedSparse(vals), BitsetFromSorted(vals)} {
+		s := s
+		s.BuildRankIndex()
+		for i, v := range vals {
+			if !s.Contains(v) {
+				t.Fatalf("layout %v: missing %d", s.Layout(), v)
+			}
+			if got := s.Rank(v); got != i {
+				t.Fatalf("layout %v: Rank(%d) = %d, want %d", s.Layout(), v, got, i)
+			}
+			if got := s.Select(i); got != v {
+				t.Fatalf("layout %v: Select(%d) = %d, want %d", s.Layout(), i, got, v)
+			}
+		}
+		// Probe absent values.
+		absent := 0
+		for v := uint32(0); v < 5000 && absent < 50; v++ {
+			if s.Contains(v) {
+				continue
+			}
+			absent++
+			if got := s.Rank(v); got != -1 {
+				t.Fatalf("layout %v: Rank(absent %d) = %d, want -1", s.Layout(), v, got)
+			}
+		}
+	}
+}
+
+func TestMinMax(t *testing.T) {
+	vals := []uint32{7, 100, 65, 9000}
+	for _, s := range []Set{FromSortedSparse(sortedUnique(vals)), BitsetFromSorted(sortedUnique(vals))} {
+		if s.Min() != 7 {
+			t.Errorf("layout %v: Min = %d", s.Layout(), s.Min())
+		}
+		if s.Max() != 9000 {
+			t.Errorf("layout %v: Max = %d", s.Layout(), s.Max())
+		}
+	}
+}
+
+func TestDenseRange(t *testing.T) {
+	s := DenseRange(10, 200)
+	if s.Card() != 190 {
+		t.Fatalf("Card = %d, want 190", s.Card())
+	}
+	if s.Layout() != Bitset {
+		t.Fatal("DenseRange should be a bitset")
+	}
+	if s.Contains(9) || !s.Contains(10) || !s.Contains(199) || s.Contains(200) {
+		t.Error("DenseRange membership wrong at boundaries")
+	}
+	if e := DenseRange(5, 5); !e.Empty() {
+		t.Error("DenseRange(5,5) should be empty")
+	}
+}
+
+func TestForEachIndexed(t *testing.T) {
+	vals := []uint32{3, 64, 65, 127, 128, 9000}
+	for _, s := range []Set{FromSortedSparse(vals), BitsetFromSorted(vals)} {
+		var idx []int
+		var got []uint32
+		s.ForEachIndexed(func(i int, v uint32) {
+			idx = append(idx, i)
+			got = append(got, v)
+		})
+		if !reflect.DeepEqual(got, vals) {
+			t.Fatalf("layout %v: values %v", s.Layout(), got)
+		}
+		for i, x := range idx {
+			if x != i {
+				t.Fatalf("layout %v: index %d at position %d", s.Layout(), x, i)
+			}
+		}
+	}
+}
+
+func TestForEachUntilEarlyExit(t *testing.T) {
+	vals := []uint32{1, 2, 3, 4, 5}
+	for _, s := range []Set{FromSortedSparse(vals), BitsetFromSorted(vals)} {
+		n := 0
+		done := s.ForEachUntil(func(v uint32) bool {
+			n++
+			return v < 3
+		})
+		if done {
+			t.Errorf("layout %v: expected early exit", s.Layout())
+		}
+		if n != 3 {
+			t.Errorf("layout %v: visited %d elements, want 3", s.Layout(), n)
+		}
+	}
+}
+
+func TestIntersectAllLayoutPairs(t *testing.T) {
+	r := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 60; trial++ {
+		a := randomVals(r, 1+r.Intn(400), 1+uint32(r.Intn(4000)))
+		b := randomVals(r, 1+r.Intn(400), 1+uint32(r.Intn(4000)))
+		want := refIntersect(a, b)
+		layouts := []func([]uint32) Set{
+			func(v []uint32) Set { return FromSortedSparse(v) },
+			func(v []uint32) Set { return BitsetFromSorted(v) },
+		}
+		for _, la := range layouts {
+			for _, lb := range layouts {
+				sa, sb := la(a), lb(b)
+				got := Intersect(&sa, &sb)
+				gv := got.Values()
+				if len(gv) == 0 && len(want) == 0 {
+					continue
+				}
+				if !reflect.DeepEqual(gv, want) {
+					t.Fatalf("%v ∩ %v = %v, want %v", sa.Layout(), sb.Layout(), gv, want)
+				}
+			}
+		}
+	}
+}
+
+func TestIntersectGallopPath(t *testing.T) {
+	// Force the galloping branch: tiny small side, huge large side.
+	small := []uint32{5, 100000, 250000, 999999}
+	large := make([]uint32, 0, 500000)
+	for v := uint32(0); v < 1000000; v += 2 {
+		large = append(large, v)
+	}
+	sa, sb := FromSortedSparse(small), FromSortedSparse(large)
+	res := Intersect(&sa, &sb)
+	got := res.Values()
+	want := []uint32{100000, 250000}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("gallop intersect = %v, want %v", got, want)
+	}
+}
+
+func TestIntersectDisjointWindows(t *testing.T) {
+	a := BitsetFromSorted([]uint32{0, 1, 2, 3})
+	b := BitsetFromSorted([]uint32{1000, 1001, 1002})
+	if got := Intersect(&a, &b); !got.Empty() {
+		t.Errorf("disjoint bs∩bs = %v", got.Values())
+	}
+	u := FromSortedSparse([]uint32{500, 600})
+	if got := Intersect(&a, &u); !got.Empty() {
+		t.Errorf("disjoint bs∩uint = %v", got.Values())
+	}
+}
+
+func TestIntersectMany(t *testing.T) {
+	a := FromSorted([]uint32{1, 2, 3, 4, 5, 6, 7, 8})
+	b := FromSortedSparse([]uint32{2, 4, 6, 8, 100})
+	c := BitsetFromSorted([]uint32{4, 6, 8, 9})
+	var b1, b2 Buffer
+	res := IntersectMany(&b1, &b2, []*Set{&a, &b, &c})
+	got := res.Values()
+	want := []uint32{4, 6, 8}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("IntersectMany = %v, want %v", got, want)
+	}
+	one := IntersectMany(&b1, &b2, []*Set{&a})
+	if one.Card() != a.Card() {
+		t.Error("IntersectMany of one set should be identity")
+	}
+	if e := IntersectMany(&b1, &b2, nil); !e.Empty() {
+		t.Error("IntersectMany of zero sets should be empty")
+	}
+}
+
+func TestUnionDifference(t *testing.T) {
+	a := FromSortedSparse([]uint32{1, 3, 5})
+	b := BitsetFromSorted([]uint32{3, 4, 5, 6})
+	u := Union(&a, &b)
+	if got, want := u.Values(), []uint32{1, 3, 4, 5, 6}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("Union = %v, want %v", got, want)
+	}
+	d := Difference(&a, &b)
+	if got, want := d.Values(), []uint32{1}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("Difference = %v, want %v", got, want)
+	}
+}
+
+func TestEqualAcrossLayouts(t *testing.T) {
+	vals := []uint32{2, 9, 17, 4000}
+	a := FromSortedSparse(vals)
+	b := BitsetFromSorted(vals)
+	if !Equal(&a, &b) {
+		t.Error("same values across layouts should be Equal")
+	}
+	c := FromSortedSparse([]uint32{2, 9, 17, 4001})
+	if Equal(&a, &c) {
+		t.Error("different values should not be Equal")
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	var buf Buffer
+	a := FromSortedSparse([]uint32{1, 5, 9})
+	b := FromSortedSparse([]uint32{5, 9, 11})
+	res := IntersectInto(&buf, &a, &b)
+	clone := res.Clone()
+	// Reuse the buffer; clone must be unaffected.
+	c := FromSortedSparse([]uint32{100, 200})
+	d := FromSortedSparse([]uint32{100, 300})
+	IntersectInto(&buf, &c, &d)
+	if got, want := clone.Values(), []uint32{5, 9}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("clone corrupted by buffer reuse: %v, want %v", got, want)
+	}
+}
+
+// Property: intersection is commutative, associative-with-Many, and a
+// subset of both operands, for arbitrary inputs and both layouts.
+func TestIntersectProperties(t *testing.T) {
+	f := func(raw1, raw2 []uint32, bs1, bs2 bool) bool {
+		a := sortedUnique(append([]uint32(nil), raw1...))
+		b := sortedUnique(append([]uint32(nil), raw2...))
+		mk := func(v []uint32, bs bool) Set {
+			if len(v) == 0 {
+				return Set{}
+			}
+			if bs {
+				return BitsetFromSorted(v)
+			}
+			return FromSortedSparse(v)
+		}
+		sa, sb := mk(a, bs1), mk(b, bs2)
+		ab := Intersect(&sa, &sb)
+		ba := Intersect(&sb, &sa)
+		if !reflect.DeepEqual(ab.Values(), ba.Values()) {
+			return false
+		}
+		ok := true
+		ab.ForEach(func(v uint32) {
+			if !sa.Contains(v) || !sb.Contains(v) {
+				ok = false
+			}
+		})
+		// Every common element must be present.
+		for _, v := range refIntersect(a, b) {
+			if !ab.Contains(v) {
+				ok = false
+			}
+		}
+		return ok
+	}
+	cfg := &quick.Config{MaxCount: 200, Values: quickSmallSets}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: union cardinality satisfies inclusion–exclusion.
+func TestUnionProperty(t *testing.T) {
+	f := func(raw1, raw2 []uint32, bs1, bs2 bool) bool {
+		a := sortedUnique(append([]uint32(nil), raw1...))
+		b := sortedUnique(append([]uint32(nil), raw2...))
+		mk := func(v []uint32, bs bool) Set {
+			if len(v) == 0 {
+				return Set{}
+			}
+			if bs {
+				return BitsetFromSorted(v)
+			}
+			return FromSortedSparse(v)
+		}
+		sa, sb := mk(a, bs1), mk(b, bs2)
+		u := Union(&sa, &sb)
+		i := Intersect(&sa, &sb)
+		return u.Card() == sa.Card()+sb.Card()-i.Card()
+	}
+	cfg := &quick.Config{MaxCount: 200, Values: quickSmallSets}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// quickSmallSets generates bounded random inputs so bitsets stay small.
+func quickSmallSets(args []reflect.Value, r *rand.Rand) {
+	for i := 0; i < 2; i++ {
+		n := r.Intn(60)
+		vals := make([]uint32, n)
+		for j := range vals {
+			vals[j] = uint32(r.Intn(2000))
+		}
+		args[i] = reflect.ValueOf(vals)
+	}
+	args[2] = reflect.ValueOf(r.Intn(2) == 0)
+	args[3] = reflect.ValueOf(r.Intn(2) == 0)
+}
+
+func TestRankIndexSelectLargeBitset(t *testing.T) {
+	vals := make([]uint32, 0, 3000)
+	r := rand.New(rand.NewSource(7))
+	for v := uint32(0); v < 20000; v++ {
+		if r.Intn(7) == 0 {
+			vals = append(vals, v)
+		}
+	}
+	s := BitsetFromSorted(vals)
+	s.BuildRankIndex()
+	for i := 0; i < len(vals); i += 37 {
+		if got := s.Select(i); got != vals[i] {
+			t.Fatalf("Select(%d) = %d, want %d", i, got, vals[i])
+		}
+	}
+}

@@ -1,0 +1,138 @@
+// Package sqlparse implements the SQL-2008 subset accepted by
+// LevelHeaded (paper §III-A): SELECT lists with aggregate functions and
+// arithmetic, FROM with aliases and self-joins, WHERE conjunctions of
+// equi-joins and filter predicates (comparisons, BETWEEN, IN, LIKE, date
+// arithmetic, CASE), and GROUP BY. ORDER BY is intentionally absent —
+// the paper runs TPC-H without it.
+package sqlparse
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+// tokenKind classifies lexer tokens.
+type tokenKind uint8
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokString
+	tokSymbol // operators and punctuation
+)
+
+type token struct {
+	kind tokenKind
+	text string // identifiers lower-cased; strings unquoted
+	pos  int
+}
+
+// lexer splits input into tokens.
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+}
+
+// lex tokenizes the whole input up front (queries are short).
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for {
+		l.skipSpace()
+		if l.pos >= len(l.src) {
+			l.toks = append(l.toks, token{kind: tokEOF, pos: l.pos})
+			return l.toks, nil
+		}
+		start := l.pos
+		c := l.src[l.pos]
+		switch {
+		case c == '-' && l.peekAt(1) == '-':
+			// Line comment.
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		case isIdentStart(rune(c)):
+			for l.pos < len(l.src) && isIdentPart(rune(l.src[l.pos])) {
+				l.pos++
+			}
+			l.toks = append(l.toks, token{kind: tokIdent, text: strings.ToLower(l.src[start:l.pos]), pos: start})
+		case unicode.IsDigit(rune(c)) || (c == '.' && unicode.IsDigit(rune(l.peekAt(1)))):
+			seenDot := false
+			for l.pos < len(l.src) {
+				ch := l.src[l.pos]
+				if ch == '.' && !seenDot {
+					seenDot = true
+					l.pos++
+					continue
+				}
+				if !unicode.IsDigit(rune(ch)) {
+					break
+				}
+				l.pos++
+			}
+			l.toks = append(l.toks, token{kind: tokNumber, text: l.src[start:l.pos], pos: start})
+		case c == '\'':
+			l.pos++
+			var sb strings.Builder
+			for {
+				if l.pos >= len(l.src) {
+					return nil, fmt.Errorf("sql: unterminated string at %d", start)
+				}
+				if l.src[l.pos] == '\'' {
+					if l.peekAt(1) == '\'' { // escaped quote
+						sb.WriteByte('\'')
+						l.pos += 2
+						continue
+					}
+					l.pos++
+					break
+				}
+				sb.WriteByte(l.src[l.pos])
+				l.pos++
+			}
+			l.toks = append(l.toks, token{kind: tokString, text: sb.String(), pos: start})
+		default:
+			// Multi-char operators first.
+			two := ""
+			if l.pos+1 < len(l.src) {
+				two = l.src[l.pos : l.pos+2]
+			}
+			switch two {
+			case "<=", ">=", "<>", "!=":
+				l.pos += 2
+				l.toks = append(l.toks, token{kind: tokSymbol, text: two, pos: start})
+				continue
+			}
+			switch c {
+			case '=', '<', '>', '+', '-', '*', '/', '(', ')', ',', '.', ';':
+				l.pos++
+				l.toks = append(l.toks, token{kind: tokSymbol, text: string(c), pos: start})
+			default:
+				return nil, fmt.Errorf("sql: unexpected character %q at %d", c, l.pos)
+			}
+		}
+	}
+}
+
+func (l *lexer) peekAt(d int) byte {
+	if l.pos+d < len(l.src) {
+		return l.src[l.pos+d]
+	}
+	return 0
+}
+
+func (l *lexer) skipSpace() {
+	for l.pos < len(l.src) && unicode.IsSpace(rune(l.src[l.pos])) {
+		l.pos++
+	}
+}
+
+func isIdentStart(c rune) bool {
+	return unicode.IsLetter(c) || c == '_'
+}
+
+func isIdentPart(c rune) bool {
+	return unicode.IsLetter(c) || unicode.IsDigit(c) || c == '_'
+}

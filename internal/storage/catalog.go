@@ -1,0 +1,204 @@
+package storage
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/dict"
+)
+
+// Catalog owns the base tables, the per-join-domain key dictionaries,
+// and the encoded column caches. After Freeze the catalog is immutable
+// and safe for concurrent readers.
+type Catalog struct {
+	tables  map[string]*Table
+	order   []string
+	domains map[string]*dict.Dictionary
+	frozen  bool
+}
+
+// NewCatalog returns an empty catalog.
+func NewCatalog() *Catalog {
+	return &Catalog{tables: map[string]*Table{}, domains: map[string]*dict.Dictionary{}}
+}
+
+// Create registers an empty table for the schema and returns it.
+func (c *Catalog) Create(s Schema) (*Table, error) {
+	if c.frozen {
+		return nil, fmt.Errorf("storage: catalog is frozen")
+	}
+	if s.Name == "" {
+		return nil, fmt.Errorf("storage: table needs a name")
+	}
+	if _, dup := c.tables[s.Name]; dup {
+		return nil, fmt.Errorf("storage: table %q already exists", s.Name)
+	}
+	seen := map[string]bool{}
+	for _, cd := range s.Cols {
+		if seen[cd.Name] {
+			return nil, fmt.Errorf("storage: duplicate column %q in %s", cd.Name, s.Name)
+		}
+		seen[cd.Name] = true
+		if cd.Role == Key && cd.Kind == Float64 {
+			return nil, fmt.Errorf("storage: float keys are not supported (%s.%s)", s.Name, cd.Name)
+		}
+	}
+	t := NewTable(s)
+	c.tables[s.Name] = t
+	c.order = append(c.order, s.Name)
+	return t, nil
+}
+
+// Table returns the named table, or nil.
+func (c *Catalog) Table(name string) *Table { return c.tables[name] }
+
+// Tables lists table names in creation order.
+func (c *Catalog) Tables() []string { return append([]string(nil), c.order...) }
+
+// Frozen reports whether Freeze has run.
+func (c *Catalog) Frozen() bool { return c.frozen }
+
+// Freeze builds the per-domain key dictionaries, encodes every key
+// column, encodes string annotation columns with per-column
+// dictionaries, and converts numeric annotations to float64 buffers.
+// It corresponds to the data-statistics / encoding phase that the
+// paper's measurements exclude.
+func (c *Catalog) Freeze() error {
+	if c.frozen {
+		return nil
+	}
+	// Collect domain value sets across tables.
+	type domainCols struct {
+		kind Kind
+		cols []*Column
+	}
+	domains := map[string]*domainCols{}
+	for _, name := range c.order {
+		t := c.tables[name]
+		for _, col := range t.Cols {
+			if col.Def.Role != Key {
+				continue
+			}
+			dn := col.Def.DomainName()
+			dc := domains[dn]
+			if dc == nil {
+				dc = &domainCols{kind: col.Def.Kind}
+				domains[dn] = dc
+			}
+			if dc.kind != col.Def.Kind {
+				return fmt.Errorf("storage: domain %q mixes kinds %v and %v", dn, dc.kind, col.Def.Kind)
+			}
+			dc.cols = append(dc.cols, col)
+		}
+	}
+	// Build one order-preserving dictionary per domain. Integer domains
+	// whose values are exactly a dense range [min, max] with min >= 0 and
+	// small span get the identity-like dictionary via ranks anyway —
+	// order preservation is what matters.
+	names := make([]string, 0, len(domains))
+	for dn := range domains {
+		names = append(names, dn)
+	}
+	sort.Strings(names)
+	for _, dn := range names {
+		dc := domains[dn]
+		var d *dict.Dictionary
+		switch dc.kind {
+		case Int64, Date:
+			b := dict.NewBuilder(dict.Int)
+			for _, col := range dc.cols {
+				for _, v := range col.Ints {
+					b.AddInt(v)
+				}
+			}
+			d = b.Build()
+		case String:
+			b := dict.NewBuilder(dict.String)
+			for _, col := range dc.cols {
+				for _, v := range col.Strs {
+					b.AddString(v)
+				}
+			}
+			d = b.Build()
+		default:
+			return fmt.Errorf("storage: unsupported key kind in domain %q", dn)
+		}
+		c.domains[dn] = d
+		for _, col := range dc.cols {
+			col.dict = d
+			col.codes = make([]uint32, len(col.Ints)+len(col.Strs))
+			switch dc.kind {
+			case Int64, Date:
+				for i, v := range col.Ints {
+					code, ok := d.EncodeInt(v)
+					if !ok {
+						return fmt.Errorf("storage: value %d missing from domain %q", v, dn)
+					}
+					col.codes[i] = code
+				}
+			case String:
+				for i, v := range col.Strs {
+					code, ok := d.EncodeString(v)
+					if !ok {
+						return fmt.Errorf("storage: value %q missing from domain %q", v, dn)
+					}
+					col.codes[i] = code
+				}
+			}
+		}
+	}
+	// Encode string annotations per column; cache numeric annotations as
+	// float64 buffers.
+	for _, name := range c.order {
+		t := c.tables[name]
+		for _, col := range t.Cols {
+			if col.Def.Role != Annotation {
+				continue
+			}
+			switch col.Def.Kind {
+			case String:
+				b := dict.NewBuilder(dict.String)
+				for _, v := range col.Strs {
+					b.AddString(v)
+				}
+				d := b.Build()
+				col.dict = d
+				col.codes = make([]uint32, len(col.Strs))
+				for i, v := range col.Strs {
+					code, _ := d.EncodeString(v)
+					col.codes[i] = code
+				}
+			case Float64:
+				col.floats = col.Floats
+			case Int64, Date:
+				col.floats = make([]float64, len(col.Ints))
+				for i, v := range col.Ints {
+					col.floats[i] = float64(v)
+				}
+			}
+		}
+	}
+	c.frozen = true
+	return nil
+}
+
+// Domain returns the dictionary of the named join domain (post-Freeze).
+func (c *Catalog) Domain(name string) *dict.Dictionary { return c.domains[name] }
+
+// KeyCodes returns the domain-encoded codes of a key column.
+func (col *Column) KeyCodes() []uint32 { return col.codes }
+
+// Dict returns the dictionary of a key column or string annotation.
+func (col *Column) Dict() *dict.Dictionary { return col.dict }
+
+// AnnFloats returns a numeric annotation as float64s (dates as day
+// counts). Nil for string annotations.
+func (col *Column) AnnFloats() []float64 { return col.floats }
+
+// AnnCodes returns a string annotation's per-column codes.
+func (col *Column) AnnCodes() []uint32 {
+	if col.Def.Role == Annotation && col.Def.Kind == String {
+		return col.codes
+	}
+	return nil
+}

@@ -1,0 +1,288 @@
+// Package storage implements LevelHeaded's catalog and base-table
+// storage (paper §III-A, §III-B). Attributes are classified by a
+// user-defined schema as either keys (the only attributes that may
+// join; dictionary-encoded into tries, grouped into join domains that
+// share a code space) or annotations (aggregatable values held in flat
+// columnar buffers).
+package storage
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+
+	"repro/internal/dict"
+	"repro/internal/sqlparse"
+)
+
+// Kind is the logical type of a column.
+type Kind uint8
+
+const (
+	Int64 Kind = iota
+	Float64
+	String
+	Date // stored as days since 1970-01-01
+)
+
+func (k Kind) String() string {
+	switch k {
+	case Int64:
+		return "int"
+	case Float64:
+		return "double"
+	case String:
+		return "string"
+	case Date:
+		return "date"
+	default:
+		return fmt.Sprintf("Kind(%d)", uint8(k))
+	}
+}
+
+// Role classifies an attribute per the LevelHeaded data model.
+type Role uint8
+
+const (
+	// Key attributes are primary/foreign keys: the only joinable
+	// attributes, stored in the trie. Keys cannot be aggregated.
+	Key Role = iota
+	// Annotation attributes carry data values; they can be aggregated,
+	// filtered and grouped on, but never joined.
+	Annotation
+)
+
+// ColumnDef declares one column of a table schema.
+type ColumnDef struct {
+	Name string
+	Kind Kind
+	Role Role
+	// Domain names the join domain of a Key column; key columns sharing
+	// a domain share one order-preserving dictionary and are therefore
+	// join-compatible. Empty means the column name itself.
+	Domain string
+	// PK marks a single-column primary key. The planner uses it to
+	// resolve GROUP BY annotations through the metadata container
+	// (paper §IV-A rule 4): the PK vertex code locates the source row.
+	PK bool
+}
+
+// DomainName resolves the effective join-domain name.
+func (c *ColumnDef) DomainName() string {
+	if c.Domain != "" {
+		return c.Domain
+	}
+	return c.Name
+}
+
+// Schema is an ordered list of column definitions.
+type Schema struct {
+	Name string
+	Cols []ColumnDef
+}
+
+// Col returns the definition of the named column, or nil.
+func (s *Schema) Col(name string) *ColumnDef {
+	for i := range s.Cols {
+		if s.Cols[i].Name == name {
+			return &s.Cols[i]
+		}
+	}
+	return nil
+}
+
+// Column is the typed columnar storage for one attribute.
+type Column struct {
+	Def ColumnDef
+	// Ints holds Int64 and Date values; Floats holds Float64 values;
+	// Strs holds String values. Exactly one is populated.
+	Ints   []int64
+	Floats []float64
+	Strs   []string
+
+	// codes/dict cache the encoded form, built by Catalog.Freeze:
+	// domain-encoded for keys, per-column encoded for string annotations.
+	codes  []uint32
+	dict   *dict.Dictionary
+	floats []float64 // numeric annotation cache (int/date → float64)
+}
+
+// Table is a base relation: schema plus columnar data.
+type Table struct {
+	Schema  Schema
+	NumRows int
+	Cols    []*Column
+
+	byName map[string]*Column
+}
+
+// NewTable creates an empty table for the schema.
+func NewTable(s Schema) *Table {
+	t := &Table{Schema: s, byName: map[string]*Column{}}
+	for _, cd := range s.Cols {
+		c := &Column{Def: cd}
+		t.Cols = append(t.Cols, c)
+		t.byName[cd.Name] = c
+	}
+	return t
+}
+
+// Col returns the named column, or nil.
+func (t *Table) Col(name string) *Column { return t.byName[name] }
+
+// AppendRow appends one row. Values must match the schema's kinds:
+// int64 for Int64, float64 for Float64, string for String, and either
+// int64 (day count) or string ("YYYY-MM-DD") for Date.
+func (t *Table) AppendRow(vals ...interface{}) error {
+	if len(vals) != len(t.Cols) {
+		return fmt.Errorf("storage: %d values for %d columns of %s", len(vals), len(t.Cols), t.Schema.Name)
+	}
+	for i, c := range t.Cols {
+		switch c.Def.Kind {
+		case Int64:
+			v, ok := vals[i].(int64)
+			if !ok {
+				if vi, oki := vals[i].(int); oki {
+					v, ok = int64(vi), true
+				}
+			}
+			if !ok {
+				return fmt.Errorf("storage: column %s.%s wants int64, got %T", t.Schema.Name, c.Def.Name, vals[i])
+			}
+			c.Ints = append(c.Ints, v)
+		case Float64:
+			v, ok := vals[i].(float64)
+			if !ok {
+				return fmt.Errorf("storage: column %s.%s wants float64, got %T", t.Schema.Name, c.Def.Name, vals[i])
+			}
+			c.Floats = append(c.Floats, v)
+		case String:
+			v, ok := vals[i].(string)
+			if !ok {
+				return fmt.Errorf("storage: column %s.%s wants string, got %T", t.Schema.Name, c.Def.Name, vals[i])
+			}
+			c.Strs = append(c.Strs, v)
+		case Date:
+			switch v := vals[i].(type) {
+			case int64:
+				c.Ints = append(c.Ints, v)
+			case string:
+				days, err := sqlparse.ParseDate(v)
+				if err != nil {
+					return err
+				}
+				c.Ints = append(c.Ints, int64(days))
+			default:
+				return fmt.Errorf("storage: column %s.%s wants date, got %T", t.Schema.Name, c.Def.Name, vals[i])
+			}
+		}
+	}
+	t.NumRows++
+	return nil
+}
+
+// LoadDelimited bulk-loads delimiter-separated rows (e.g. '|' for TPC-H
+// .tbl files, ',' for CSV). Trailing delimiters are tolerated. Fields
+// must match the schema order.
+func (t *Table) LoadDelimited(r io.Reader, delim byte) error {
+	br := bufio.NewReaderSize(r, 1<<20)
+	line := 0
+	for {
+		raw, err := br.ReadString('\n')
+		if raw != "" {
+			line++
+			raw = strings.TrimRight(raw, "\r\n")
+			if raw == "" {
+				if err != nil {
+					break
+				}
+				continue
+			}
+			raw = strings.TrimSuffix(raw, string(delim))
+			fields := strings.Split(raw, string(delim))
+			if len(fields) != len(t.Cols) {
+				return fmt.Errorf("storage: %s line %d: %d fields for %d columns", t.Schema.Name, line, len(fields), len(t.Cols))
+			}
+			for i, c := range t.Cols {
+				f := fields[i]
+				switch c.Def.Kind {
+				case Int64:
+					v, perr := strconv.ParseInt(f, 10, 64)
+					if perr != nil {
+						return fmt.Errorf("storage: %s line %d col %s: %v", t.Schema.Name, line, c.Def.Name, perr)
+					}
+					c.Ints = append(c.Ints, v)
+				case Float64:
+					v, perr := strconv.ParseFloat(f, 64)
+					if perr != nil {
+						return fmt.Errorf("storage: %s line %d col %s: %v", t.Schema.Name, line, c.Def.Name, perr)
+					}
+					c.Floats = append(c.Floats, v)
+				case String:
+					c.Strs = append(c.Strs, f)
+				case Date:
+					days, perr := sqlparse.ParseDate(f)
+					if perr != nil {
+						return fmt.Errorf("storage: %s line %d col %s: %v", t.Schema.Name, line, c.Def.Name, perr)
+					}
+					c.Ints = append(c.Ints, int64(days))
+				}
+			}
+			t.NumRows++
+		}
+		if err != nil {
+			if err == io.EOF {
+				return nil
+			}
+			return err
+		}
+	}
+	return nil
+}
+
+// SetColumnData installs pre-built columnar data, replacing the current
+// contents; all columns must have equal length. Used by generators to
+// avoid per-row appends.
+func (t *Table) SetColumnData(data map[string]interface{}) error {
+	n := -1
+	for name, raw := range data {
+		c := t.byName[name]
+		if c == nil {
+			return fmt.Errorf("storage: unknown column %q in %s", name, t.Schema.Name)
+		}
+		var ln int
+		switch v := raw.(type) {
+		case []int64:
+			if c.Def.Kind != Int64 && c.Def.Kind != Date {
+				return fmt.Errorf("storage: %s.%s kind mismatch", t.Schema.Name, name)
+			}
+			c.Ints = v
+			ln = len(v)
+		case []float64:
+			if c.Def.Kind != Float64 {
+				return fmt.Errorf("storage: %s.%s kind mismatch", t.Schema.Name, name)
+			}
+			c.Floats = v
+			ln = len(v)
+		case []string:
+			if c.Def.Kind != String {
+				return fmt.Errorf("storage: %s.%s kind mismatch", t.Schema.Name, name)
+			}
+			c.Strs = v
+			ln = len(v)
+		default:
+			return fmt.Errorf("storage: unsupported column data %T for %s.%s", raw, t.Schema.Name, name)
+		}
+		if n >= 0 && ln != n {
+			return fmt.Errorf("storage: ragged columns in %s", t.Schema.Name)
+		}
+		n = ln
+	}
+	if len(data) != len(t.Cols) {
+		return fmt.Errorf("storage: %d columns supplied for %d in %s", len(data), len(t.Cols), t.Schema.Name)
+	}
+	t.NumRows = n
+	return nil
+}

@@ -1,0 +1,324 @@
+package tpch
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/sqlparse"
+	"repro/internal/storage"
+)
+
+// Sizes reports the row counts generated at a scale factor, mirroring
+// the TPC-H ratios (SF 1 = 6M lineitems).
+type Sizes struct {
+	Supplier, Part, PartSupp, Customer, Orders, Lineitem int
+}
+
+// SizesAt computes the table cardinalities for a scale factor.
+func SizesAt(sf float64) Sizes {
+	atLeast := func(x float64, lo int) int {
+		n := int(x)
+		if n < lo {
+			return lo
+		}
+		return n
+	}
+	s := Sizes{
+		Supplier: atLeast(10000*sf, 10),
+		Part:     atLeast(200000*sf, 50),
+		Customer: atLeast(150000*sf, 30),
+		Orders:   atLeast(1500000*sf, 100),
+	}
+	s.PartSupp = s.Part * 4
+	// dbgen draws 1..7 lineitems per order (avg ≈ 4).
+	s.Lineitem = s.Orders * 4
+	return s
+}
+
+var (
+	regions = []string{"AFRICA", "AMERICA", "ASIA", "EUROPE", "MIDDLE EAST"}
+	nations = []string{"ALGERIA", "ARGENTINA", "BRAZIL", "CANADA", "EGYPT", "ETHIOPIA", "FRANCE", "GERMANY", "INDIA", "INDONESIA", "IRAN", "IRAQ", "JAPAN", "JORDAN", "KENYA", "MOROCCO", "MOZAMBIQUE", "PERU", "CHINA", "ROMANIA", "SAUDI ARABIA", "VIETNAM", "RUSSIA", "UNITED KINGDOM", "UNITED STATES"}
+	// nationRegion is the fixed dbgen nation → region mapping.
+	nationRegion = []int64{0, 1, 1, 1, 4, 0, 3, 3, 2, 2, 4, 4, 2, 4, 0, 0, 0, 1, 2, 3, 4, 2, 3, 3, 1}
+
+	segments   = []string{"AUTOMOBILE", "BUILDING", "FURNITURE", "MACHINERY", "HOUSEHOLD"}
+	priorities = []string{"1-URGENT", "2-HIGH", "3-MEDIUM", "4-NOT SPECIFIED", "5-LOW"}
+	shipmodes  = []string{"REG AIR", "AIR", "RAIL", "SHIP", "TRUCK", "MAIL", "FOB"}
+	containers = []string{"SM CASE", "SM BOX", "MED BAG", "MED BOX", "LG CASE", "LG BOX", "WRAP PACK", "JUMBO JAR"}
+
+	typeSyl1 = []string{"STANDARD", "SMALL", "MEDIUM", "LARGE", "ECONOMY", "PROMO"}
+	typeSyl2 = []string{"ANODIZED", "BURNISHED", "PLATED", "POLISHED", "BRUSHED"}
+	typeSyl3 = []string{"TIN", "NICKEL", "BRASS", "STEEL", "COPPER"}
+
+	colors = []string{"almond", "antique", "aquamarine", "azure", "beige", "bisque", "black", "blanched", "blue", "blush", "brown", "burlywood", "burnished", "chartreuse", "chiffon", "chocolate", "coral", "cornflower", "cornsilk", "cream", "cyan", "dark", "deep", "dim", "dodger", "drab", "firebrick", "floral", "forest", "frosted", "gainsboro", "ghost", "goldenrod", "green", "grey", "honeydew", "hot", "hotpink", "indian", "ivory", "khaki", "lace", "lavender", "lawn", "lemon", "light", "lime", "linen", "magenta", "maroon", "medium", "metallic", "midnight", "mint", "misty", "moccasin", "navajo", "navy", "olive", "orange", "orchid", "pale", "papaya", "peach", "peru", "pink", "plum", "powder", "puff", "purple", "red", "rose", "rosy", "royal", "saddle", "salmon", "sandy", "seashell", "sienna", "sky", "slate", "smoke", "snow", "spring", "steel", "tan", "thistle", "tomato", "turquoise", "violet", "wheat", "white", "yellow"}
+)
+
+func day(s string) int64 {
+	d, err := sqlparse.ParseDate(s)
+	if err != nil {
+		panic(err)
+	}
+	return int64(d)
+}
+
+// Populate creates and fills the eight TPC-H tables in the catalog at
+// the given scale factor, deterministically from the seed.
+func Populate(cat *storage.Catalog, sf float64, seed int64) (Sizes, error) {
+	sz := SizesAt(sf)
+	r := rand.New(rand.NewSource(seed))
+	tables := map[string]*storage.Table{}
+	for _, s := range Schemas() {
+		t, err := cat.Create(s)
+		if err != nil {
+			return sz, err
+		}
+		tables[s.Name] = t
+	}
+
+	// region
+	{
+		keys := make([]int64, len(regions))
+		names := make([]string, len(regions))
+		comments := make([]string, len(regions))
+		for i := range regions {
+			keys[i] = int64(i)
+			names[i] = regions[i]
+			comments[i] = "region comment " + regions[i]
+		}
+		if err := tables["region"].SetColumnData(map[string]interface{}{
+			"r_regionkey": keys, "r_name": names, "r_comment": comments,
+		}); err != nil {
+			return sz, err
+		}
+	}
+
+	// nation
+	{
+		n := len(nations)
+		keys := make([]int64, n)
+		rkeys := make([]int64, n)
+		names := make([]string, n)
+		comments := make([]string, n)
+		for i := 0; i < n; i++ {
+			keys[i] = int64(i)
+			rkeys[i] = nationRegion[i]
+			names[i] = nations[i]
+			comments[i] = "nation comment " + nations[i]
+		}
+		if err := tables["nation"].SetColumnData(map[string]interface{}{
+			"n_nationkey": keys, "n_regionkey": rkeys, "n_name": names, "n_comment": comments,
+		}); err != nil {
+			return sz, err
+		}
+	}
+
+	// supplier
+	{
+		n := sz.Supplier
+		keys := make([]int64, n)
+		nkeys := make([]int64, n)
+		names := make([]string, n)
+		addrs := make([]string, n)
+		phones := make([]string, n)
+		bals := make([]float64, n)
+		comments := make([]string, n)
+		for i := 0; i < n; i++ {
+			keys[i] = int64(i + 1)
+			nkeys[i] = int64(r.Intn(25))
+			names[i] = fmt.Sprintf("Supplier#%09d", i+1)
+			addrs[i] = fmt.Sprintf("addr-s-%d", r.Intn(1<<20))
+			phones[i] = fmt.Sprintf("%02d-%03d-%03d-%04d", 10+nkeys[i], r.Intn(1000), r.Intn(1000), r.Intn(10000))
+			bals[i] = float64(r.Intn(1099999))/100 - 999.99
+			comments[i] = "supplier comment"
+		}
+		if err := tables["supplier"].SetColumnData(map[string]interface{}{
+			"s_suppkey": keys, "s_nationkey": nkeys, "s_name": names, "s_address": addrs,
+			"s_phone": phones, "s_acctbal": bals, "s_comment": comments,
+		}); err != nil {
+			return sz, err
+		}
+	}
+
+	// part
+	{
+		n := sz.Part
+		keys := make([]int64, n)
+		names := make([]string, n)
+		mfgrs := make([]string, n)
+		brands := make([]string, n)
+		types := make([]string, n)
+		sizes := make([]int64, n)
+		conts := make([]string, n)
+		prices := make([]float64, n)
+		for i := 0; i < n; i++ {
+			keys[i] = int64(i + 1)
+			// Five color words per part name (dbgen uses 5 of 92).
+			names[i] = colors[r.Intn(len(colors))] + " " + colors[r.Intn(len(colors))] + " " +
+				colors[r.Intn(len(colors))] + " " + colors[r.Intn(len(colors))] + " " + colors[r.Intn(len(colors))]
+			m := r.Intn(5) + 1
+			mfgrs[i] = fmt.Sprintf("Manufacturer#%d", m)
+			brands[i] = fmt.Sprintf("Brand#%d%d", m, r.Intn(5)+1)
+			types[i] = typeSyl1[r.Intn(len(typeSyl1))] + " " + typeSyl2[r.Intn(len(typeSyl2))] + " " + typeSyl3[r.Intn(len(typeSyl3))]
+			sizes[i] = int64(r.Intn(50) + 1)
+			conts[i] = containers[r.Intn(len(containers))]
+			prices[i] = 900 + float64(keys[i]%200000)/10
+		}
+		if err := tables["part"].SetColumnData(map[string]interface{}{
+			"p_partkey": keys, "p_name": names, "p_mfgr": mfgrs, "p_brand": brands,
+			"p_type": types, "p_size": sizes, "p_container": conts, "p_retailprice": prices,
+		}); err != nil {
+			return sz, err
+		}
+	}
+
+	// partsupp: four suppliers per part.
+	{
+		n := sz.PartSupp
+		pkeys := make([]int64, n)
+		skeys := make([]int64, n)
+		qtys := make([]int64, n)
+		costs := make([]float64, n)
+		for i := 0; i < n; i++ {
+			pk := int64(i/4 + 1)
+			pkeys[i] = pk
+			skeys[i] = (pk+int64(i%4)*int64(sz.Supplier/4+1))%int64(sz.Supplier) + 1
+			qtys[i] = int64(r.Intn(9999) + 1)
+			costs[i] = float64(r.Intn(99900)+100) / 100
+		}
+		if err := tables["partsupp"].SetColumnData(map[string]interface{}{
+			"ps_partkey": pkeys, "ps_suppkey": skeys, "ps_availqty": qtys, "ps_supplycost": costs,
+		}); err != nil {
+			return sz, err
+		}
+	}
+
+	// customer
+	{
+		n := sz.Customer
+		keys := make([]int64, n)
+		nkeys := make([]int64, n)
+		names := make([]string, n)
+		addrs := make([]string, n)
+		phones := make([]string, n)
+		bals := make([]float64, n)
+		segs := make([]string, n)
+		comments := make([]string, n)
+		for i := 0; i < n; i++ {
+			keys[i] = int64(i + 1)
+			nkeys[i] = int64(r.Intn(25))
+			names[i] = fmt.Sprintf("Customer#%09d", i+1)
+			addrs[i] = fmt.Sprintf("addr-c-%d", r.Intn(1<<20))
+			phones[i] = fmt.Sprintf("%02d-%03d-%03d-%04d", 10+nkeys[i], r.Intn(1000), r.Intn(1000), r.Intn(10000))
+			bals[i] = float64(r.Intn(1099999))/100 - 999.99
+			segs[i] = segments[r.Intn(len(segments))]
+			comments[i] = "customer comment"
+		}
+		if err := tables["customer"].SetColumnData(map[string]interface{}{
+			"c_custkey": keys, "c_nationkey": nkeys, "c_name": names, "c_address": addrs,
+			"c_phone": phones, "c_acctbal": bals, "c_mktsegment": segs, "c_comment": comments,
+		}); err != nil {
+			return sz, err
+		}
+	}
+
+	// orders + lineitem
+	startDate := day("1992-01-01")
+	endDate := day("1998-08-02")
+	{
+		n := sz.Orders
+		okeys := make([]int64, n)
+		ckeys := make([]int64, n)
+		status := make([]string, n)
+		totals := make([]float64, n)
+		dates := make([]int64, n)
+		prios := make([]string, n)
+		ships := make([]int64, n)
+
+		var lok, lpk, lsk, lln []int64
+		var lqty, lprice, ldisc, ltax []float64
+		var lflag, lstat, lmode []string
+		var lship, lcommit, lrcpt []int64
+
+		for i := 0; i < n; i++ {
+			ok := int64(i + 1)
+			okeys[i] = ok
+			ckeys[i] = int64(r.Intn(sz.Customer) + 1)
+			od := startDate + int64(r.Intn(int(endDate-startDate-121)))
+			dates[i] = od
+			prios[i] = priorities[r.Intn(len(priorities))]
+			ships[i] = 0
+			total := 0.0
+			nl := r.Intn(7) + 1
+			allF, allO := true, true
+			for ln := 0; ln < nl; ln++ {
+				pk := int64(r.Intn(sz.Part) + 1)
+				sk := (pk+int64(r.Intn(4))*int64(sz.Supplier/4+1))%int64(sz.Supplier) + 1
+				qty := float64(r.Intn(50) + 1)
+				price := qty * (900 + float64(pk%200000)/10) / 10
+				disc := float64(r.Intn(11)) / 100
+				tax := float64(r.Intn(9)) / 100
+				ship := od + int64(r.Intn(121)+1)
+				commit := od + int64(r.Intn(91)+30)
+				rcpt := ship + int64(r.Intn(30)+1)
+				flag := "N"
+				if rcpt <= day("1995-06-17") {
+					if r.Intn(2) == 0 {
+						flag = "R"
+					} else {
+						flag = "A"
+					}
+				}
+				stat := "O"
+				if ship <= day("1995-06-17") {
+					stat = "F"
+				}
+				if stat == "F" {
+					allO = false
+				} else {
+					allF = false
+				}
+				lok = append(lok, ok)
+				lpk = append(lpk, pk)
+				lsk = append(lsk, sk)
+				lln = append(lln, int64(ln+1))
+				lqty = append(lqty, qty)
+				lprice = append(lprice, price)
+				ldisc = append(ldisc, disc)
+				ltax = append(ltax, tax)
+				lflag = append(lflag, flag)
+				lstat = append(lstat, stat)
+				lship = append(lship, ship)
+				lcommit = append(lcommit, commit)
+				lrcpt = append(lrcpt, rcpt)
+				lmode = append(lmode, shipmodes[r.Intn(len(shipmodes))])
+				total += price * (1 - disc) * (1 + tax)
+			}
+			totals[i] = total
+			switch {
+			case allF:
+				status[i] = "F"
+			case allO:
+				status[i] = "O"
+			default:
+				status[i] = "P"
+			}
+		}
+		if err := tables["orders"].SetColumnData(map[string]interface{}{
+			"o_orderkey": okeys, "o_custkey": ckeys, "o_orderstatus": status,
+			"o_totalprice": totals, "o_orderdate": dates, "o_orderpriority": prios,
+			"o_shippriority": ships,
+		}); err != nil {
+			return sz, err
+		}
+		if err := tables["lineitem"].SetColumnData(map[string]interface{}{
+			"l_orderkey": lok, "l_partkey": lpk, "l_suppkey": lsk, "l_linenumber": lln,
+			"l_quantity": lqty, "l_extendedprice": lprice, "l_discount": ldisc, "l_tax": ltax,
+			"l_returnflag": lflag, "l_linestatus": lstat, "l_shipdate": lship,
+			"l_commitdate": lcommit, "l_receiptdate": lrcpt, "l_shipmode": lmode,
+		}); err != nil {
+			return sz, err
+		}
+		sz.Lineitem = len(lok)
+	}
+	return sz, nil
+}

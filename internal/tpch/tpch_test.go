@@ -1,0 +1,161 @@
+package tpch
+
+import (
+	"testing"
+
+	"repro/internal/sqlparse"
+	"repro/internal/storage"
+)
+
+func TestSizesScale(t *testing.T) {
+	s1 := SizesAt(0.01)
+	s2 := SizesAt(0.02)
+	if s2.Orders <= s1.Orders || s2.Customer <= s1.Customer {
+		t.Fatalf("sizes not monotone: %+v vs %+v", s1, s2)
+	}
+	if s1.PartSupp != s1.Part*4 {
+		t.Fatalf("partsupp ratio wrong: %+v", s1)
+	}
+	tiny := SizesAt(0)
+	if tiny.Supplier < 10 || tiny.Orders < 100 {
+		t.Fatalf("minimum sizes not enforced: %+v", tiny)
+	}
+}
+
+func TestPopulateDeterministic(t *testing.T) {
+	cat1 := storage.NewCatalog()
+	if _, err := Populate(cat1, 0.002, 42); err != nil {
+		t.Fatal(err)
+	}
+	cat2 := storage.NewCatalog()
+	if _, err := Populate(cat2, 0.002, 42); err != nil {
+		t.Fatal(err)
+	}
+	l1, l2 := cat1.Table("lineitem"), cat2.Table("lineitem")
+	if l1.NumRows != l2.NumRows {
+		t.Fatalf("row counts differ: %d vs %d", l1.NumRows, l2.NumRows)
+	}
+	for i := 0; i < l1.NumRows; i += 97 {
+		if l1.Col("l_extendedprice").Floats[i] != l2.Col("l_extendedprice").Floats[i] {
+			t.Fatal("generation not deterministic")
+		}
+	}
+}
+
+func TestPopulateIntegrity(t *testing.T) {
+	cat := storage.NewCatalog()
+	sz, err := Populate(cat, 0.002, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := cat.Freeze(); err != nil {
+		t.Fatal(err)
+	}
+	// Foreign keys resolve.
+	orders := cat.Table("orders")
+	custs := map[int64]bool{}
+	for _, ck := range cat.Table("customer").Col("c_custkey").Ints {
+		custs[ck] = true
+	}
+	for _, ck := range orders.Col("o_custkey").Ints {
+		if !custs[ck] {
+			t.Fatal("order references missing customer")
+		}
+	}
+	li := cat.Table("lineitem")
+	okeys := map[int64]bool{}
+	for _, ok := range orders.Col("o_orderkey").Ints {
+		okeys[ok] = true
+	}
+	for _, ok := range li.Col("l_orderkey").Ints {
+		if !okeys[ok] {
+			t.Fatal("lineitem references missing order")
+		}
+	}
+	// Suppliers and parts in range.
+	for _, sk := range li.Col("l_suppkey").Ints {
+		if sk < 1 || sk > int64(sz.Supplier) {
+			t.Fatalf("suppkey %d out of range", sk)
+		}
+	}
+	for _, pk := range li.Col("l_partkey").Ints {
+		if pk < 1 || pk > int64(sz.Part) {
+			t.Fatalf("partkey %d out of range", pk)
+		}
+	}
+	// Dates are ordered ship <= receipt.
+	for i := 0; i < li.NumRows; i++ {
+		if li.Col("l_receiptdate").Ints[i] < li.Col("l_shipdate").Ints[i] {
+			t.Fatal("receipt before ship")
+		}
+	}
+	// Nation-region mapping covers five regions.
+	seen := map[int64]bool{}
+	for _, rk := range cat.Table("nation").Col("n_regionkey").Ints {
+		seen[rk] = true
+	}
+	if len(seen) != 5 {
+		t.Fatalf("nation regions = %v", seen)
+	}
+}
+
+func TestSelectivityShapes(t *testing.T) {
+	cat := storage.NewCatalog()
+	if _, err := Populate(cat, 0.005, 2); err != nil {
+		t.Fatal(err)
+	}
+	li := cat.Table("lineitem")
+	// Roughly half of receipt dates precede mid-1995 → R/A flags exist.
+	flags := map[string]int{}
+	for _, f := range li.Col("l_returnflag").Strs {
+		flags[f]++
+	}
+	if flags["R"] == 0 || flags["A"] == 0 || flags["N"] == 0 {
+		t.Fatalf("returnflag distribution degenerate: %v", flags)
+	}
+	// Q6-style selectivity: some rows hit the 1994 + discount band.
+	lo, _ := sqlparse.ParseDate("1994-01-01")
+	hi, _ := sqlparse.ParseDate("1995-01-01")
+	hits := 0
+	for i := 0; i < li.NumRows; i++ {
+		d := li.Col("l_shipdate").Ints[i]
+		disc := li.Col("l_discount").Floats[i]
+		if d >= int64(lo) && d < int64(hi) && disc >= 0.05 && disc <= 0.07 && li.Col("l_quantity").Floats[i] < 24 {
+			hits++
+		}
+	}
+	if hits == 0 {
+		t.Fatal("Q6 predicate selects nothing")
+	}
+	// Q9: some part names contain "green".
+	greens := 0
+	for _, n := range cat.Table("part").Col("p_name").Strs {
+		for i := 0; i+5 <= len(n); i++ {
+			if n[i:i+5] == "green" {
+				greens++
+				break
+			}
+		}
+	}
+	if greens == 0 {
+		t.Fatal("no green parts")
+	}
+	// Q8: the exact type exists.
+	econ := 0
+	for _, ty := range cat.Table("part").Col("p_type").Strs {
+		if ty == "ECONOMY ANODIZED STEEL" {
+			econ++
+		}
+	}
+	if econ == 0 {
+		t.Fatal("no ECONOMY ANODIZED STEEL parts")
+	}
+}
+
+func TestQueriesParse(t *testing.T) {
+	for _, name := range QueryNames {
+		if _, err := sqlparse.Parse(Queries[name]); err != nil {
+			t.Errorf("%s does not parse: %v", name, err)
+		}
+	}
+}

@@ -1,0 +1,125 @@
+package voter
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/storage"
+)
+
+func setup(t *testing.T, nVoters, nPrecincts int) *storage.Catalog {
+	t.Helper()
+	cat := storage.NewCatalog()
+	if err := Generate(cat, nVoters, nPrecincts, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := cat.Freeze(); err != nil {
+		t.Fatal(err)
+	}
+	return cat
+}
+
+func TestGenerateShapes(t *testing.T) {
+	cat := setup(t, 5000, 40)
+	v := cat.Table("voters")
+	p := cat.Table("precincts")
+	if v.NumRows != 5000 || p.NumRows != 40 {
+		t.Fatalf("rows = %d, %d", v.NumRows, p.NumRows)
+	}
+	// Labels are binary and non-degenerate.
+	ones := 0
+	for _, y := range v.Col("v_voted").Floats {
+		if y != 0 && y != 1 {
+			t.Fatal("non-binary label")
+		}
+		if y == 1 {
+			ones++
+		}
+	}
+	if ones == 0 || ones == v.NumRows {
+		t.Fatalf("degenerate labels: %d of %d", ones, v.NumRows)
+	}
+	// Every precinct FK resolves.
+	for _, pk := range v.Col("v_precinct").Ints {
+		if pk < 0 || pk >= 40 {
+			t.Fatalf("precinct %d out of range", pk)
+		}
+	}
+	if err := Generate(storage.NewCatalog(), 0, 5, 1); err == nil {
+		t.Error("zero voters should error")
+	}
+}
+
+func TestAllPipelinesAgree(t *testing.T) {
+	cat := setup(t, 8000, 50)
+	unified, err := RunUnified(cat, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	monet, err := RunMonetSklearn(cat, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pandas, err := RunPandasSklearn(cat, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spark, err := RunSpark(cat, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same rows survive the SQL phase everywhere.
+	for _, p := range []Phases{monet, pandas, spark} {
+		if p.N != unified.N {
+			t.Errorf("%s trained on %d rows, unified on %d", p.System, p.N, unified.N)
+		}
+	}
+	// All models find real signal: the hidden generative model is
+	// learnable well above chance.
+	for _, p := range []Phases{unified, monet, pandas, spark} {
+		if p.Acc < 0.6 {
+			t.Errorf("%s accuracy = %v, want >= 0.6", p.System, p.Acc)
+		}
+	}
+	// Unified and monet encode identical features modulo category order;
+	// accuracies must agree closely (spark/pandas reorder rows, which
+	// changes nothing for full-batch GD).
+	if math.Abs(unified.Acc-monet.Acc) > 0.02 {
+		t.Errorf("unified %v vs monet %v accuracy divergence", unified.Acc, monet.Acc)
+	}
+	if math.Abs(pandas.Acc-spark.Acc) > 0.02 {
+		t.Errorf("pandas %v vs spark %v accuracy divergence", pandas.Acc, spark.Acc)
+	}
+}
+
+func TestPhasesTotal(t *testing.T) {
+	cat := setup(t, 2000, 20)
+	p, err := RunUnified(cat, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Total() != p.SQL+p.Encode+p.Train {
+		t.Error("Total mismatch")
+	}
+	if p.N == 0 {
+		t.Error("no rows trained")
+	}
+}
+
+func TestAgeFilterApplied(t *testing.T) {
+	cat := setup(t, 3000, 25)
+	v := cat.Table("voters")
+	inRange := 0
+	for _, a := range v.Col("v_age").Floats {
+		if a >= ageLo && a <= ageHi {
+			inRange++
+		}
+	}
+	p, err := RunUnified(cat, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.N != inRange {
+		t.Fatalf("trained on %d rows, filter passes %d", p.N, inRange)
+	}
+}

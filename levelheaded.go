@@ -1,0 +1,153 @@
+// Package levelheaded (import "repro") is a from-scratch Go
+// reproduction of LevelHeaded — "A Unified Engine for Business
+// Intelligence and Linear Algebra Querying" (Aberger, Lamb, Olukotun,
+// Ré; ICDE 2018) — an in-memory relational engine that executes both
+// SQL-style BI queries and linear-algebra kernels with a single
+// worst-case optimal join (WCOJ) architecture.
+//
+// The public API is a thin facade over internal/core:
+//
+//	eng := levelheaded.New()
+//	tab, _ := eng.CreateTable(levelheaded.Schema{
+//		Name: "matrix",
+//		Cols: []levelheaded.ColumnDef{
+//			{Name: "i", Kind: levelheaded.Int64, Role: levelheaded.Key, Domain: "dim"},
+//			{Name: "j", Kind: levelheaded.Int64, Role: levelheaded.Key, Domain: "dim"},
+//			{Name: "v", Kind: levelheaded.Float64, Role: levelheaded.Annotation},
+//		},
+//	})
+//	tab.AppendRow(int64(0), int64(1), 0.5)
+//	res, _ := eng.Query(`SELECT m1.i, m2.j, sum(m1.v * m2.v) AS v
+//		FROM matrix AS m1, matrix AS m2 WHERE m1.j = m2.i GROUP BY m1.i, m2.j`)
+//
+// Keys (the only joinable attributes) are dictionary-encoded into
+// tries; annotations live in flat columnar buffers reachable from any
+// trie level; queries compile SQL → hypergraph → GHD → cost-ordered
+// WCOJ plan (paper §III–§V).
+package levelheaded
+
+import (
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/storage"
+)
+
+// Re-exported storage types: schemas classify every attribute as a Key
+// (joinable, trie-stored) or an Annotation (aggregatable, columnar).
+type (
+	// Schema declares a table.
+	Schema = storage.Schema
+	// ColumnDef declares one column.
+	ColumnDef = storage.ColumnDef
+	// Table is a loaded base relation.
+	Table = storage.Table
+	// Result is a columnar query result.
+	Result = exec.Result
+	// ResultColumn is one typed column of a Result.
+	ResultColumn = exec.Column
+	// QueryOptions carries per-query experiment overrides.
+	QueryOptions = core.QueryOptions
+	// Option configures an Engine at construction.
+	Option = core.Option
+)
+
+// Column kinds.
+const (
+	Int64   = storage.Int64
+	Float64 = storage.Float64
+	String  = storage.String
+	Date    = storage.Date
+)
+
+// Column roles (the LevelHeaded data model, paper §III-A).
+const (
+	Key        = storage.Key
+	Annotation = storage.Annotation
+)
+
+// Result column kinds.
+const (
+	KindInt    = exec.KindInt
+	KindFloat  = exec.KindFloat
+	KindString = exec.KindString
+)
+
+// Engine options.
+var (
+	// WithThreads bounds query parallelism (0 = GOMAXPROCS).
+	WithThreads = core.WithThreads
+	// WithAttributeElimination toggles §IV attribute elimination.
+	WithAttributeElimination = core.WithAttributeElimination
+	// WithCostOptimizer toggles the §V cost-based attribute ordering.
+	WithCostOptimizer = core.WithCostOptimizer
+	// WithWorstOrder selects the highest-cost attribute orders.
+	WithWorstOrder = core.WithWorstOrder
+	// WithBLAS toggles the dense-kernel dispatch of §III-D.
+	WithBLAS = core.WithBLAS
+	// WithTrieCache toggles cross-query reuse of unfiltered tries.
+	WithTrieCache = core.WithTrieCache
+)
+
+// Engine is a LevelHeaded database instance.
+type Engine struct {
+	inner *core.Engine
+}
+
+// New creates an empty engine.
+func New(opts ...Option) *Engine {
+	return &Engine{inner: core.New(opts...)}
+}
+
+// CreateTable registers a base table; load rows with Table.AppendRow,
+// Table.SetColumnData, or Engine.LoadDelimited before the first query.
+func (e *Engine) CreateTable(s Schema) (*Table, error) {
+	return e.inner.CreateTable(s)
+}
+
+// Table returns a registered table by name, or nil.
+func (e *Engine) Table(name string) *Table {
+	return e.inner.Catalog().Table(name)
+}
+
+// LoadDelimited bulk-loads delimiter-separated rows into a table
+// ('|' for TPC-H .tbl files, ',' for CSV).
+func (e *Engine) LoadDelimited(table string, r io.Reader, delim byte) error {
+	t := e.inner.Catalog().Table(table)
+	if t == nil {
+		return &UnknownTableError{Name: table}
+	}
+	return t.LoadDelimited(r, delim)
+}
+
+// Freeze seals the catalog: builds join-domain dictionaries and
+// encodings. It runs automatically on the first query; calling it
+// explicitly separates load time from query time.
+func (e *Engine) Freeze() error { return e.inner.Freeze() }
+
+// Query parses, plans, optimizes and executes one SQL query (the
+// supported subset is described in the README).
+func (e *Engine) Query(sql string) (*Result, error) { return e.inner.Query(sql) }
+
+// QueryWith executes a query with per-query overrides (forced attribute
+// orders, worst-order selection, thread caps) — the knobs behind the
+// paper's Table III and Figure 5 experiments.
+func (e *Engine) QueryWith(sql string, qo QueryOptions) (*Result, error) {
+	return e.inner.QueryWith(sql, qo)
+}
+
+// Explain renders the plan: hypergraph, GHD, attribute orders and their
+// §V cost terms.
+func (e *Engine) Explain(sql string) (string, error) { return e.inner.Explain(sql) }
+
+// CacheSize reports how many unfiltered tries are cached.
+func (e *Engine) CacheSize() int { return e.inner.CacheSize() }
+
+// UnknownTableError reports a LoadDelimited target that was never
+// created.
+type UnknownTableError struct{ Name string }
+
+func (e *UnknownTableError) Error() string {
+	return "levelheaded: unknown table " + e.Name
+}
