@@ -1,0 +1,27 @@
+GO ?= go
+
+.PHONY: all build vet test race bench-smoke ci clean
+
+all: build
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race ./...
+
+# Short benchmark smoke: one pass over the TPC-H suite at the smallest
+# scale, enough to notice a hot-path regression without a full run.
+bench-smoke:
+	$(GO) test -run '^$$' -bench 'BenchmarkTableII_TPCH' -benchtime 1x .
+
+ci: vet build race bench-smoke
+
+clean:
+	$(GO) clean ./...

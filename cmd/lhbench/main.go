@@ -20,6 +20,9 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"runtime"
+	"runtime/pprof"
 	"sort"
 	"strings"
 	"time"
@@ -44,10 +47,44 @@ var (
 	flagDense  = flag.String("dense", "128,192,256", "dense matrix orders (stand-ins for 8192/12288/16384)")
 	flagVoters = flag.Int("voters", 200000, "voter application rows")
 	flagRuns   = flag.Int("runs", 3, "timed runs per measurement (best reported)")
+
+	flagStats   = flag.Bool("stats", false, "print a per-query observability line (first run of each query)")
+	flagCPUProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
+	flagMemProf = flag.String("memprofile", "", "write a heap profile to this file at exit")
 )
+
+// statsSeen dedups the -stats lines: best() reruns each query, but one
+// observability line per distinct query is what's readable.
+var statsSeen = map[string]bool{}
 
 func main() {
 	flag.Parse()
+	if *flagCPUProf != "" {
+		f, err := os.Create(*flagCPUProf)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			log.Fatal(err)
+		}
+		defer func() {
+			pprof.StopCPUProfile()
+			f.Close()
+		}()
+	}
+	if *flagMemProf != "" {
+		defer func() {
+			f, err := os.Create(*flagMemProf)
+			if err != nil {
+				log.Fatal(err)
+			}
+			runtime.GC()
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				log.Fatal(err)
+			}
+			f.Close()
+		}()
+	}
 	if *flagAll {
 		*flagTable, *flagFig = "all", "all"
 	}
@@ -520,8 +557,13 @@ func fig6() {
 func rel(d, base time.Duration) float64 { return float64(d) / float64(base) }
 
 func mustQ(eng *core.Engine, sql string) {
-	if _, err := eng.Query(sql); err != nil {
+	res, err := eng.Query(sql)
+	if err != nil {
 		log.Fatal(err)
+	}
+	if *flagStats && res.Stats != nil && !statsSeen[sql] {
+		statsSeen[sql] = true
+		fmt.Printf("  stats: %s\n", res.Stats.Line())
 	}
 }
 

@@ -2,24 +2,30 @@
 // attribute orders with §V cost terms) of the paper's TPC-H benchmark
 // queries against a small generated database.
 //
-// Usage: lhexplain [query ...]   (defaults to all seven)
+// Usage: lhexplain [-analyze] [query ...]   (defaults to all seven)
+//
+// With -analyze the query is also executed and the plan is followed by
+// measured phase timings and per-kernel intersection counts (the
+// EXPLAIN ANALYZE block).
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
-	"os"
 
 	"repro/internal/core"
 	"repro/internal/tpch"
 )
 
 func main() {
+	analyze := flag.Bool("analyze", false, "execute the query and include measured stats")
+	flag.Parse()
 	eng := core.New()
 	if _, err := tpch.Populate(eng.Catalog(), 0.005, 2026); err != nil {
 		log.Fatal(err)
 	}
-	names := os.Args[1:]
+	names := flag.Args()
 	if len(names) == 0 {
 		names = tpch.QueryNames
 	}
@@ -28,7 +34,13 @@ func main() {
 		if !ok {
 			log.Fatalf("unknown query %q", q)
 		}
-		s, err := eng.Explain(sql)
+		var s string
+		var err error
+		if *analyze {
+			s, err = eng.ExplainAnalyze(sql)
+		} else {
+			s, err = eng.Explain(sql)
+		}
 		if err != nil {
 			log.Fatal(err)
 		}

@@ -10,9 +10,12 @@
 //	\d               list tables
 //	\d <table>       describe one table
 //	\explain <sql>   show hypergraph / GHD / attribute order
+//	\stats           show cumulative engine metrics
 //	\timing          toggle per-query timing
 //	\q               quit
 //
+// EXPLAIN ANALYZE <sql> executes the query and prints the plan plus
+// measured phase timings and per-kernel intersection counts.
 // Everything else is parsed as SQL.
 package main
 
@@ -34,6 +37,8 @@ import (
 )
 
 const maxPrintRows = 40
+
+const explainAnalyze = "EXPLAIN ANALYZE "
 
 func main() {
 	gen := flag.String("gen", "", "dataset to generate: tpch, matrix, voter")
@@ -117,6 +122,16 @@ func main() {
 				continue
 			}
 			fmt.Print(s)
+		case line == `\stats`:
+			fmt.Print(eng.Metrics().SnapshotString())
+		case len(line) >= len(explainAnalyze) && strings.EqualFold(line[:len(explainAnalyze)], explainAnalyze):
+			sql := strings.TrimSpace(line[len(explainAnalyze):])
+			s, err := eng.ExplainAnalyze(sql)
+			if err != nil {
+				fmt.Println("error:", err)
+				continue
+			}
+			fmt.Print(s)
 		default:
 			t0 := time.Now()
 			res, err := eng.Query(line)
@@ -127,6 +142,9 @@ func main() {
 			printResult(res)
 			if timing {
 				fmt.Printf("(%d rows, %v)\n", res.NumRows, time.Since(t0).Round(time.Microsecond))
+				if res.Stats != nil {
+					fmt.Println(res.Stats.Line())
+				}
 			}
 		}
 	}

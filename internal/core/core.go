@@ -6,13 +6,17 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"strings"
 	"sync"
+	"time"
 
 	"repro/internal/costopt"
 	"repro/internal/exec"
+	"repro/internal/obs"
 	"repro/internal/planner"
+	"repro/internal/qerr"
 	"repro/internal/sqlparse"
 	"repro/internal/storage"
 )
@@ -20,10 +24,11 @@ import (
 // Engine is a LevelHeaded instance: a catalog plus query machinery.
 // Methods are safe for concurrent use after Freeze.
 type Engine struct {
-	mu    sync.Mutex
-	cat   *storage.Catalog
-	cache *exec.TrieCache
-	plans map[string]*preparedPlan
+	mu      sync.Mutex
+	cat     *storage.Catalog
+	cache   *exec.TrieCache
+	plans   map[string]*preparedPlan
+	metrics obs.EngineMetrics
 
 	threads    int
 	noAttrElim bool
@@ -102,17 +107,76 @@ type QueryOptions struct {
 
 // Query parses, plans, optimizes and executes one SQL query.
 func (e *Engine) Query(sql string) (*exec.Result, error) {
-	return e.QueryWith(sql, QueryOptions{})
+	return e.QueryWithContext(context.Background(), sql, QueryOptions{})
 }
 
 // QueryWith runs a query with per-query overrides.
 func (e *Engine) QueryWith(sql string, qo QueryOptions) (*exec.Result, error) {
-	p, ch, err := e.prepare(sql, qo)
+	return e.QueryWithContext(context.Background(), sql, qo)
+}
+
+// QueryContext runs a query under a context: cancellation and deadline
+// are honored between lifecycle phases and at parfor chunk boundaries
+// inside the execution engine.
+func (e *Engine) QueryContext(ctx context.Context, sql string) (*exec.Result, error) {
+	return e.QueryWithContext(ctx, sql, QueryOptions{})
+}
+
+// QueryWithContext is the full-form entry point: context plus per-query
+// overrides. Every other query method delegates here, so one run per
+// query is timed, counted and recorded into the engine metrics, and the
+// returned Result carries its QueryStats.
+func (e *Engine) QueryWithContext(ctx context.Context, sql string, qo QueryOptions) (*exec.Result, error) {
+	st := &obs.QueryStats{SQL: sql}
+	t0 := time.Now()
+	res, err := e.runQuery(ctx, sql, qo, st)
+	st.Phases.Total = time.Since(t0)
+	if err != nil {
+		e.metrics.RecordError()
+		return nil, err
+	}
+	st.RowsOut = res.NumRows
+	res.Stats = st
+	e.metrics.Record(st)
+	return res, nil
+}
+
+func (e *Engine) runQuery(ctx context.Context, sql string, qo QueryOptions, st *obs.QueryStats) (*exec.Result, error) {
+	p, ch, err := e.prepareStats(sql, qo, st)
 	if err != nil {
 		return nil, err
 	}
-	return exec.Run(p, ch, e.cat, e.execOptions(qo))
+	opts := e.execOptions(qo)
+	opts.Ctx = ctx
+	opts.Stats = st
+	res, err := exec.Run(p, ch, e.cat, opts)
+	if err != nil {
+		return nil, &qerr.ExecError{SQL: sql, Err: err}
+	}
+	return res, nil
 }
+
+// ExplainAnalyze runs the query and renders the plan followed by the
+// measured per-phase timings, kernel counts and dispatch decision.
+func (e *Engine) ExplainAnalyze(sql string) (string, error) {
+	return e.ExplainAnalyzeContext(context.Background(), sql)
+}
+
+// ExplainAnalyzeContext is ExplainAnalyze under a context.
+func (e *Engine) ExplainAnalyzeContext(ctx context.Context, sql string) (string, error) {
+	res, err := e.QueryWithContext(ctx, sql, QueryOptions{})
+	if err != nil {
+		return "", err
+	}
+	plan, err := e.Explain(sql)
+	if err != nil {
+		return "", err
+	}
+	return plan + res.Stats.String(), nil
+}
+
+// Metrics exposes the engine's cumulative observability counters.
+func (e *Engine) Metrics() *obs.EngineMetrics { return &e.metrics }
 
 // Prepare compiles a query without running it, returning the logical
 // plan and chosen orders (used by EXPLAIN and by benchmarks that want
@@ -156,23 +220,42 @@ type preparedPlan struct {
 }
 
 func (e *Engine) prepare(sql string, qo QueryOptions) (*planner.Plan, *costopt.Choice, error) {
+	return e.prepareStats(sql, qo, nil)
+}
+
+// prepareStats is prepare with optional stats capture: parse/plan phase
+// durations, plan-cache behavior, and the GHD/order decision.
+func (e *Engine) prepareStats(sql string, qo QueryOptions, st *obs.QueryStats) (*planner.Plan, *costopt.Choice, error) {
+	tf := time.Now()
 	if err := e.Freeze(); err != nil {
 		return nil, nil, err
+	}
+	if st != nil {
+		st.Phases.Freeze = time.Since(tf)
 	}
 	key := fmt.Sprintf("%s|%v|%v|%v|%v|%v", sql, e.noCostOpt, e.pickWorst || qo.WorstOrder, qo.ForcedOrder, qo.ForcedRelaxed, e.noAttrElim)
 	e.mu.Lock()
 	if pp, ok := e.plans[key]; ok {
 		e.mu.Unlock()
+		if st != nil {
+			st.PlanCached = true
+			recordPlanStats(st, pp.p, pp.ch)
+		}
 		return pp.p, pp.ch, nil
 	}
 	e.mu.Unlock()
+	tp := time.Now()
 	q, err := sqlparse.Parse(sql)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, &qerr.ParseError{SQL: sql, Err: err}
 	}
+	if st != nil {
+		st.Phases.Parse = time.Since(tp)
+	}
+	tq := time.Now()
 	p, err := planner.Build(q, e.cat)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, &qerr.PlanError{SQL: sql, Err: err}
 	}
 	co := costopt.Options{
 		Disabled:      e.noCostOpt,
@@ -182,12 +265,28 @@ func (e *Engine) prepare(sql string, qo QueryOptions) (*planner.Plan, *costopt.C
 	}
 	ch, err := costopt.Choose(p, co)
 	if err != nil {
-		return nil, nil, err
+		return nil, nil, &qerr.PlanError{SQL: sql, Err: err}
+	}
+	if st != nil {
+		st.Phases.Plan = time.Since(tq)
+		recordPlanStats(st, p, ch)
 	}
 	e.mu.Lock()
 	e.plans[key] = &preparedPlan{p: p, ch: ch}
 	e.mu.Unlock()
 	return p, ch, nil
+}
+
+// recordPlanStats copies the optimizer's decision into the stats.
+func recordPlanStats(st *obs.QueryStats, p *planner.Plan, ch *costopt.Choice) {
+	if p.ScalarScan || p.GHD == nil {
+		return
+	}
+	st.GHDNodes = len(ch.Orders)
+	if ord := ch.Orders[p.GHD.Root]; ord != nil {
+		st.RootOrder = append([]string(nil), ord.Attrs...)
+		st.Relaxed = ord.Relaxed
+	}
 }
 
 // Explain renders the query plan: hypergraph, GHD, per-node attribute

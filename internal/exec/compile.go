@@ -397,13 +397,23 @@ func (c *compiled) buildRel(relIdx int, order []string,
 	}
 	sort.Strings(leafKeys)
 
+	if err := ctxErr(c.opts.Ctx); err != nil {
+		return nil, err
+	}
+
 	// Only unfiltered builds are cached: they are the reusable physical
 	// index whose creation the paper's measurements exclude.
 	cacheable := r.Filter == nil && !c.opts.NoAttrElim && c.opts.Cache != nil
 	cacheKey := fmt.Sprintf("%s|%v|%v", r.Table.Schema.Name, attrs, leafKeys)
 	if cacheable {
 		if v, ok := c.opts.Cache.get(cacheKey); ok {
+			if c.opts.Stats != nil {
+				c.opts.Stats.TrieCacheHits++
+			}
 			return newCRel(relIdx, r.Alias, v.(*trie.Trie), attrs), nil
+		}
+		if c.opts.Stats != nil {
+			c.opts.Stats.TrieCacheMisses++
 		}
 	}
 
@@ -503,6 +513,9 @@ func (c *compiled) buildRel(relIdx int, order []string,
 	tr, err := trie.Build(in)
 	if err != nil {
 		return nil, fmt.Errorf("exec: building trie for %s: %v", r.Alias, err)
+	}
+	if c.opts.Stats != nil {
+		c.opts.Stats.TriesBuilt++
 	}
 	if cacheable {
 		c.opts.Cache.put(cacheKey, tr)

@@ -2,6 +2,7 @@ package exec
 
 import (
 	"repro/internal/blas"
+	"repro/internal/obs"
 	"repro/internal/planner"
 	"repro/internal/trie"
 )
@@ -107,6 +108,9 @@ func denseMM(c *compiled, a, b *cRel, aBuf, bBuf []float64) (*Result, bool, erro
 	if !ok || k2 != k || aColBase != bColBase {
 		return nil, false, nil
 	}
+	if c.opts.Stats != nil {
+		c.opts.Stats.Dispatch = obs.DispatchDenseMM
+	}
 	cBuf := make([]float64, m*nOut)
 	gemmNT(m, k, nOut, aBuf, bBuf, cBuf)
 
@@ -148,12 +152,15 @@ func denseMV(c *compiled, a, x *cRel, aBuf, xBuf []float64) (*Result, bool, erro
 	if xs.Card() != k || xs.Min() != aColBase {
 		return nil, false, nil
 	}
-	y := make([]float64, m)
-	blas.Gemv(m, k, aBuf, xBuf, y)
 	g0 := &c.groups[0]
 	if g0.item.Vertex != a.attrs[0] {
 		return nil, false, nil
 	}
+	if c.opts.Stats != nil {
+		c.opts.Stats.Dispatch = obs.DispatchDenseMV
+	}
+	y := make([]float64, m)
+	blas.Gemv(m, k, aBuf, xBuf, y)
 	iCol := &Column{Name: colNameFor(c, g0), Kind: KindInt, I64: make([]int64, m)}
 	for i := 0; i < m; i++ {
 		iCol.I64[i] = g0.domain.DecodeInt(aRowBase + uint32(i))

@@ -7,11 +7,14 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
+	"time"
 
 	"repro/internal/costopt"
+	"repro/internal/obs"
 	"repro/internal/planner"
 	"repro/internal/storage"
 )
@@ -34,6 +37,21 @@ type Options struct {
 	// WCOJ interpreter (used with forced/worst attribute orders so
 	// ablations measure the interpreter).
 	NoFastPath bool
+	// Ctx, when non-nil, cancels the execution: it is checked between
+	// phases and at parfor chunk boundaries, and its Err is returned.
+	Ctx context.Context
+	// Stats, when non-nil, receives phase timings, kernel counters and
+	// dispatch decisions for this execution. Counters are owned
+	// per-worker and merged at parfor joins — no hot-path allocation.
+	Stats *obs.QueryStats
+}
+
+// ctxErr reports the options context's cancellation state (nil-safe).
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Err()
 }
 
 func (o Options) threads() int {
@@ -61,10 +79,12 @@ type Column struct {
 	Str  []string
 }
 
-// Result is a query result in columnar form.
+// Result is a query result in columnar form. Stats, when the engine
+// collects them, describes how the query ran.
 type Result struct {
 	Cols    []*Column
 	NumRows int
+	Stats   *obs.QueryStats
 }
 
 // Col returns the named column or nil.
@@ -131,19 +151,42 @@ func Run(p *planner.Plan, ch *costopt.Choice, cat *storage.Catalog, opts Options
 	if !cat.Frozen() {
 		return nil, fmt.Errorf("exec: catalog must be frozen before querying")
 	}
-	if p.ScalarScan {
-		return runScalarScan(p, opts)
+	if err := ctxErr(opts.Ctx); err != nil {
+		return nil, err
 	}
+	st := opts.Stats
+	if st != nil {
+		st.Threads = opts.threads()
+	}
+	if p.ScalarScan {
+		if st != nil {
+			st.Dispatch = obs.DispatchScalarScan
+		}
+		t0 := time.Now()
+		res, err := runScalarScan(p, opts)
+		if st != nil {
+			st.Phases.Execute = time.Since(t0)
+		}
+		return res, err
+	}
+	t0 := time.Now()
 	c, err := compile(p, ch, cat, opts)
+	if st != nil {
+		st.Phases.Compile = time.Since(t0)
+	}
 	if err != nil {
 		return nil, err
 	}
 	// Dense LA dispatch (§III-D): attribute elimination leaves dense
 	// annotation buffers BLAS-compatible; call the kernel opaquely.
 	if !opts.NoAttrElim && !opts.NoBLAS {
+		t1 := time.Now()
 		if res, ok, err := tryDenseDispatch(c); err != nil {
 			return nil, err
 		} else if ok {
+			if st != nil {
+				st.Phases.Execute = time.Since(t1)
+			}
 			return res, nil
 		}
 	}
@@ -151,18 +194,36 @@ func Run(p *planner.Plan, ch *costopt.Choice, cat *storage.Catalog, opts Options
 	// code-generation stand-in); falls back to the generic engine when
 	// the plan shape does not match exactly.
 	if !opts.NoFastPath {
+		t1 := time.Now()
 		if res, ok, err := trySpMVFastPath(c, opts); err != nil {
 			return nil, err
 		} else if ok {
+			if st != nil {
+				st.Phases.Execute = time.Since(t1)
+			}
 			return res, nil
 		}
 	}
+	if st != nil {
+		st.Dispatch = obs.DispatchWCOJ
+	}
+	t1 := time.Now()
 	rows, hacc, err := runNode(c.root, opts)
 	if err != nil {
 		return nil, err
 	}
-	if hacc != nil {
-		return assembleHash(c, hacc)
+	if st != nil {
+		st.Phases.Execute = time.Since(t1)
 	}
-	return assemble(c, rows)
+	t2 := time.Now()
+	var res *Result
+	if hacc != nil {
+		res, err = assembleHash(c, hacc)
+	} else {
+		res, err = assemble(c, rows)
+	}
+	if st != nil && err == nil {
+		st.Phases.Output = time.Since(t2)
+	}
+	return res, err
 }

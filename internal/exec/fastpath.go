@@ -3,6 +3,7 @@ package exec
 import (
 	"sync"
 
+	"repro/internal/obs"
 	"repro/internal/planner"
 	"repro/internal/set"
 )
@@ -83,6 +84,9 @@ func spmvGather(c *compiled, opts Options, m, v *cRel, mBuf, vBuf []float64) (*R
 	nRows := len(rows)
 	outVals := make([]float64, nRows)
 
+	if opts.Stats != nil {
+		opts.Stats.Dispatch = obs.DispatchSpMVGather
+	}
 	threads := opts.threads()
 	parallelRange(threads, nRows, func(lo, hi int) {
 		for r := lo; r < hi; r++ {
@@ -123,6 +127,9 @@ func spmvScatter(c *compiled, opts Options, m, v *cRel, mBuf, vBuf []float64) (*
 	l0 := m.tr.Set(0, 0)
 	js := l0.Values()
 
+	if opts.Stats != nil {
+		opts.Stats.Dispatch = obs.DispatchSpMVScatter
+	}
 	threads := opts.threads()
 	accs := make([][]float64, threads)
 	touches := make([][]bool, threads)

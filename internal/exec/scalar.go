@@ -71,6 +71,10 @@ func runScalarScan(p *planner.Plan, opts Options) (*Result, error) {
 	}
 	partial := make([][]float64, threads)
 	touched := make([]bool, threads)
+	errs := make([]error, threads)
+	// Cancellation granularity for the scan loop: cheap relative to the
+	// per-row work, frequent enough to stop a long fold promptly.
+	const scanCtxStride = 8192
 	var wg sync.WaitGroup
 	chunk := (n + threads - 1) / threads
 	for t := 0; t < threads; t++ {
@@ -95,26 +99,38 @@ func runScalarScan(p *planner.Plan, opts Options) (*Result, error) {
 			}
 			any := false
 			sink := 0.0
-			for row := int32(lo); row < int32(hi); row++ {
-				for _, col := range allCols {
-					sink += col[row]
-				}
-				if filter != nil && !filter(row) {
-					continue
-				}
-				any = true
-				for ai := range aggs {
-					a := &aggs[ai]
-					var v float64
-					switch a.kind {
-					case planner.AggCount:
-						v = 1
-					case planner.AggMin, planner.AggMax:
-						v = a.leaves[0](row)
-					default:
-						v = evalScalarSkel(a.skel, a.leaves, row)
+			for blk := lo; blk < hi; blk += scanCtxStride {
+				if opts.Ctx != nil {
+					if err := opts.Ctx.Err(); err != nil {
+						errs[t] = err
+						return
 					}
-					acc[ai] = combine1(a.kind, acc[ai], v)
+				}
+				end := blk + scanCtxStride
+				if end > hi {
+					end = hi
+				}
+				for row := int32(blk); row < int32(end); row++ {
+					for _, col := range allCols {
+						sink += col[row]
+					}
+					if filter != nil && !filter(row) {
+						continue
+					}
+					any = true
+					for ai := range aggs {
+						a := &aggs[ai]
+						var v float64
+						switch a.kind {
+						case planner.AggCount:
+							v = 1
+						case planner.AggMin, planner.AggMax:
+							v = a.leaves[0](row)
+						default:
+							v = evalScalarSkel(a.skel, a.leaves, row)
+						}
+						acc[ai] = combine1(a.kind, acc[ai], v)
+					}
 				}
 			}
 			if sink == 0.12345 {
@@ -125,6 +141,11 @@ func runScalarScan(p *planner.Plan, opts Options) (*Result, error) {
 		}(t, lo, hi)
 	}
 	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
 
 	final := make([]float64, len(aggs))
 	for ai := range aggs {

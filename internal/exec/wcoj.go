@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sync"
@@ -9,6 +10,12 @@ import (
 	"repro/internal/set"
 	"repro/internal/trie"
 )
+
+// ctxCheckStride is how many outermost-loop values a worker processes
+// between context-cancellation checks: coarse enough to stay off the
+// per-intersection hot path, fine enough that cancellation lands in
+// well under a chunk.
+const ctxCheckStride = 64
 
 // rowsBuf is a node's output: materialized key codes and aggregate
 // values, struct-of-arrays.
@@ -129,6 +136,9 @@ func (n *cNode) outKeyAttrs() []string {
 // the WCOJ recursion with the outermost loop parallelized (parfor,
 // §III-D).
 func runNode(n *cNode, opts Options) (*rowsBuf, *hashAcc, error) {
+	if err := ctxErr(opts.Ctx); err != nil {
+		return nil, nil, err
+	}
 	for _, cr := range n.rels {
 		if cr.child == nil {
 			continue
@@ -150,8 +160,13 @@ func runNode(n *cNode, opts Options) (*rowsBuf, *hashAcc, error) {
 	nAggs := len(n.aggs)
 	out := &rowsBuf{kWidth: n.outKeyWidth(), aWidth: nAggs}
 
-	// Level-0 iteration set.
-	vals, err := levelZeroValues(n)
+	// Level-0 iteration set (counted against the query stats directly:
+	// this runs once per node, before the parfor fan-out).
+	var l0Stat *set.Stats
+	if opts.Stats != nil {
+		l0Stat = &opts.Stats.Intersect
+	}
+	vals, err := levelZeroValues(n, l0Stat)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -192,7 +207,7 @@ func runNode(n *cNode, opts Options) (*rowsBuf, *hashAcc, error) {
 			workers[t] = nil
 			continue
 		}
-		w := newWorker(n)
+		w := newWorker(n, opts.Ctx)
 		w.id = t
 		workers[t] = w
 		wg.Add(1)
@@ -202,6 +217,15 @@ func runNode(n *cNode, opts Options) (*rowsBuf, *hashAcc, error) {
 		}(w, vals[lo:hi])
 	}
 	wg.Wait()
+	// Parfor join: merge per-worker kernel counters into the query stats
+	// (the only place worker counters touch shared state).
+	if opts.Stats != nil {
+		for _, w := range workers {
+			if w != nil {
+				opts.Stats.Intersect.Add(&w.iStats)
+			}
+		}
+	}
 	for _, e := range errs {
 		if e != nil {
 			return nil, nil, e
@@ -263,8 +287,9 @@ func runNode(n *cNode, opts Options) (*rowsBuf, *hashAcc, error) {
 	return out, nil, nil
 }
 
-// levelZeroValues materializes the level-0 intersection.
-func levelZeroValues(n *cNode) ([]uint32, error) {
+// levelZeroValues materializes the level-0 intersection, counting its
+// kernels against stat when non-nil.
+func levelZeroValues(n *cNode, stat *set.Stats) ([]uint32, error) {
 	ps := n.parts[0]
 	if len(ps) == 1 {
 		s := n.rels[ps[0].rel].tr.Set(ps[0].lvl, 0)
@@ -274,7 +299,8 @@ func levelZeroValues(n *cNode) ([]uint32, error) {
 	for i, p := range ps {
 		sets[i] = n.rels[p.rel].tr.Set(p.lvl, 0)
 	}
-	var b1, b2 set.Buffer
+	b1 := set.Buffer{Stat: stat}
+	b2 := set.Buffer{Stat: stat}
 	isect := set.IntersectMany(&b1, &b2, sets)
 	return isect.Values(), nil
 }
@@ -294,6 +320,11 @@ type worker struct {
 	curVals []uint32 // per-level bound values (hash-emit mode)
 	hacc    *hashAcc
 	toks    []uint64
+	// iStats is this worker's private kernel counters; every level's
+	// intersection buffers point at it, and it is merged into the query
+	// stats at the parfor join.
+	iStats set.Stats
+	ctx    context.Context // non-nil: checked every ctxCheckStride values
 }
 
 type levelBufs struct {
@@ -301,9 +332,10 @@ type levelBufs struct {
 	sets   []*set.Set
 }
 
-func newWorker(n *cNode) *worker {
+func newWorker(n *cNode, ctx context.Context) *worker {
 	w := &worker{
 		n:       n,
+		ctx:     ctx,
 		curKey:  make([]uint32, n.outKeyWidth()),
 		acc:     make([]float64, len(n.aggs)),
 		out:     &rowsBuf{kWidth: n.outKeyWidth(), aWidth: len(n.aggs)},
@@ -316,6 +348,8 @@ func newWorker(n *cNode) *worker {
 	w.bufs = make([]*levelBufs, n.nLevels)
 	for d := range w.bufs {
 		w.bufs[d] = &levelBufs{sets: make([]*set.Set, 0, len(n.parts[d]))}
+		w.bufs[d].b1.Stat = &w.iStats
+		w.bufs[d].b2.Stat = &w.iStats
 	}
 	if n.relaxed {
 		w.uAcc = newUnionAcc(n)
@@ -329,12 +363,18 @@ func newWorker(n *cNode) *worker {
 	return w
 }
 
-// runChunk processes the assigned level-0 values.
+// runChunk processes the assigned level-0 values, checking the context
+// every ctxCheckStride values (the parfor chunk boundary).
 func (w *worker) runChunk(vals []uint32) error {
 	n := w.n
 	ps := n.parts[0]
 	boundary := n.matCount - 1
-	for _, v := range vals {
+	for vi, v := range vals {
+		if w.ctx != nil && vi%ctxCheckStride == 0 {
+			if err := w.ctx.Err(); err != nil {
+				return err
+			}
+		}
 		for _, p := range ps {
 			rk := n.rels[p.rel].tr.RankOf(p.lvl, 0, v)
 			if rk < 0 {

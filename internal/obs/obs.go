@@ -1,0 +1,219 @@
+// Package obs is the observability layer threaded through the query
+// lifecycle: per-query QueryStats (phase timers, per-kernel
+// intersection counts, trie-cache behavior, dispatch decisions) and
+// engine-level cumulative EngineMetrics with an exportable
+// expvar-style snapshot.
+//
+// Hot-path discipline: nothing here is touched per-tuple. Intersection
+// counters live in set.Stats values owned by one parfor worker each
+// (see set.Buffer.Stat) and are folded into a QueryStats once, at the
+// parfor join; phase timers are a handful of time.Now calls per query;
+// EngineMetrics is updated once per query with atomics.
+package obs
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/set"
+)
+
+// Dispatch labels for the execution strategy a query ended up on.
+const (
+	DispatchScalarScan  = "scalar-scan"  // single-relation filtered fold (Q6 shape)
+	DispatchDenseMM     = "dense-mm"     // §III-D BLAS matrix–matrix kernel
+	DispatchDenseMV     = "dense-mv"     // §III-D BLAS matrix–vector kernel
+	DispatchSpMVGather  = "spmv-gather"  // specialized CSR-style SpMV kernel
+	DispatchSpMVScatter = "spmv-scatter" // specialized relaxed-order SpMV kernel
+	DispatchWCOJ        = "generic-wcoj" // generic worst-case optimal join interpreter
+)
+
+// Phases holds one duration per query-lifecycle phase. Freeze is only
+// nonzero for the first query against an unfrozen catalog (the
+// encoding work the paper's measurements exclude); Compile covers
+// per-query trie building; Output covers result assembly and decode.
+type Phases struct {
+	Parse   time.Duration
+	Plan    time.Duration
+	Freeze  time.Duration
+	Compile time.Duration
+	Execute time.Duration
+	Output  time.Duration
+	Total   time.Duration
+}
+
+// QueryStats captures everything observable about one query run.
+type QueryStats struct {
+	SQL    string
+	Phases Phases
+
+	// PlanCached reports whether the (plan, orders) pair came from the
+	// prepared-plan cache (parse/plan phases then read ~0).
+	PlanCached bool
+	// Dispatch is the execution strategy taken (Dispatch* constants).
+	Dispatch string
+	// Threads is the parfor worker bound the query ran with.
+	Threads int
+
+	// GHD shape and the optimizer's root decision.
+	GHDNodes  int
+	RootOrder []string
+	Relaxed   bool
+
+	// Intersect counts kernel invocations and materialized bytes,
+	// merged from all parfor workers.
+	Intersect set.Stats
+
+	// Query-trie construction: cache behavior and builds performed.
+	TrieCacheHits   int
+	TrieCacheMisses int
+	TriesBuilt      int
+
+	RowsOut int
+}
+
+// String renders the stats in the EXPLAIN ANALYZE block format.
+func (q *QueryStats) String() string {
+	var b strings.Builder
+	plan := "computed"
+	if q.PlanCached {
+		plan = "cached"
+	}
+	fmt.Fprintf(&b, "dispatch: %s  threads: %d  plan: %s\n", q.Dispatch, q.Threads, plan)
+	if len(q.RootOrder) > 0 {
+		relax := ""
+		if q.Relaxed {
+			relax = " (relaxed)"
+		}
+		fmt.Fprintf(&b, "ghd nodes: %d  root order: [%s]%s\n", q.GHDNodes, strings.Join(q.RootOrder, " "), relax)
+	}
+	fmt.Fprintf(&b, "phases: parse=%v plan=%v freeze=%v compile=%v execute=%v output=%v total=%v\n",
+		rd(q.Phases.Parse), rd(q.Phases.Plan), rd(q.Phases.Freeze), rd(q.Phases.Compile),
+		rd(q.Phases.Execute), rd(q.Phases.Output), rd(q.Phases.Total))
+	is := &q.Intersect
+	fmt.Fprintf(&b, "intersections: %d (uint∩uint merge=%d gallop=%d, bs∩uint=%d, bs∩bs=%d), %s materialized\n",
+		is.Total(), is.UintUintMerge, is.UintUintGallop, is.BsUint, is.BsBs, fmtBytes(is.BytesOut))
+	fmt.Fprintf(&b, "tries: built=%d cache hit=%d miss=%d\n", q.TriesBuilt, q.TrieCacheHits, q.TrieCacheMisses)
+	fmt.Fprintf(&b, "rows: %d\n", q.RowsOut)
+	return b.String()
+}
+
+// Line renders a compact one-line form for benchmark harnesses.
+func (q *QueryStats) Line() string {
+	is := &q.Intersect
+	return fmt.Sprintf("dispatch=%s plan=%t compile=%v execute=%v total=%v isect=%d(mg=%d gl=%d bu=%d bb=%d) cache=%d/%d rows=%d",
+		q.Dispatch, q.PlanCached, rd(q.Phases.Compile), rd(q.Phases.Execute), rd(q.Phases.Total),
+		is.Total(), is.UintUintMerge, is.UintUintGallop, is.BsUint, is.BsBs,
+		q.TrieCacheHits, q.TrieCacheHits+q.TrieCacheMisses, q.RowsOut)
+}
+
+func rd(d time.Duration) time.Duration { return d.Round(time.Microsecond) }
+
+func fmtBytes(n uint64) string {
+	switch {
+	case n >= 1<<20:
+		return fmt.Sprintf("%.1f MiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.1f KiB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%d B", n)
+	}
+}
+
+// EngineMetrics accumulates per-engine totals across queries. All
+// fields are atomics: Record is one query-granularity update, and
+// Snapshot can be read concurrently with running queries.
+type EngineMetrics struct {
+	Queries atomic.Uint64
+	Errors  atomic.Uint64
+	RowsOut atomic.Uint64
+
+	ParseNs   atomic.Int64
+	PlanNs    atomic.Int64
+	FreezeNs  atomic.Int64
+	CompileNs atomic.Int64
+	ExecNs    atomic.Int64
+	OutputNs  atomic.Int64
+	TotalNs   atomic.Int64
+
+	UintUintMerge  atomic.Uint64
+	UintUintGallop atomic.Uint64
+	BsUint         atomic.Uint64
+	BsBs           atomic.Uint64
+	IsectBytes     atomic.Uint64
+
+	TrieCacheHits   atomic.Uint64
+	TrieCacheMisses atomic.Uint64
+	TriesBuilt      atomic.Uint64
+	PlanCacheHits   atomic.Uint64
+}
+
+// Record folds one finished query's stats into the totals.
+func (m *EngineMetrics) Record(q *QueryStats) {
+	m.Queries.Add(1)
+	m.RowsOut.Add(uint64(q.RowsOut))
+	m.ParseNs.Add(int64(q.Phases.Parse))
+	m.PlanNs.Add(int64(q.Phases.Plan))
+	m.FreezeNs.Add(int64(q.Phases.Freeze))
+	m.CompileNs.Add(int64(q.Phases.Compile))
+	m.ExecNs.Add(int64(q.Phases.Execute))
+	m.OutputNs.Add(int64(q.Phases.Output))
+	m.TotalNs.Add(int64(q.Phases.Total))
+	m.UintUintMerge.Add(q.Intersect.UintUintMerge)
+	m.UintUintGallop.Add(q.Intersect.UintUintGallop)
+	m.BsUint.Add(q.Intersect.BsUint)
+	m.BsBs.Add(q.Intersect.BsBs)
+	m.IsectBytes.Add(q.Intersect.BytesOut)
+	m.TrieCacheHits.Add(uint64(q.TrieCacheHits))
+	m.TrieCacheMisses.Add(uint64(q.TrieCacheMisses))
+	m.TriesBuilt.Add(uint64(q.TriesBuilt))
+	if q.PlanCached {
+		m.PlanCacheHits.Add(1)
+	}
+}
+
+// RecordError counts a failed query.
+func (m *EngineMetrics) RecordError() { m.Errors.Add(1) }
+
+// Snapshot exports the totals as an expvar-style flat map.
+func (m *EngineMetrics) Snapshot() map[string]int64 {
+	return map[string]int64{
+		"queries":                  int64(m.Queries.Load()),
+		"errors":                   int64(m.Errors.Load()),
+		"rows_out":                 int64(m.RowsOut.Load()),
+		"parse_ns":                 m.ParseNs.Load(),
+		"plan_ns":                  m.PlanNs.Load(),
+		"freeze_ns":                m.FreezeNs.Load(),
+		"compile_ns":               m.CompileNs.Load(),
+		"execute_ns":               m.ExecNs.Load(),
+		"output_ns":                m.OutputNs.Load(),
+		"total_ns":                 m.TotalNs.Load(),
+		"isect_uint_uint_merge":    int64(m.UintUintMerge.Load()),
+		"isect_uint_uint_gallop":   int64(m.UintUintGallop.Load()),
+		"isect_bs_uint":            int64(m.BsUint.Load()),
+		"isect_bs_bs":              int64(m.BsBs.Load()),
+		"isect_bytes_materialized": int64(m.IsectBytes.Load()),
+		"trie_cache_hits":          int64(m.TrieCacheHits.Load()),
+		"trie_cache_misses":        int64(m.TrieCacheMisses.Load()),
+		"tries_built":              int64(m.TriesBuilt.Load()),
+		"plan_cache_hits":          int64(m.PlanCacheHits.Load()),
+	}
+}
+
+// SnapshotString renders the snapshot with sorted keys, one per line.
+func (m *EngineMetrics) SnapshotString() string {
+	snap := m.Snapshot()
+	keys := make([]string, 0, len(snap))
+	for k := range snap {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	var b strings.Builder
+	for _, k := range keys {
+		fmt.Fprintf(&b, "%-26s %d\n", k, snap[k])
+	}
+	return b.String()
+}

@@ -6,6 +6,7 @@ import (
 
 	"repro/internal/ghd"
 	"repro/internal/hypergraph"
+	"repro/internal/qerr"
 	"repro/internal/sqlparse"
 	"repro/internal/storage"
 )
@@ -63,7 +64,7 @@ func (b *builder) resolveFrom() error {
 	for _, ref := range b.q.From {
 		t := b.cat.Table(ref.Table)
 		if t == nil {
-			return fmt.Errorf("planner: unknown table %q", ref.Table)
+			return &qerr.UnknownTableError{Name: ref.Table}
 		}
 		if seen[ref.Alias] {
 			return fmt.Errorf("planner: duplicate alias %q", ref.Alias)

@@ -1,0 +1,94 @@
+// Package qerr defines the typed errors of the LevelHeaded query
+// lifecycle. Every phase failure is classified as a parse, plan, or
+// execution error carrying the offending SQL, and catalog misuse
+// (writes after Freeze, unknown tables or columns) gets its own types.
+// All types are errors.Is/As-compatible: the phase wrappers Unwrap to
+// the underlying cause, so e.g. a query canceled mid-execution
+// satisfies both errors.As(err, **ExecError) and
+// errors.Is(err, context.Canceled).
+//
+// The public facade (import "repro") re-exports these types; internal
+// packages construct them directly.
+package qerr
+
+import "fmt"
+
+// fragment trims sql for error messages: enough to identify the query
+// without flooding logs.
+func fragment(sql string) string {
+	const max = 60
+	if len(sql) <= max {
+		return sql
+	}
+	return sql[:max] + "…"
+}
+
+// ParseError reports that the SQL text could not be parsed.
+type ParseError struct {
+	SQL string // the full query text
+	Err error  // the lexer/parser cause
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("levelheaded: parse %q: %v", fragment(e.SQL), e.Err)
+}
+
+// Unwrap exposes the parser cause to errors.Is/As.
+func (e *ParseError) Unwrap() error { return e.Err }
+
+// PlanError reports that a parsed query could not be planned or
+// optimized (unknown tables/columns, unsupported shapes, GHD or
+// attribute-order failures).
+type PlanError struct {
+	SQL string
+	Err error
+}
+
+func (e *PlanError) Error() string {
+	return fmt.Sprintf("levelheaded: plan %q: %v", fragment(e.SQL), e.Err)
+}
+
+// Unwrap exposes the planner cause to errors.Is/As.
+func (e *PlanError) Unwrap() error { return e.Err }
+
+// ExecError reports a failure while executing a planned query,
+// including context cancellation: errors.Is(err, context.Canceled)
+// holds when the query was canceled mid-flight.
+type ExecError struct {
+	SQL string
+	Err error
+}
+
+func (e *ExecError) Error() string {
+	return fmt.Sprintf("levelheaded: exec %q: %v", fragment(e.SQL), e.Err)
+}
+
+// Unwrap exposes the execution cause to errors.Is/As.
+func (e *ExecError) Unwrap() error { return e.Err }
+
+// UnknownTableError reports a reference to a table that was never
+// created.
+type UnknownTableError struct{ Name string }
+
+func (e *UnknownTableError) Error() string {
+	return "levelheaded: unknown table " + e.Name
+}
+
+// UnknownColumnError reports a reference to a column a table does not
+// have.
+type UnknownColumnError struct{ Table, Column string }
+
+func (e *UnknownColumnError) Error() string {
+	return fmt.Sprintf("levelheaded: unknown column %s.%s", e.Table, e.Column)
+}
+
+// FrozenTableError reports a mutation attempted after Catalog.Freeze
+// sealed the encodings (Op names the rejected operation).
+type FrozenTableError struct {
+	Table string
+	Op    string
+}
+
+func (e *FrozenTableError) Error() string {
+	return fmt.Sprintf("levelheaded: %s on frozen table %s (load data before Freeze or the first query)", e.Op, e.Table)
+}

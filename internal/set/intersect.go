@@ -15,12 +15,42 @@ func Intersect(a, b *Set) Set {
 	return IntersectInto(&buf, a, b)
 }
 
+// Stats counts intersection-kernel invocations and materialized output
+// bytes, broken down by the paper's three kernel cases (§V-A1). A Stats
+// value is owned by a single worker and merged at parfor joins, so the
+// counters are plain integers: incrementing them costs one predictable
+// branch and never allocates or contends.
+type Stats struct {
+	UintUintMerge  uint64 // uint∩uint linear merge
+	UintUintGallop uint64 // uint∩uint galloping search
+	BsUint         uint64 // bs∩uint membership probes
+	BsBs           uint64 // bs∩bs word AND
+	BytesOut       uint64 // bytes materialized into result buffers
+}
+
+// Add folds o into s (the parfor-join merge).
+func (s *Stats) Add(o *Stats) {
+	s.UintUintMerge += o.UintUintMerge
+	s.UintUintGallop += o.UintUintGallop
+	s.BsUint += o.BsUint
+	s.BsBs += o.BsBs
+	s.BytesOut += o.BytesOut
+}
+
+// Total reports the total number of kernel invocations.
+func (s *Stats) Total() uint64 {
+	return s.UintUintMerge + s.UintUintGallop + s.BsUint + s.BsBs
+}
+
 // Buffer holds reusable scratch storage for intersection results so the
 // inner loops of the WCOJ algorithm do not allocate. A Buffer may back
 // at most one live Set at a time.
 type Buffer struct {
 	vals  []uint32
 	words []uint64
+	// Stat, when non-nil, receives one count per kernel invocation that
+	// writes through this buffer. Point it at a per-worker Stats value.
+	Stat *Stats
 }
 
 // IntersectInto computes a ∩ b into buf's storage and returns the
@@ -47,6 +77,9 @@ func IntersectInto(buf *Buffer, a, b *Set) Set {
 }
 
 func intersectBsBs(buf *Buffer, a, b *Set) Set {
+	if buf.Stat != nil {
+		buf.Stat.BsBs++
+	}
 	// Overlap window in value space, aligned to words.
 	lo := a.base
 	if b.base > lo {
@@ -74,6 +107,9 @@ func intersectBsBs(buf *Buffer, a, b *Set) Set {
 		words[i] = w
 		card += bits.OnesCount64(w)
 	}
+	if buf.Stat != nil {
+		buf.Stat.BytesOut += uint64(nw) * 8
+	}
 	if card == 0 {
 		return Set{}
 	}
@@ -81,6 +117,9 @@ func intersectBsBs(buf *Buffer, a, b *Set) Set {
 }
 
 func intersectBsUint(buf *Buffer, bs, ui *Set) Set {
+	if buf.Stat != nil {
+		buf.Stat.BsUint++
+	}
 	if cap(buf.vals) < len(ui.vals) {
 		buf.vals = make([]uint32, len(ui.vals))
 	}
@@ -100,6 +139,9 @@ func intersectBsUint(buf *Buffer, bs, ui *Set) Set {
 		}
 	}
 	buf.vals = out[:cap(out)]
+	if buf.Stat != nil {
+		buf.Stat.BytesOut += uint64(len(out)) * 4
+	}
 	if len(out) == 0 {
 		return Set{}
 	}
@@ -117,11 +159,20 @@ func intersectUintUint(buf *Buffer, a, b *Set) Set {
 	}
 	out := buf.vals[:0]
 	if len(bv) >= gallopThreshold*len(av) {
+		if buf.Stat != nil {
+			buf.Stat.UintUintGallop++
+		}
 		out = gallopIntersect(out, av, bv)
 	} else {
+		if buf.Stat != nil {
+			buf.Stat.UintUintMerge++
+		}
 		out = mergeIntersect(out, av, bv)
 	}
 	buf.vals = out[:cap(out)]
+	if buf.Stat != nil {
+		buf.Stat.BytesOut += uint64(len(out)) * 4
+	}
 	if len(out) == 0 {
 		return Set{}
 	}

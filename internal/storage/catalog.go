@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"repro/internal/dict"
+	"repro/internal/qerr"
 )
 
 // Catalog owns the base tables, the per-join-domain key dictionaries,
@@ -25,7 +26,7 @@ func NewCatalog() *Catalog {
 // Create registers an empty table for the schema and returns it.
 func (c *Catalog) Create(s Schema) (*Table, error) {
 	if c.frozen {
-		return nil, fmt.Errorf("storage: catalog is frozen")
+		return nil, &qerr.FrozenTableError{Table: s.Name, Op: "Create"}
 	}
 	if s.Name == "" {
 		return nil, fmt.Errorf("storage: table needs a name")
@@ -179,6 +180,9 @@ func (c *Catalog) Freeze() error {
 		}
 	}
 	c.frozen = true
+	for _, t := range c.tables {
+		t.frozen = true
+	}
 	return nil
 }
 

@@ -14,6 +14,7 @@ import (
 	"strings"
 
 	"repro/internal/dict"
+	"repro/internal/qerr"
 	"repro/internal/sqlparse"
 )
 
@@ -116,7 +117,12 @@ type Table struct {
 	Cols    []*Column
 
 	byName map[string]*Column
+	frozen bool
 }
+
+// Frozen reports whether the owning catalog has been frozen, after
+// which the table is immutable.
+func (t *Table) Frozen() bool { return t.frozen }
 
 // NewTable creates an empty table for the schema.
 func NewTable(s Schema) *Table {
@@ -136,6 +142,9 @@ func (t *Table) Col(name string) *Column { return t.byName[name] }
 // int64 for Int64, float64 for Float64, string for String, and either
 // int64 (day count) or string ("YYYY-MM-DD") for Date.
 func (t *Table) AppendRow(vals ...interface{}) error {
+	if t.frozen {
+		return &qerr.FrozenTableError{Table: t.Schema.Name, Op: "AppendRow"}
+	}
 	if len(vals) != len(t.Cols) {
 		return fmt.Errorf("storage: %d values for %d columns of %s", len(vals), len(t.Cols), t.Schema.Name)
 	}
@@ -187,6 +196,9 @@ func (t *Table) AppendRow(vals ...interface{}) error {
 // .tbl files, ',' for CSV). Trailing delimiters are tolerated. Fields
 // must match the schema order.
 func (t *Table) LoadDelimited(r io.Reader, delim byte) error {
+	if t.frozen {
+		return &qerr.FrozenTableError{Table: t.Schema.Name, Op: "LoadDelimited"}
+	}
 	br := bufio.NewReaderSize(r, 1<<20)
 	line := 0
 	for {
@@ -246,11 +258,14 @@ func (t *Table) LoadDelimited(r io.Reader, delim byte) error {
 // contents; all columns must have equal length. Used by generators to
 // avoid per-row appends.
 func (t *Table) SetColumnData(data map[string]interface{}) error {
+	if t.frozen {
+		return &qerr.FrozenTableError{Table: t.Schema.Name, Op: "SetColumnData"}
+	}
 	n := -1
 	for name, raw := range data {
 		c := t.byName[name]
 		if c == nil {
-			return fmt.Errorf("storage: unknown column %q in %s", name, t.Schema.Name)
+			return &qerr.UnknownColumnError{Table: t.Schema.Name, Column: name}
 		}
 		var ln int
 		switch v := raw.(type) {

@@ -27,10 +27,13 @@
 package levelheaded
 
 import (
+	"context"
 	"io"
 
 	"repro/internal/core"
 	"repro/internal/exec"
+	"repro/internal/obs"
+	"repro/internal/qerr"
 	"repro/internal/storage"
 )
 
@@ -51,6 +54,31 @@ type (
 	QueryOptions = core.QueryOptions
 	// Option configures an Engine at construction.
 	Option = core.Option
+	// QueryStats is the per-query observability record: phase timings,
+	// per-kernel intersection counts, dispatch decision, trie-cache
+	// behavior. Reachable from Result.Stats.
+	QueryStats = obs.QueryStats
+	// EngineMetrics accumulates per-engine totals across queries.
+	EngineMetrics = obs.EngineMetrics
+)
+
+// Typed errors. All are errors.Is/As-compatible and carry the offending
+// SQL or schema object; ParseError/PlanError/ExecError wrap the
+// underlying cause (so errors.Is(err, context.Canceled) sees through an
+// ExecError after a cancellation).
+type (
+	// ParseError reports SQL the front-end could not parse.
+	ParseError = qerr.ParseError
+	// PlanError reports a query that could not be planned or ordered.
+	PlanError = qerr.PlanError
+	// ExecError reports a failure (or cancellation) during execution.
+	ExecError = qerr.ExecError
+	// UnknownTableError reports a reference to a table never created.
+	UnknownTableError = qerr.UnknownTableError
+	// UnknownColumnError reports a reference to a column not in a schema.
+	UnknownColumnError = qerr.UnknownColumnError
+	// FrozenTableError reports a mutation attempted after Freeze.
+	FrozenTableError = qerr.FrozenTableError
 )
 
 // Column kinds.
@@ -137,17 +165,40 @@ func (e *Engine) QueryWith(sql string, qo QueryOptions) (*Result, error) {
 	return e.inner.QueryWith(sql, qo)
 }
 
+// QueryContext executes a query under a context: cancellation and
+// deadline are honored between lifecycle phases and at parfor chunk
+// boundaries inside the execution engine. A canceled query returns an
+// *ExecError wrapping ctx.Err().
+func (e *Engine) QueryContext(ctx context.Context, sql string) (*Result, error) {
+	return e.inner.QueryContext(ctx, sql)
+}
+
+// QueryWithContext combines QueryContext and QueryWith.
+func (e *Engine) QueryWithContext(ctx context.Context, sql string, qo QueryOptions) (*Result, error) {
+	return e.inner.QueryWithContext(ctx, sql, qo)
+}
+
 // Explain renders the plan: hypergraph, GHD, attribute orders and their
 // §V cost terms.
 func (e *Engine) Explain(sql string) (string, error) { return e.inner.Explain(sql) }
 
+// ExplainAnalyze executes the query and renders the plan followed by
+// measured per-phase timings, per-kernel intersection counts, and the
+// dispatch decision taken.
+func (e *Engine) ExplainAnalyze(sql string) (string, error) {
+	return e.inner.ExplainAnalyze(sql)
+}
+
+// ExplainAnalyzeContext is ExplainAnalyze under a context.
+func (e *Engine) ExplainAnalyzeContext(ctx context.Context, sql string) (string, error) {
+	return e.inner.ExplainAnalyzeContext(ctx, sql)
+}
+
+// Metrics exposes the engine's cumulative counters (queries, errors,
+// per-phase nanoseconds, per-kernel intersection counts, cache
+// behavior). Safe to read concurrently with running queries; use
+// Metrics().Snapshot() for an expvar-style map.
+func (e *Engine) Metrics() *EngineMetrics { return e.inner.Metrics() }
+
 // CacheSize reports how many unfiltered tries are cached.
 func (e *Engine) CacheSize() int { return e.inner.CacheSize() }
-
-// UnknownTableError reports a LoadDelimited target that was never
-// created.
-type UnknownTableError struct{ Name string }
-
-func (e *UnknownTableError) Error() string {
-	return "levelheaded: unknown table " + e.Name
-}
