@@ -1,6 +1,6 @@
 GO ?= go
 
-.PHONY: all build vet test race bench-smoke ci clean
+.PHONY: all build vet test race bench-smoke telemetry-race telemetry-smoke ci clean
 
 all: build
 
@@ -21,7 +21,17 @@ race:
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkTableII_TPCH' -benchtime 1x .
 
-ci: vet build race bench-smoke
+# Focused race check on the lock-free telemetry paths (histogram
+# recording, span buffers, registry) and their integration points.
+telemetry-race:
+	$(GO) test -race -count=1 ./internal/telemetry/... ./internal/obs/... .
+
+# Debug-server smoke: boot lhserve on a random port, run the query mix,
+# and scrape /metrics and a trace dump through the real listener.
+telemetry-smoke:
+	$(GO) run ./cmd/lhserve -gen matrix -la 0.05 -http 127.0.0.1:0 -smoke
+
+ci: vet build race bench-smoke telemetry-race telemetry-smoke
 
 clean:
 	$(GO) clean ./...

@@ -17,6 +17,7 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -34,6 +35,7 @@ import (
 	"repro/internal/pairwise"
 	"repro/internal/set"
 	"repro/internal/storage"
+	"repro/internal/telemetry"
 	"repro/internal/tpch"
 	"repro/internal/voter"
 )
@@ -48,10 +50,33 @@ var (
 	flagVoters = flag.Int("voters", 200000, "voter application rows")
 	flagRuns   = flag.Int("runs", 3, "timed runs per measurement (best reported)")
 
-	flagStats   = flag.Bool("stats", false, "print a per-query observability line (first run of each query)")
+	flagStats   = flag.Bool("stats", false, "print a per-query observability line (first run of each query) and cumulative engine metrics at exit")
+	flagJSON    = flag.String("json", "", "write per-query levelheaded measurements (name, min/mean ns, rows, dispatch) as JSON to this file")
+	flagHTTP    = flag.String("http", "", "serve /metrics and /debug endpoints on this address while the benchmark runs (all engines share one collector)")
 	flagCPUProf = flag.String("cpuprofile", "", "write a CPU profile to this file")
 	flagMemProf = flag.String("memprofile", "", "write a heap profile to this file at exit")
 )
+
+// sharedTel, when -http is set, is the collector every engine reports
+// into so the debug server sees the whole benchmark fleet. allEngines
+// tracks every engine built, for the cumulative -stats dump.
+var (
+	sharedTel  *telemetry.Collector
+	allEngines []*core.Engine
+)
+
+// benchRec is one -json output row: the levelheaded measurement of one
+// (query, dataset) cell.
+type benchRec struct {
+	Name     string `json:"name"`
+	Runs     int    `json:"runs"`
+	MinNs    int64  `json:"min_ns"`
+	MeanNs   int64  `json:"mean_ns"`
+	Rows     int    `json:"rows"`
+	Dispatch string `json:"dispatch"`
+}
+
+var benchRecs []benchRec
 
 // statsSeen dedups the -stats lines: best() reruns each query, but one
 // observability line per distinct query is what's readable.
@@ -85,6 +110,15 @@ func main() {
 			f.Close()
 		}()
 	}
+	if *flagHTTP != "" {
+		sharedTel = telemetry.NewCollector()
+		srv, err := telemetry.Serve(*flagHTTP, sharedTel)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer srv.Close()
+		fmt.Printf("telemetry: http://%s/metrics\n", srv.Addr())
+	}
 	if *flagAll {
 		*flagTable, *flagFig = "all", "all"
 	}
@@ -111,6 +145,48 @@ func main() {
 	}
 	if has(*flagFig, "6") {
 		fig6()
+	}
+	if *flagJSON != "" {
+		writeJSON(*flagJSON)
+	}
+	if *flagStats {
+		printCumulativeMetrics()
+	}
+}
+
+// writeJSON dumps the levelheaded measurements collected by benchQ.
+func writeJSON(path string) {
+	data, err := json.MarshalIndent(benchRecs, "", "  ")
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nwrote %d measurements to %s\n", len(benchRecs), path)
+}
+
+// printCumulativeMetrics sums the raw counters of every engine the run
+// built (latency quantiles are per-collector, not summable, so only
+// SnapshotCounters feeds the fleet total).
+func printCumulativeMetrics() {
+	if len(allEngines) == 0 {
+		return
+	}
+	total := map[string]int64{}
+	for _, e := range allEngines {
+		for k, v := range e.Metrics().SnapshotCounters() {
+			total[k] += v
+		}
+	}
+	keys := make([]string, 0, len(total))
+	for k := range total {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	fmt.Printf("\n=== cumulative engine metrics (%d engines)\n", len(allEngines))
+	for _, k := range keys {
+		fmt.Printf("%-26s %d\n", k, total[k])
 	}
 }
 
@@ -187,9 +263,53 @@ func denseList() []int {
 	return out
 }
 
+// newEngine builds an engine wired into the shared telemetry collector
+// (when -http is on) and tracks it for the cumulative -stats dump.
+func newEngine(opts ...core.Option) *core.Engine {
+	if sharedTel != nil {
+		opts = append(opts, core.WithTelemetry(sharedTel))
+	}
+	e := core.New(opts...)
+	allEngines = append(allEngines, e)
+	return e
+}
+
+// benchQ times one levelheaded query over -runs runs, recording
+// min/mean latency, row count and dispatch class for -json, and
+// returns the minimum (the number every table reports).
+func benchQ(eng *core.Engine, name, sql string) time.Duration {
+	rec := benchRec{Name: name, Runs: *flagRuns}
+	minD := time.Duration(1<<62 - 1)
+	var sum time.Duration
+	for i := 0; i < *flagRuns; i++ {
+		t0 := time.Now()
+		res, err := eng.Query(sql)
+		if err != nil {
+			log.Fatal(err)
+		}
+		d := time.Since(t0)
+		sum += d
+		if d < minD {
+			minD = d
+		}
+		rec.Rows = res.NumRows
+		if res.Stats != nil {
+			rec.Dispatch = res.Stats.Dispatch
+		}
+		if *flagStats && res.Stats != nil && !statsSeen[sql] {
+			statsSeen[sql] = true
+			fmt.Printf("  stats: %s\n", res.Stats.Line())
+		}
+	}
+	rec.MinNs = int64(minD)
+	rec.MeanNs = int64(sum) / int64(*flagRuns)
+	benchRecs = append(benchRecs, rec)
+	return minD
+}
+
 // tpchEngine builds a populated, cache-warmed engine.
 func tpchEngine(sf float64, opts ...core.Option) *core.Engine {
-	eng := core.New(opts...)
+	eng := newEngine(opts...)
 	if _, err := tpch.Populate(eng.Catalog(), sf, 2026); err != nil {
 		log.Fatal(err)
 	}
@@ -215,7 +335,7 @@ func tableII() {
 		cs := colstore.New(eng.Catalog())
 		for _, name := range tpch.QueryNames {
 			times := map[string]time.Duration{}
-			times["levlhd"] = best(func() { mustQ(eng, tpch.Queries[name]) })
+			times["levlhd"] = benchQ(eng, fmt.Sprintf("%s/sf%g", name, sf), tpch.Queries[name])
 			times["hyper-sim"] = best(func() { mustRows(pw.RunTPCH(name)) })
 			times["monet-sim"] = best(func() { mustRows2(cs.RunTPCH(name)) })
 			times["lb-sim"] = best(func() { mustQ(lb, tpch.Queries[name]) })
@@ -229,7 +349,7 @@ func tableII() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		eng := core.New()
+		eng := newEngine()
 		if _, err := lagen.LoadSparse(eng.Catalog(), spec, 7); err != nil {
 			log.Fatal(err)
 		}
@@ -240,14 +360,14 @@ func tableII() {
 		pw := pairwise.New(eng.Catalog())
 		cs := colstore.New(eng.Catalog())
 
-		lb := core.New(core.WithCostOptimizer(false))
+		lb := newEngine(core.WithCostOptimizer(false))
 		if _, err := lagen.LoadSparse(lb.Catalog(), spec, 7); err != nil {
 			log.Fatal(err)
 		}
 		mustQ(lb, lagen.SMVQuery)
 
 		times := map[string]time.Duration{}
-		times["levlhd"] = best(func() { mustQ(eng, lagen.SMVQuery) })
+		times["levlhd"] = benchQ(eng, "SMV/"+prof, lagen.SMVQuery)
 		y := make([]float64, spec.N)
 		times["mkl-sim"] = best(func() { blas.SpMV(csr, x, y) })
 		times["hyper-sim"] = best(func() { mustSpMV(pw.SpMV("matrix", "vec")) })
@@ -259,7 +379,7 @@ func tableII() {
 		// (the paper's oom column).
 		budget := 400_000_000
 		times = map[string]time.Duration{}
-		times["levlhd"] = best(func() { mustQ(eng, lagen.SMMQuery) })
+		times["levlhd"] = benchQ(eng, "SMM/"+prof, lagen.SMMQuery)
 		times["mkl-sim"] = best(func() { blas.SpGEMM(csr, csr) })
 		times["hyper-sim"] = timedOrOOM(func() error { _, _, err := pw.SpMM("matrix", "matrix", budget); return err })
 		times["monet-sim"] = timedOrOOM(func() error { _, _, err := cs.SpMM("matrix", "matrix", budget); return err })
@@ -268,7 +388,7 @@ func tableII() {
 
 	header("Table II — linear algebra (dense)", engines)
 	for _, n := range denseList() {
-		eng := core.New()
+		eng := newEngine()
 		if err := lagen.LoadDense(eng.Catalog(), n, 9); err != nil {
 			log.Fatal(err)
 		}
@@ -280,14 +400,14 @@ func tableII() {
 		pw := pairwise.New(eng.Catalog())
 
 		times := map[string]time.Duration{}
-		times["levlhd"] = best(func() { mustQ(eng, lagen.SMVQuery) })
+		times["levlhd"] = benchQ(eng, fmt.Sprintf("DMV/%d", n), lagen.SMVQuery)
 		y := make([]float64, n)
 		times["mkl-sim"] = best(func() { blas.Gemv(n, n, a, x, y) })
 		times["hyper-sim"] = best(func() { mustSpMV(pw.SpMV("matrix", "vec")) })
 		row("DMV", fmt.Sprint(n), times, engines)
 
 		times = map[string]time.Duration{}
-		times["levlhd"] = best(func() { mustQ(eng, lagen.SMMQuery) })
+		times["levlhd"] = benchQ(eng, fmt.Sprintf("DMM/%d", n), lagen.SMMQuery)
 		c := make([]float64, n*n)
 		times["mkl-sim"] = best(func() {
 			for i := range c {
@@ -324,12 +444,12 @@ func tableIII() {
 	// LA rows: DMM with vs without the BLAS dispatch; SMM best vs worst
 	// order.
 	for _, n := range denseList()[:1] {
-		eng := core.New()
+		eng := newEngine()
 		if err := lagen.LoadDense(eng.Catalog(), n, 9); err != nil {
 			log.Fatal(err)
 		}
 		mustQ(eng, lagen.SMMQuery)
-		noBlas := core.New(core.WithBLAS(false))
+		noBlas := newEngine(core.WithBLAS(false))
 		if err := lagen.LoadDense(noBlas.Catalog(), n, 9); err != nil {
 			log.Fatal(err)
 		}
@@ -343,7 +463,7 @@ func tableIII() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	eng := core.New()
+	eng := newEngine()
 	if _, err := lagen.LoadSparse(eng.Catalog(), spec, 7); err != nil {
 		log.Fatal(err)
 	}
@@ -367,7 +487,7 @@ func tableIV() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		eng := core.New()
+		eng := newEngine()
 		if _, err := lagen.LoadSparse(eng.Catalog(), spec, 7); err != nil {
 			log.Fatal(err)
 		}
@@ -436,7 +556,7 @@ func fig5b() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	eng := core.New()
+	eng := newEngine()
 	if _, err := lagen.LoadSparse(eng.Catalog(), spec, 7); err != nil {
 		log.Fatal(err)
 	}

@@ -1,0 +1,296 @@
+// Command lhserve runs a LevelHeaded engine behind an HTTP server: a
+// SQL-over-HTTP endpoint plus the full telemetry surface (Prometheus
+// /metrics, live query registry, trace dumps, pprof). It is the
+// "monitoring a running engine" entry point:
+//
+//	lhserve -gen tpch -sf 0.05                 # serve on 127.0.0.1:8080
+//	lhserve -gen matrix -la 0.1 -load 4        # plus 4 query-replay workers
+//	lhserve -gen matrix -http 127.0.0.1:0 -smoke
+//
+//	curl localhost:8080/metrics                # Prometheus text format
+//	curl localhost:8080/debug/queries          # in-flight queries (JSON)
+//	curl localhost:8080/debug/trace/           # retained trace IDs
+//	curl localhost:8080/debug/trace/3          # chrome://tracing JSON
+//	curl localhost:8080/debug/trace/3/tree     # indented span tree
+//	curl -d 'SELECT count(*) AS c FROM matrix' localhost:8080/query
+//
+// -slowlog FILE (with -slow THRESHOLD) appends one JSON line per query
+// slower than the threshold. -smoke runs a self-test: execute queries,
+// scrape /metrics through the real listener, and exit nonzero on any
+// failure (the CI hook).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strings"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/lagen"
+	"repro/internal/telemetry"
+	"repro/internal/tpch"
+	"repro/internal/voter"
+)
+
+var (
+	flagGen     = flag.String("gen", "matrix", "dataset to generate: tpch, matrix, voter")
+	flagSF      = flag.Float64("sf", 0.01, "TPC-H scale factor")
+	flagLA      = flag.Float64("la", 0.1, "matrix scale")
+	flagHTTP    = flag.String("http", "127.0.0.1:8080", "serve address (port 0 picks a free one)")
+	flagSlowLog = flag.String("slowlog", "", "append slow-query JSON lines to this file")
+	flagSlow    = flag.Duration("slow", 100*time.Millisecond, "slow-query threshold (0 logs every query)")
+	flagLoad    = flag.Int("load", 0, "background query-replay workers (keeps the debug endpoints lively)")
+	flagSmoke   = flag.Bool("smoke", false, "self-test: run queries, scrape /metrics, exit")
+)
+
+func main() {
+	flag.Parse()
+
+	var opts []core.Option
+	if *flagSlowLog != "" {
+		f, err := os.OpenFile(*flagSlowLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		opts = append(opts, core.WithSlowQueryLog(f, *flagSlow))
+	}
+	eng := core.New(opts...)
+	mix := populate(eng)
+
+	mux := http.NewServeMux()
+	mux.Handle("/", telemetry.Handler(eng.Telemetry()))
+	mux.HandleFunc("/query", func(w http.ResponseWriter, r *http.Request) {
+		handleQuery(eng, w, r)
+	})
+	ln, err := net.Listen("tcp", *flagHTTP)
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 10 * time.Second}
+	go srv.Serve(ln)
+	addr := ln.Addr().String()
+	fmt.Printf("lhserve: engine up — metrics at http://%s/metrics, queries via POST http://%s/query\n", addr, addr)
+
+	if *flagSmoke {
+		if err := smoke(eng, addr, mix); err != nil {
+			log.Fatal("smoke: ", err)
+		}
+		fmt.Println("smoke: ok")
+		return
+	}
+
+	stop := make(chan struct{})
+	for w := 0; w < *flagLoad; w++ {
+		go replay(eng, mix, w, stop)
+	}
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	close(stop)
+	srv.Close()
+}
+
+// populate generates the requested dataset and returns the query mix
+// the replay workers cycle through.
+func populate(eng *core.Engine) []string {
+	switch *flagGen {
+	case "tpch":
+		sz, err := tpch.Populate(eng.Catalog(), *flagSF, 2026)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("generated TPC-H SF %g (%d lineitems)\n", *flagSF, sz.Lineitem)
+		mix := make([]string, 0, len(tpch.QueryNames))
+		for _, name := range tpch.QueryNames {
+			mix = append(mix, tpch.Queries[name])
+		}
+		return mix
+	case "matrix":
+		spec, err := lagen.Profile("harbor", *flagLA)
+		if err != nil {
+			log.Fatal(err)
+		}
+		nnz, err := lagen.LoadSparse(eng.Catalog(), spec, 7)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("generated %s-sim matrix: n=%d nnz=%d\n", spec.Name, spec.N, nnz)
+		return []string{lagen.SMVQuery, lagen.SMMQuery}
+	case "voter":
+		if err := voter.Generate(eng.Catalog(), 100000, 500, 2026); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("generated voter dataset (tables: voters, precincts)")
+		return []string{`SELECT count(*) AS n FROM voters`}
+	default:
+		log.Fatalf("unknown dataset %q", *flagGen)
+		return nil
+	}
+}
+
+// replay loops over the query mix until stop closes; worker w starts at
+// offset w so concurrent workers exercise different dispatch classes.
+func replay(eng *core.Engine, mix []string, w int, stop chan struct{}) {
+	for i := w; ; i++ {
+		select {
+		case <-stop:
+			return
+		default:
+		}
+		if _, err := eng.Query(mix[i%len(mix)]); err != nil {
+			log.Printf("replay: %v", err)
+			return
+		}
+	}
+}
+
+// queryResponse is the /query JSON payload: columns, row-major values,
+// and the headline stats.
+type queryResponse struct {
+	Columns  []string        `json:"columns"`
+	Rows     [][]interface{} `json:"rows"`
+	NumRows  int             `json:"num_rows"`
+	Dispatch string          `json:"dispatch,omitempty"`
+	TotalNs  int64           `json:"total_ns"`
+}
+
+// maxHTTPRows bounds the /query payload; the row count still reports
+// the full result size.
+const maxHTTPRows = 1000
+
+func handleQuery(eng *core.Engine, w http.ResponseWriter, r *http.Request) {
+	var sql string
+	switch r.Method {
+	case http.MethodGet:
+		sql = r.URL.Query().Get("sql")
+	case http.MethodPost:
+		body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		sql = strings.TrimSpace(string(body))
+		// Accept either raw SQL or a {"sql": "..."} JSON object.
+		if strings.HasPrefix(sql, "{") {
+			var req struct {
+				SQL string `json:"sql"`
+			}
+			if err := json.Unmarshal(body, &req); err != nil {
+				http.Error(w, "bad JSON body: "+err.Error(), http.StatusBadRequest)
+				return
+			}
+			sql = req.SQL
+		}
+	default:
+		http.Error(w, "GET ?sql= or POST a query", http.StatusMethodNotAllowed)
+		return
+	}
+	if sql == "" {
+		http.Error(w, "empty query", http.StatusBadRequest)
+		return
+	}
+	res, err := eng.QueryContext(r.Context(), sql)
+	if err != nil {
+		http.Error(w, err.Error(), http.StatusBadRequest)
+		return
+	}
+	resp := queryResponse{NumRows: res.NumRows}
+	if res.Stats != nil {
+		resp.Dispatch = res.Stats.Dispatch
+		resp.TotalNs = int64(res.Stats.Phases.Total)
+	}
+	n := res.NumRows
+	if n > maxHTTPRows {
+		n = maxHTTPRows
+	}
+	for _, c := range res.Cols {
+		resp.Columns = append(resp.Columns, c.Name)
+	}
+	resp.Rows = make([][]interface{}, n)
+	for i := 0; i < n; i++ {
+		row := make([]interface{}, len(res.Cols))
+		for j, c := range res.Cols {
+			switch {
+			case c.I64 != nil:
+				row[j] = c.I64[i]
+			case c.Str != nil:
+				row[j] = c.Str[i]
+			default:
+				row[j] = c.F64[i]
+			}
+		}
+		resp.Rows[i] = row
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(resp)
+}
+
+// smoke executes the query mix, then validates the whole telemetry
+// surface through the real listener.
+func smoke(eng *core.Engine, addr string, mix []string) error {
+	var rows atomic.Int64
+	for _, sql := range mix {
+		res, err := eng.Query(sql)
+		if err != nil {
+			return fmt.Errorf("query %q: %w", sql, err)
+		}
+		rows.Add(int64(res.NumRows))
+	}
+	get := func(path string) (string, error) {
+		resp, err := http.Get("http://" + addr + path)
+		if err != nil {
+			return "", err
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != http.StatusOK {
+			return "", fmt.Errorf("GET %s: status %d", path, resp.StatusCode)
+		}
+		return string(body), nil
+	}
+	metrics, err := get("/metrics")
+	if err != nil {
+		return err
+	}
+	for _, want := range []string{
+		"levelheaded_queries",
+		"levelheaded_query_latency_seconds_bucket",
+		`le="+Inf"`,
+	} {
+		if !strings.Contains(metrics, want) {
+			return fmt.Errorf("/metrics missing %q", want)
+		}
+	}
+	if _, err := get("/debug/queries"); err != nil {
+		return err
+	}
+	ids := eng.Telemetry().Registry.TraceIDs()
+	if len(ids) == 0 {
+		return fmt.Errorf("no retained traces after %d queries", len(mix))
+	}
+	trace, err := get(fmt.Sprintf("/debug/trace/%d", ids[0]))
+	if err != nil {
+		return err
+	}
+	var events []map[string]interface{}
+	if err := json.Unmarshal([]byte(trace), &events); err != nil {
+		return fmt.Errorf("trace %d is not chrome trace JSON: %w", ids[0], err)
+	}
+	if len(events) == 0 {
+		return fmt.Errorf("trace %d has no events", ids[0])
+	}
+	fmt.Printf("smoke: %d queries, %d result rows, %d metric bytes, trace %d has %d spans\n",
+		len(mix), rows.Load(), len(metrics), ids[0], len(events))
+	return nil
+}

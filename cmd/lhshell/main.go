@@ -11,6 +11,8 @@
 //	\d <table>       describe one table
 //	\explain <sql>   show hypergraph / GHD / attribute order
 //	\stats           show cumulative engine metrics
+//	\metrics         same as \stats (counters plus latency quantiles)
+//	\queries         show in-flight queries and recent trace IDs
 //	\timing          toggle per-query timing
 //	\q               quit
 //
@@ -74,7 +76,7 @@ func main() {
 		log.Fatalf("unknown dataset %q", *gen)
 	}
 
-	fmt.Println("LevelHeaded shell — \\q to quit, \\d to list tables, \\explain <sql> for plans")
+	fmt.Println("LevelHeaded shell — \\q to quit, \\d to list tables, \\explain <sql> for plans, \\metrics and \\queries for telemetry")
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	timing := true
@@ -122,8 +124,20 @@ func main() {
 				continue
 			}
 			fmt.Print(s)
-		case line == `\stats`:
+		case line == `\stats` || line == `\metrics`:
 			fmt.Print(eng.Metrics().SnapshotString())
+		case line == `\queries`:
+			reg := eng.Telemetry().Registry
+			infos := reg.List()
+			if len(infos) == 0 {
+				fmt.Println("no queries in flight")
+			}
+			for _, qi := range infos {
+				fmt.Printf("#%-4d %-10v %-10s %s\n", qi.ID, qi.Elapsed.Round(time.Millisecond), qi.Phase, qi.SQL)
+			}
+			if ids := reg.TraceIDs(); len(ids) > 0 {
+				fmt.Printf("retained traces: %v (run EXPLAIN ANALYZE <sql> to see spans)\n", ids)
+			}
 		case len(line) >= len(explainAnalyze) && strings.EqualFold(line[:len(explainAnalyze)], explainAnalyze):
 			sql := strings.TrimSpace(line[len(explainAnalyze):])
 			s, err := eng.ExplainAnalyze(sql)

@@ -7,7 +7,9 @@ package core
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
+	"io"
 	"strings"
 	"sync"
 	"time"
@@ -19,6 +21,7 @@ import (
 	"repro/internal/qerr"
 	"repro/internal/sqlparse"
 	"repro/internal/storage"
+	"repro/internal/telemetry"
 )
 
 // Engine is a LevelHeaded instance: a catalog plus query machinery.
@@ -29,6 +32,8 @@ type Engine struct {
 	cache   *exec.TrieCache
 	plans   map[string]*preparedPlan
 	metrics obs.EngineMetrics
+	tel     *telemetry.Collector
+	slow    *slowLog
 
 	threads    int
 	noAttrElim bool
@@ -66,12 +71,31 @@ func WithBLAS(on bool) Option { return func(e *Engine) { e.noBLAS = !on } }
 // (the physical index whose creation the paper's timings exclude).
 func WithTrieCache(on bool) Option { return func(e *Engine) { e.noCache = !on } }
 
+// WithTelemetry shares a telemetry collector with this engine instead
+// of creating a private one — histograms, the live query registry and
+// the /metrics counter export then aggregate over every engine bound
+// to the collector (lhbench runs a fleet of engines behind one debug
+// server).
+func WithTelemetry(c *telemetry.Collector) Option { return func(e *Engine) { e.tel = c } }
+
+// WithSlowQueryLog emits one JSON line per query whose total latency
+// reaches threshold (phase breakdown, dispatch class, rows, error).
+// The writer is serialized internally; pass os.Stderr or a log file.
+func WithSlowQueryLog(w io.Writer, threshold time.Duration) Option {
+	return func(e *Engine) { e.slow = &slowLog{w: w, threshold: threshold} }
+}
+
 // New creates an empty engine.
 func New(opts ...Option) *Engine {
 	e := &Engine{cat: storage.NewCatalog(), cache: exec.NewTrieCache(), plans: map[string]*preparedPlan{}}
 	for _, o := range opts {
 		o(e)
 	}
+	if e.tel == nil {
+		e.tel = telemetry.NewCollector()
+	}
+	e.tel.AddCounterSource(e.metrics.SnapshotCounters)
+	e.metrics.SetExtra(e.tel.Quantiles)
 	return e
 }
 
@@ -124,28 +148,41 @@ func (e *Engine) QueryContext(ctx context.Context, sql string) (*exec.Result, er
 
 // QueryWithContext is the full-form entry point: context plus per-query
 // overrides. Every other query method delegates here, so one run per
-// query is timed, counted and recorded into the engine metrics, and the
-// returned Result carries its QueryStats.
+// query is timed, traced, registered in the live query registry,
+// counted into the engine metrics and latency histograms, and the
+// returned Result carries its QueryStats (including the span trace).
 func (e *Engine) QueryWithContext(ctx context.Context, sql string, qo QueryOptions) (*exec.Result, error) {
-	st := &obs.QueryStats{SQL: sql}
+	st := &obs.QueryStats{SQL: sql, Trace: telemetry.NewTrace(sql)}
+	// The derived cancel is what makes an in-flight query killable from
+	// the registry (and the debug server's cancel endpoint).
+	ctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	aq := e.tel.Registry.Register(sql, cancel, st.Trace)
 	t0 := time.Now()
-	res, err := e.runQuery(ctx, sql, qo, st)
+	res, err := e.runQuery(ctx, sql, qo, st, aq)
 	st.Phases.Total = time.Since(t0)
+	st.Trace.Finish()
+	e.tel.Registry.Finish(aq)
+	e.observeLatency(st, err)
 	if err != nil {
 		e.metrics.RecordError()
+		e.logSlow(st, err)
 		return nil, err
 	}
 	st.RowsOut = res.NumRows
 	res.Stats = st
 	e.metrics.Record(st)
+	e.logSlow(st, nil)
 	return res, nil
 }
 
-func (e *Engine) runQuery(ctx context.Context, sql string, qo QueryOptions, st *obs.QueryStats) (*exec.Result, error) {
+func (e *Engine) runQuery(ctx context.Context, sql string, qo QueryOptions, st *obs.QueryStats, aq *telemetry.ActiveQuery) (*exec.Result, error) {
+	aq.SetPhase("prepare")
 	p, ch, err := e.prepareStats(sql, qo, st)
 	if err != nil {
 		return nil, err
 	}
+	aq.SetPhase("execute")
 	opts := e.execOptions(qo)
 	opts.Ctx = ctx
 	opts.Stats = st
@@ -154,6 +191,86 @@ func (e *Engine) runQuery(ctx context.Context, sql string, qo QueryOptions, st *
 		return nil, &qerr.ExecError{SQL: sql, Err: err}
 	}
 	return res, nil
+}
+
+// observeLatency feeds one finished query into the latency histograms:
+// every nonzero phase, plus whole-query latency under the dispatch
+// class the query ended on (error'd queries have no class).
+func (e *Engine) observeLatency(st *obs.QueryStats, err error) {
+	c := e.tel
+	c.ObservePhase("total", st.Phases.Total)
+	for _, p := range [...]struct {
+		name string
+		d    time.Duration
+	}{
+		{"parse", st.Phases.Parse}, {"plan", st.Phases.Plan},
+		{"freeze", st.Phases.Freeze}, {"compile", st.Phases.Compile},
+		{"execute", st.Phases.Execute}, {"output", st.Phases.Output},
+	} {
+		if p.d > 0 {
+			c.ObservePhase(p.name, p.d)
+		}
+	}
+	if err == nil {
+		c.ObserveClass(st.Dispatch, st.Phases.Total)
+	}
+}
+
+// slowLog is the structured slow-query log: JSON lines for every query
+// at or above the threshold, serialized on one writer.
+type slowLog struct {
+	mu        sync.Mutex
+	w         io.Writer
+	threshold time.Duration
+}
+
+// slowEntry is one slow-query log line.
+type slowEntry struct {
+	TS        string `json:"ts"`
+	QueryID   uint64 `json:"query_id"`
+	SQL       string `json:"sql"`
+	TotalNs   int64  `json:"total_ns"`
+	ParseNs   int64  `json:"parse_ns,omitempty"`
+	PlanNs    int64  `json:"plan_ns,omitempty"`
+	FreezeNs  int64  `json:"freeze_ns,omitempty"`
+	CompileNs int64  `json:"compile_ns,omitempty"`
+	ExecNs    int64  `json:"execute_ns,omitempty"`
+	OutputNs  int64  `json:"output_ns,omitempty"`
+	Dispatch  string `json:"dispatch,omitempty"`
+	Rows      int    `json:"rows"`
+	Error     string `json:"error,omitempty"`
+}
+
+// logSlow emits a slow-query line when configured and over threshold.
+func (e *Engine) logSlow(st *obs.QueryStats, err error) {
+	if e.slow == nil || st.Phases.Total < e.slow.threshold {
+		return
+	}
+	ent := slowEntry{
+		TS:        time.Now().UTC().Format(time.RFC3339Nano),
+		QueryID:   st.Trace.ID(),
+		SQL:       st.SQL,
+		TotalNs:   int64(st.Phases.Total),
+		ParseNs:   int64(st.Phases.Parse),
+		PlanNs:    int64(st.Phases.Plan),
+		FreezeNs:  int64(st.Phases.Freeze),
+		CompileNs: int64(st.Phases.Compile),
+		ExecNs:    int64(st.Phases.Execute),
+		OutputNs:  int64(st.Phases.Output),
+		Dispatch:  st.Dispatch,
+		Rows:      st.RowsOut,
+	}
+	if err != nil {
+		ent.Error = err.Error()
+	}
+	line, jerr := json.Marshal(ent)
+	if jerr != nil {
+		return
+	}
+	line = append(line, '\n')
+	e.slow.mu.Lock()
+	e.slow.w.Write(line)
+	e.slow.mu.Unlock()
 }
 
 // ExplainAnalyze runs the query and renders the plan followed by the
@@ -172,11 +289,20 @@ func (e *Engine) ExplainAnalyzeContext(ctx context.Context, sql string) (string,
 	if err != nil {
 		return "", err
 	}
-	return plan + res.Stats.String(), nil
+	out := plan + res.Stats.String()
+	if tree := res.Stats.Trace.TreeString(); tree != "" {
+		out += "spans:\n" + tree
+	}
+	return out, nil
 }
 
 // Metrics exposes the engine's cumulative observability counters.
 func (e *Engine) Metrics() *obs.EngineMetrics { return &e.metrics }
+
+// Telemetry exposes the engine's telemetry collector: latency
+// histograms, the live query registry, and the counter aggregation
+// behind the debug HTTP server's /metrics.
+func (e *Engine) Telemetry() *telemetry.Collector { return e.tel }
 
 // Prepare compiles a query without running it, returning the logical
 // plan and chosen orders (used by EXPLAIN and by benchmarks that want
@@ -224,14 +350,24 @@ func (e *Engine) prepare(sql string, qo QueryOptions) (*planner.Plan, *costopt.C
 }
 
 // prepareStats is prepare with optional stats capture: parse/plan phase
-// durations, plan-cache behavior, and the GHD/order decision.
+// durations (mirrored as trace spans), plan-cache behavior, and the
+// GHD/order decision.
 func (e *Engine) prepareStats(sql string, qo QueryOptions, st *obs.QueryStats) (*planner.Plan, *costopt.Choice, error) {
+	var tr *telemetry.Trace
+	if st != nil {
+		tr = st.Trace
+	}
 	tf := time.Now()
 	if err := e.Freeze(); err != nil {
 		return nil, nil, err
 	}
 	if st != nil {
 		st.Phases.Freeze = time.Since(tf)
+		if st.Phases.Freeze > time.Millisecond {
+			// Only a first-query freeze is worth a span; a no-op
+			// freeze check would just be tree noise.
+			tr.Add(tr.Root(), telemetry.SpanPhase, "freeze", tf, time.Now())
+		}
 	}
 	key := fmt.Sprintf("%s|%v|%v|%v|%v|%v", sql, e.noCostOpt, e.pickWorst || qo.WorstOrder, qo.ForcedOrder, qo.ForcedRelaxed, e.noAttrElim)
 	e.mu.Lock()
@@ -251,6 +387,7 @@ func (e *Engine) prepareStats(sql string, qo QueryOptions, st *obs.QueryStats) (
 	}
 	if st != nil {
 		st.Phases.Parse = time.Since(tp)
+		tr.Add(tr.Root(), telemetry.SpanPhase, "parse", tp, time.Now())
 	}
 	tq := time.Now()
 	p, err := planner.Build(q, e.cat)
@@ -269,6 +406,7 @@ func (e *Engine) prepareStats(sql string, qo QueryOptions, st *obs.QueryStats) (
 	}
 	if st != nil {
 		st.Phases.Plan = time.Since(tq)
+		tr.Add(tr.Root(), telemetry.SpanPhase, "plan", tq, time.Now())
 		recordPlanStats(st, p, ch)
 	}
 	e.mu.Lock()

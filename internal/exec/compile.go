@@ -11,6 +11,7 @@ import (
 	"repro/internal/planner"
 	"repro/internal/sqlparse"
 	"repro/internal/storage"
+	"repro/internal/telemetry"
 	"repro/internal/trie"
 )
 
@@ -104,6 +105,9 @@ type compiled struct {
 	opts   Options
 	root   *cNode
 	groups []groupDecoder
+	// execSpan is the execute-phase span the dispatch kernels parent
+	// their kernel spans under (SpanID(0) when telemetry is off).
+	execSpan telemetry.SpanID
 }
 
 // compile builds query tries for every relation of every GHD node and

@@ -4,6 +4,7 @@ import (
 	"repro/internal/blas"
 	"repro/internal/obs"
 	"repro/internal/planner"
+	"repro/internal/telemetry"
 	"repro/internal/trie"
 )
 
@@ -111,8 +112,11 @@ func denseMM(c *compiled, a, b *cRel, aBuf, bBuf []float64) (*Result, bool, erro
 	if c.opts.Stats != nil {
 		c.opts.Stats.Dispatch = obs.DispatchDenseMM
 	}
+	tr := stTrace(c.opts.Stats)
+	ks := tr.Begin(c.execSpan, telemetry.SpanKernel, obs.DispatchDenseMM)
 	cBuf := make([]float64, m*nOut)
 	gemmNT(m, k, nOut, aBuf, bBuf, cBuf)
+	tr.End(ks)
 
 	// Build the output: key columns plus the annotation (the <2% cost
 	// the paper notes for producing key values).
@@ -159,8 +163,11 @@ func denseMV(c *compiled, a, x *cRel, aBuf, xBuf []float64) (*Result, bool, erro
 	if c.opts.Stats != nil {
 		c.opts.Stats.Dispatch = obs.DispatchDenseMV
 	}
+	tr := stTrace(c.opts.Stats)
+	ks := tr.Begin(c.execSpan, telemetry.SpanKernel, obs.DispatchDenseMV)
 	y := make([]float64, m)
 	blas.Gemv(m, k, aBuf, xBuf, y)
+	tr.End(ks)
 	iCol := &Column{Name: colNameFor(c, g0), Kind: KindInt, I64: make([]int64, m)}
 	for i := 0; i < m; i++ {
 		iCol.I64[i] = g0.domain.DecodeInt(aRowBase + uint32(i))

@@ -17,7 +17,17 @@ import (
 	"repro/internal/obs"
 	"repro/internal/planner"
 	"repro/internal/storage"
+	"repro/internal/telemetry"
 )
+
+// stTrace extracts the span trace threaded through Options.Stats.
+// Both layers are nil-safe, so executors record spans unconditionally.
+func stTrace(st *obs.QueryStats) *telemetry.Trace {
+	if st == nil {
+		return nil
+	}
+	return st.Trace
+}
 
 // Options configures one execution.
 type Options struct {
@@ -158,32 +168,44 @@ func Run(p *planner.Plan, ch *costopt.Choice, cat *storage.Catalog, opts Options
 	if st != nil {
 		st.Threads = opts.threads()
 	}
+	tr := stTrace(st)
 	if p.ScalarScan {
 		if st != nil {
 			st.Dispatch = obs.DispatchScalarScan
 		}
 		t0 := time.Now()
-		res, err := runScalarScan(p, opts)
+		es := tr.Begin(tr.Root(), telemetry.SpanPhase, "execute")
+		res, err := runScalarScan(p, opts, es)
+		tr.End(es)
 		if st != nil {
 			st.Phases.Execute = time.Since(t0)
 		}
 		return res, err
 	}
 	t0 := time.Now()
+	cs := tr.Begin(tr.Root(), telemetry.SpanPhase, "compile")
 	c, err := compile(p, ch, cat, opts)
+	tr.End(cs)
 	if st != nil {
 		st.Phases.Compile = time.Since(t0)
 	}
 	if err != nil {
 		return nil, err
 	}
+	// One execute span covers whichever dispatch commits (its kernel
+	// span identifies the strategy; an unmatched fast-path probe costs
+	// microseconds and stays inside the same interval).
+	es := tr.Begin(tr.Root(), telemetry.SpanPhase, "execute")
+	c.execSpan = es
 	// Dense LA dispatch (§III-D): attribute elimination leaves dense
 	// annotation buffers BLAS-compatible; call the kernel opaquely.
 	if !opts.NoAttrElim && !opts.NoBLAS {
 		t1 := time.Now()
 		if res, ok, err := tryDenseDispatch(c); err != nil {
+			tr.End(es)
 			return nil, err
 		} else if ok {
+			tr.End(es)
 			if st != nil {
 				st.Phases.Execute = time.Since(t1)
 			}
@@ -196,8 +218,10 @@ func Run(p *planner.Plan, ch *costopt.Choice, cat *storage.Catalog, opts Options
 	if !opts.NoFastPath {
 		t1 := time.Now()
 		if res, ok, err := trySpMVFastPath(c, opts); err != nil {
+			tr.End(es)
 			return nil, err
 		} else if ok {
+			tr.End(es)
 			if st != nil {
 				st.Phases.Execute = time.Since(t1)
 			}
@@ -208,7 +232,8 @@ func Run(p *planner.Plan, ch *costopt.Choice, cat *storage.Catalog, opts Options
 		st.Dispatch = obs.DispatchWCOJ
 	}
 	t1 := time.Now()
-	rows, hacc, err := runNode(c.root, opts)
+	rows, hacc, err := runNode(c.root, opts, es)
+	tr.End(es)
 	if err != nil {
 		return nil, err
 	}
@@ -216,12 +241,14 @@ func Run(p *planner.Plan, ch *costopt.Choice, cat *storage.Catalog, opts Options
 		st.Phases.Execute = time.Since(t1)
 	}
 	t2 := time.Now()
+	os := tr.Begin(tr.Root(), telemetry.SpanPhase, "output")
 	var res *Result
 	if hacc != nil {
 		res, err = assembleHash(c, hacc)
 	} else {
 		res, err = assemble(c, rows)
 	}
+	tr.End(os)
 	if st != nil && err == nil {
 		st.Phases.Output = time.Since(t2)
 	}

@@ -6,6 +6,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/planner"
 	"repro/internal/set"
+	"repro/internal/telemetry"
 )
 
 // trySpMVFastPath recognizes the two-relation matrix–vector pattern —
@@ -87,6 +88,9 @@ func spmvGather(c *compiled, opts Options, m, v *cRel, mBuf, vBuf []float64) (*R
 	if opts.Stats != nil {
 		opts.Stats.Dispatch = obs.DispatchSpMVGather
 	}
+	tr := stTrace(opts.Stats)
+	ks := tr.Begin(c.execSpan, telemetry.SpanKernel, obs.DispatchSpMVGather)
+	defer tr.End(ks)
 	threads := opts.threads()
 	parallelRange(threads, nRows, func(lo, hi int) {
 		for r := lo; r < hi; r++ {
@@ -130,6 +134,9 @@ func spmvScatter(c *compiled, opts Options, m, v *cRel, mBuf, vBuf []float64) (*
 	if opts.Stats != nil {
 		opts.Stats.Dispatch = obs.DispatchSpMVScatter
 	}
+	tr := stTrace(opts.Stats)
+	ks := tr.Begin(c.execSpan, telemetry.SpanKernel, obs.DispatchSpMVScatter)
+	defer tr.End(ks)
 	threads := opts.threads()
 	accs := make([][]float64, threads)
 	touches := make([][]bool, threads)

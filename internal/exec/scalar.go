@@ -6,13 +6,18 @@ import (
 	"sync"
 
 	"repro/internal/expr"
+	"repro/internal/obs"
 	"repro/internal/planner"
+	"repro/internal/telemetry"
 )
 
 // runScalarScan executes the single-relation, no-join, no-group-by fast
 // path (paper Q6): a parallel filtered fold over the base columns — the
 // |V| = 0 base case of the WCOJ recursion.
-func runScalarScan(p *planner.Plan, opts Options) (*Result, error) {
+func runScalarScan(p *planner.Plan, opts Options, parent telemetry.SpanID) (*Result, error) {
+	tr := stTrace(opts.Stats)
+	ks := tr.Begin(parent, telemetry.SpanKernel, obs.DispatchScalarScan)
+	defer tr.End(ks)
 	if len(p.Rels) != 1 {
 		return nil, fmt.Errorf("exec: scalar scan requires one relation")
 	}

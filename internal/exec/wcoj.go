@@ -4,10 +4,12 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"strings"
 	"sync"
 
 	"repro/internal/planner"
 	"repro/internal/set"
+	"repro/internal/telemetry"
 	"repro/internal/trie"
 )
 
@@ -135,15 +137,29 @@ func (n *cNode) outKeyAttrs() []string {
 // results become relations of this node — Yannakakis' algorithm), then
 // the WCOJ recursion with the outermost loop parallelized (parfor,
 // §III-D).
-func runNode(n *cNode, opts Options) (*rowsBuf, *hashAcc, error) {
+func runNode(n *cNode, opts Options, parent telemetry.SpanID) (*rowsBuf, *hashAcc, error) {
 	if err := ctxErr(opts.Ctx); err != nil {
 		return nil, nil, err
 	}
+	tr := stTrace(opts.Stats)
+	sp := tr.Begin(parent, telemetry.SpanNode, "node ["+strings.Join(n.order, " ")+"]")
+	// nodeStats collects only this node's kernel counters — the level-0
+	// intersection plus the parfor workers' merge. The span carries that
+	// per-node view; the fold below keeps QueryStats.Intersect equal to
+	// the sum over node spans. Child nodes fold separately, so counts are
+	// attributed exactly once.
+	var nodeStats set.Stats
+	defer func() {
+		tr.EndWithStats(sp, &nodeStats)
+		if opts.Stats != nil {
+			opts.Stats.Intersect.Add(&nodeStats)
+		}
+	}()
 	for _, cr := range n.rels {
 		if cr.child == nil {
 			continue
 		}
-		childRows, _, err := runNode(cr.child, opts)
+		childRows, _, err := runNode(cr.child, opts, sp)
 		if err != nil {
 			return nil, nil, err
 		}
@@ -160,13 +176,9 @@ func runNode(n *cNode, opts Options) (*rowsBuf, *hashAcc, error) {
 	nAggs := len(n.aggs)
 	out := &rowsBuf{kWidth: n.outKeyWidth(), aWidth: nAggs}
 
-	// Level-0 iteration set (counted against the query stats directly:
+	// Level-0 iteration set (counted against this node's stats directly:
 	// this runs once per node, before the parfor fan-out).
-	var l0Stat *set.Stats
-	if opts.Stats != nil {
-		l0Stat = &opts.Stats.Intersect
-	}
-	vals, err := levelZeroValues(n, l0Stat)
+	vals, err := levelZeroValues(n, &nodeStats)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -217,13 +229,11 @@ func runNode(n *cNode, opts Options) (*rowsBuf, *hashAcc, error) {
 		}(w, vals[lo:hi])
 	}
 	wg.Wait()
-	// Parfor join: merge per-worker kernel counters into the query stats
+	// Parfor join: merge per-worker kernel counters into the node stats
 	// (the only place worker counters touch shared state).
-	if opts.Stats != nil {
-		for _, w := range workers {
-			if w != nil {
-				opts.Stats.Intersect.Add(&w.iStats)
-			}
+	for _, w := range workers {
+		if w != nil {
+			nodeStats.Add(&w.iStats)
 		}
 	}
 	for _, e := range errs {

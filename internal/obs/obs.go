@@ -19,6 +19,7 @@ import (
 	"time"
 
 	"repro/internal/set"
+	"repro/internal/telemetry"
 )
 
 // Dispatch labels for the execution strategy a query ended up on.
@@ -49,6 +50,13 @@ type Phases struct {
 type QueryStats struct {
 	SQL    string
 	Phases Phases
+
+	// Trace is the query's hierarchical span record (query → phase →
+	// GHD node → kernel); nil when the engine ran without telemetry
+	// (e.g. the bare Prepare/Execute benchmark path). All telemetry
+	// span operations are nil-safe, so executors record through this
+	// field unconditionally.
+	Trace *telemetry.Trace
 
 	// PlanCached reports whether the (plan, orders) pair came from the
 	// prepared-plan cache (parse/plan phases then read ~0).
@@ -149,6 +157,18 @@ type EngineMetrics struct {
 	TrieCacheMisses atomic.Uint64
 	TriesBuilt      atomic.Uint64
 	PlanCacheHits   atomic.Uint64
+
+	// extra, when set, supplies derived gauges (the telemetry
+	// collector's latency quantiles) merged into Snapshot. Counters
+	// alone are exported by SnapshotCounters so fleet-level
+	// aggregation never double-counts derived values.
+	extra atomic.Pointer[func() map[string]int64]
+}
+
+// SetExtra installs a derived-gauge source merged into Snapshot (the
+// engine wires the telemetry collector's p50/p95/p99 here).
+func (m *EngineMetrics) SetExtra(f func() map[string]int64) {
+	m.extra.Store(&f)
 }
 
 // Record folds one finished query's stats into the totals.
@@ -178,8 +198,21 @@ func (m *EngineMetrics) Record(q *QueryStats) {
 // RecordError counts a failed query.
 func (m *EngineMetrics) RecordError() { m.Errors.Add(1) }
 
-// Snapshot exports the totals as an expvar-style flat map.
+// Snapshot exports the totals as an expvar-style flat map, including
+// any derived gauges installed with SetExtra (latency quantiles).
 func (m *EngineMetrics) Snapshot() map[string]int64 {
+	snap := m.SnapshotCounters()
+	if f := m.extra.Load(); f != nil {
+		for k, v := range (*f)() {
+			snap[k] = v
+		}
+	}
+	return snap
+}
+
+// SnapshotCounters exports only the raw cumulative counters (no
+// derived gauges) — the summable form for aggregating across engines.
+func (m *EngineMetrics) SnapshotCounters() map[string]int64 {
 	return map[string]int64{
 		"queries":                  int64(m.Queries.Load()),
 		"errors":                   int64(m.Errors.Load()),

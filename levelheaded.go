@@ -35,6 +35,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/qerr"
 	"repro/internal/storage"
+	"repro/internal/telemetry"
 )
 
 // Re-exported storage types: schemas classify every attribute as a Key
@@ -60,6 +61,20 @@ type (
 	QueryStats = obs.QueryStats
 	// EngineMetrics accumulates per-engine totals across queries.
 	EngineMetrics = obs.EngineMetrics
+	// Telemetry is the engine-wide telemetry collector: latency
+	// histograms per phase and dispatch class, the live query registry,
+	// and retained traces. Share one across engines with WithTelemetry
+	// to aggregate a fleet behind a single debug server.
+	Telemetry = telemetry.Collector
+	// Trace is one query's hierarchical span record (query → phase →
+	// GHD node → kernel), reachable from QueryStats.Trace; render it
+	// with TreeString or export it with ChromeTraceJSON.
+	Trace = telemetry.Trace
+	// QueryInfo describes one in-flight (or recently finished) query in
+	// the live registry.
+	QueryInfo = telemetry.QueryInfo
+	// DebugServer is a running telemetry HTTP server (see ServeDebug).
+	DebugServer = telemetry.Server
 )
 
 // Typed errors. All are errors.Is/As-compatible and carry the offending
@@ -116,7 +131,25 @@ var (
 	WithBLAS = core.WithBLAS
 	// WithTrieCache toggles cross-query reuse of unfiltered tries.
 	WithTrieCache = core.WithTrieCache
+	// WithTelemetry shares an existing telemetry collector with the
+	// engine (instead of the private one every engine otherwise gets).
+	WithTelemetry = core.WithTelemetry
+	// WithSlowQueryLog emits one JSON line per query slower than the
+	// threshold (threshold 0 logs every query).
+	WithSlowQueryLog = core.WithSlowQueryLog
 )
+
+// NewTelemetry creates a standalone telemetry collector to share across
+// engines via WithTelemetry.
+func NewTelemetry() *Telemetry { return telemetry.NewCollector() }
+
+// ServeDebug starts the telemetry HTTP server on addr (host:port;
+// port 0 picks a free one) exposing /metrics in Prometheus text format,
+// /debug/queries, /debug/trace/<id>, and /debug/pprof. Close the
+// returned server to stop it.
+func ServeDebug(addr string, t *Telemetry) (*DebugServer, error) {
+	return telemetry.Serve(addr, t)
+}
 
 // Engine is a LevelHeaded database instance.
 type Engine struct {
@@ -202,3 +235,8 @@ func (e *Engine) Metrics() *EngineMetrics { return e.inner.Metrics() }
 
 // CacheSize reports how many unfiltered tries are cached.
 func (e *Engine) CacheSize() int { return e.inner.CacheSize() }
+
+// Telemetry exposes the engine's telemetry collector (latency
+// histograms, live query registry, retained traces) — pass it to
+// ServeDebug to monitor the engine over HTTP.
+func (e *Engine) Telemetry() *Telemetry { return e.inner.Telemetry() }
