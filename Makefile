@@ -1,6 +1,13 @@
 GO ?= go
 
-.PHONY: all build vet test race bench-smoke telemetry-race telemetry-smoke ci clean
+# bench-save/bench-compare parameters: the committed baseline file and
+# the scale factor it was measured at.
+BENCH_BASELINE ?= BENCH_tpch.json
+BENCH_SF ?= 0.01
+BENCH_COUNT ?= 5
+BENCH_WARMUP ?= 2
+
+.PHONY: all build vet test race bench-smoke bench-save bench-compare telemetry-race telemetry-smoke ci clean
 
 all: build
 
@@ -17,9 +24,23 @@ race:
 	$(GO) test -race ./...
 
 # Short benchmark smoke: one pass over the TPC-H suite at the smallest
-# scale, enough to notice a hot-path regression without a full run.
+# scale plus the zero-allocation guards on the set-intersection and
+# aggregation inner loops — enough to notice a hot-path regression (or
+# perf plumbing rot) without a full run.
 bench-smoke:
 	$(GO) test -run '^$$' -bench 'BenchmarkTableII_TPCH' -benchtime 1x .
+	$(GO) test -run 'ZeroAllocs' -count=1 ./internal/set ./internal/exec
+
+# Snapshot the TPC-H perf baseline into $(BENCH_BASELINE). Run on a
+# quiet machine; commit the result so bench-compare has a reference.
+bench-save:
+	$(GO) run ./cmd/lhbench -suite tpch -sf $(BENCH_SF) -count $(BENCH_COUNT) -warmup $(BENCH_WARMUP) -json $(BENCH_BASELINE)
+
+# Diff a fresh run against the committed baseline (benchstat-style
+# geomean + per-query table, via the in-repo cmd/benchdiff).
+bench-compare:
+	$(GO) run ./cmd/lhbench -suite tpch -sf $(BENCH_SF) -count $(BENCH_COUNT) -warmup $(BENCH_WARMUP) -json /tmp/bench_current.json
+	$(GO) run ./cmd/benchdiff $(BENCH_BASELINE) /tmp/bench_current.json
 
 # Focused race check on the lock-free telemetry paths (histogram
 # recording, span buffers, registry) and their integration points.

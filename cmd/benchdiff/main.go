@@ -1,0 +1,148 @@
+// Command benchdiff compares two lhbench -json measurement files (the
+// committed baseline vs a fresh run), reporting per-query time and
+// allocation deltas plus the geometric-mean time ratio — an in-repo,
+// dependency-free stand-in for benchstat.
+//
+//	go run ./cmd/benchdiff BENCH_tpch.json /tmp/bench_new.json
+//
+// A ratio < 1.00x means the new run is faster. With -max-ratio set,
+// benchdiff exits nonzero when the geomean exceeds it (CI regression
+// gate).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"os"
+)
+
+type rec struct {
+	Name       string `json:"name"`
+	Runs       int    `json:"runs"`
+	MinNs      int64  `json:"min_ns"`
+	MeanNs     int64  `json:"mean_ns"`
+	Rows       int    `json:"rows"`
+	Dispatch   string `json:"dispatch"`
+	AllocPerOp int64  `json:"alloc_bytes_per_op"`
+}
+
+var flagMaxRatio = flag.Float64("max-ratio", 0, "fail (exit 1) when the geomean time ratio new/old exceeds this (0 = report only)")
+
+func load(path string) map[string]rec {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var rs []rec
+	if err := json.Unmarshal(data, &rs); err != nil {
+		log.Fatalf("%s: %v", path, err)
+	}
+	m := make(map[string]rec, len(rs))
+	order = order[:0]
+	for _, r := range rs {
+		if _, dup := m[r.Name]; !dup {
+			order = append(order, r.Name)
+		}
+		m[r.Name] = r
+	}
+	return m
+}
+
+// order preserves the baseline file's row order for stable output.
+var order []string
+
+func fmtNs(ns int64) string {
+	switch {
+	case ns >= 1e9:
+		return fmt.Sprintf("%.2fs", float64(ns)/1e9)
+	case ns >= 1e6:
+		return fmt.Sprintf("%.2fms", float64(ns)/1e6)
+	case ns >= 1e3:
+		return fmt.Sprintf("%.1fµs", float64(ns)/1e3)
+	default:
+		return fmt.Sprintf("%dns", ns)
+	}
+}
+
+func fmtB(b int64) string {
+	switch {
+	case b >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", float64(b)/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", float64(b)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", b)
+	}
+}
+
+func main() {
+	flag.Parse()
+	if flag.NArg() != 2 {
+		fmt.Fprintln(os.Stderr, "usage: benchdiff [-max-ratio R] old.json new.json")
+		os.Exit(2)
+	}
+	oldM := load(flag.Arg(0))
+	oldOrder := append([]string(nil), order...)
+	newM := load(flag.Arg(1))
+
+	fmt.Printf("%-16s %12s %12s %8s   %10s %10s %8s\n",
+		"name", "old time", "new time", "ratio", "old alloc", "new alloc", "ratio")
+	logSum, logN := 0.0, 0
+	var aOld, aNew int64
+	for _, name := range oldOrder {
+		o := oldM[name]
+		n, ok := newM[name]
+		if !ok {
+			fmt.Printf("%-16s %12s %12s %8s   (missing from new run)\n", name, fmtNs(o.MinNs), "-", "-")
+			continue
+		}
+		tRatio := float64(n.MinNs) / float64(o.MinNs)
+		logSum += math.Log(tRatio)
+		logN++
+		aOld += o.AllocPerOp
+		aNew += n.AllocPerOp
+		aStr := "-"
+		if o.AllocPerOp > 0 {
+			aStr = fmt.Sprintf("%7.2fx", float64(n.AllocPerOp)/float64(o.AllocPerOp))
+		}
+		fmt.Printf("%-16s %12s %12s %7.2fx   %10s %10s %8s\n",
+			name, fmtNs(o.MinNs), fmtNs(n.MinNs), tRatio,
+			fmtB(o.AllocPerOp), fmtB(n.AllocPerOp), aStr)
+	}
+	for _, name := range orderOf(newM, oldM) {
+		fmt.Printf("%-16s %12s %12s %8s   (new measurement)\n", name, "-", fmtNs(newM[name].MinNs), "-")
+	}
+	if logN == 0 {
+		log.Fatal("no common measurements")
+	}
+	geo := math.Exp(logSum / float64(logN))
+	fmt.Printf("\ngeomean time ratio new/old: %.3fx over %d queries", geo, logN)
+	if geo < 1 {
+		fmt.Printf("  (%.1f%% faster)", (1-geo)*100)
+	} else if geo > 1 {
+		fmt.Printf("  (%.1f%% slower)", (geo-1)*100)
+	}
+	fmt.Println()
+	if aOld > 0 {
+		fmt.Printf("total alloc/op: %s -> %s (%.2fx)\n", fmtB(aOld), fmtB(aNew), float64(aNew)/float64(aOld))
+	}
+	if *flagMaxRatio > 0 && geo > *flagMaxRatio {
+		fmt.Fprintf(os.Stderr, "FAIL: geomean %.3fx exceeds -max-ratio %.3fx\n", geo, *flagMaxRatio)
+		os.Exit(1)
+	}
+}
+
+// orderOf lists names present in a but not in b, in a's file order.
+func orderOf(a, b map[string]rec) []string {
+	var out []string
+	for _, name := range order {
+		if _, ok := b[name]; !ok {
+			out = append(out, name)
+		}
+	}
+	_ = a
+	return out
+}

@@ -49,6 +49,9 @@ var (
 	flagDense  = flag.String("dense", "128,192,256", "dense matrix orders (stand-ins for 8192/12288/16384)")
 	flagVoters = flag.Int("voters", 200000, "voter application rows")
 	flagRuns   = flag.Int("runs", 3, "timed runs per measurement (best reported)")
+	flagCount  = flag.Int("count", 0, "timed runs per measurement, benchstat-style (overrides -runs when > 0)")
+	flagWarmup = flag.Int("warmup", 1, "untimed warmup runs before each measurement")
+	flagSuite  = flag.String("suite", "", "run only a named measurement suite and exit (tpch: levelheaded TPC-H queries, no rival engines — the bench-save/bench-compare baseline)")
 
 	flagStats   = flag.Bool("stats", false, "print a per-query observability line (first run of each query) and cumulative engine metrics at exit")
 	flagJSON    = flag.String("json", "", "write per-query levelheaded measurements (name, min/mean ns, rows, dispatch) as JSON to this file")
@@ -74,6 +77,9 @@ type benchRec struct {
 	MeanNs   int64  `json:"mean_ns"`
 	Rows     int    `json:"rows"`
 	Dispatch string `json:"dispatch"`
+	// AllocPerOp is the mean heap bytes allocated per run (the
+	// QueryStats runtime/metrics delta).
+	AllocPerOp int64 `json:"alloc_bytes_per_op"`
 }
 
 var benchRecs []benchRec
@@ -118,6 +124,18 @@ func main() {
 		}
 		defer srv.Close()
 		fmt.Printf("telemetry: http://%s/metrics\n", srv.Addr())
+	}
+	if *flagSuite == "tpch" {
+		suiteTPCH()
+		if *flagJSON != "" {
+			writeJSON(*flagJSON)
+		}
+		if *flagStats {
+			printCumulativeMetrics()
+		}
+		return
+	} else if *flagSuite != "" {
+		log.Fatalf("unknown -suite %q (have: tpch)", *flagSuite)
 	}
 	if *flagAll {
 		*flagTable, *flagFig = "all", "all"
@@ -194,10 +212,23 @@ func has(sel, key string) bool {
 	return sel == "all" || sel == key || strings.Contains(sel, key)
 }
 
-// best times f over runs and reports the minimum.
+// timedRuns resolves the timed-run count: -count (benchstat-style)
+// wins over the legacy -runs.
+func timedRuns() int {
+	if *flagCount > 0 {
+		return *flagCount
+	}
+	return *flagRuns
+}
+
+// best times f over the timed runs (after -warmup untimed runs) and
+// reports the minimum.
 func best(f func()) time.Duration {
+	for i := 0; i < *flagWarmup; i++ {
+		f()
+	}
 	bestD := time.Duration(1<<62 - 1)
-	for i := 0; i < *flagRuns; i++ {
+	for i := 0; i < timedRuns(); i++ {
 		t0 := time.Now()
 		f()
 		if d := time.Since(t0); d < bestD {
@@ -274,14 +305,22 @@ func newEngine(opts ...core.Option) *core.Engine {
 	return e
 }
 
-// benchQ times one levelheaded query over -runs runs, recording
-// min/mean latency, row count and dispatch class for -json, and
+// benchQ times one levelheaded query over the timed runs (after
+// -warmup untimed runs), recording min/mean latency, mean heap bytes
+// allocated per run, row count and dispatch class for -json, and
 // returns the minimum (the number every table reports).
 func benchQ(eng *core.Engine, name, sql string) time.Duration {
-	rec := benchRec{Name: name, Runs: *flagRuns}
+	for i := 0; i < *flagWarmup; i++ {
+		if _, err := eng.Query(sql); err != nil {
+			log.Fatal(err)
+		}
+	}
+	n := timedRuns()
+	rec := benchRec{Name: name, Runs: n}
 	minD := time.Duration(1<<62 - 1)
 	var sum time.Duration
-	for i := 0; i < *flagRuns; i++ {
+	var allocSum uint64
+	for i := 0; i < n; i++ {
 		t0 := time.Now()
 		res, err := eng.Query(sql)
 		if err != nil {
@@ -295,6 +334,7 @@ func benchQ(eng *core.Engine, name, sql string) time.Duration {
 		rec.Rows = res.NumRows
 		if res.Stats != nil {
 			rec.Dispatch = res.Stats.Dispatch
+			allocSum += res.Stats.AllocBytes
 		}
 		if *flagStats && res.Stats != nil && !statsSeen[sql] {
 			statsSeen[sql] = true
@@ -302,9 +342,35 @@ func benchQ(eng *core.Engine, name, sql string) time.Duration {
 		}
 	}
 	rec.MinNs = int64(minD)
-	rec.MeanNs = int64(sum) / int64(*flagRuns)
+	rec.MeanNs = int64(sum) / int64(n)
+	rec.AllocPerOp = int64(allocSum) / int64(n)
 	benchRecs = append(benchRecs, rec)
 	return minD
+}
+
+// suiteTPCH runs only the levelheaded TPC-H measurements — the stable,
+// rival-free suite that bench-save snapshots and bench-compare diffs.
+func suiteTPCH() {
+	for _, sf := range sfList() {
+		eng := tpchEngine(sf)
+		fmt.Printf("\n=== TPC-H suite (SF %g, %d runs after %d warmup)\n", sf, timedRuns(), *flagWarmup)
+		for _, name := range tpch.QueryNames {
+			d := benchQ(eng, fmt.Sprintf("%s/sf%g", name, sf), tpch.Queries[name])
+			r := benchRecs[len(benchRecs)-1]
+			fmt.Printf("%-8s %12s  %10s/op\n", name, d.Round(time.Microsecond), fmtAlloc(r.AllocPerOp))
+		}
+	}
+}
+
+func fmtAlloc(b int64) string {
+	switch {
+	case b >= 1<<20:
+		return fmt.Sprintf("%.1fMiB", float64(b)/(1<<20))
+	case b >= 1<<10:
+		return fmt.Sprintf("%.1fKiB", float64(b)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", b)
+	}
 }
 
 // tpchEngine builds a populated, cache-warmed engine.
@@ -652,7 +718,7 @@ func fig6() {
 	for i, pl := range pipelines {
 		var bestPh voter.Phases
 		bestTotal := time.Duration(1<<62 - 1)
-		for r := 0; r < *flagRuns; r++ {
+		for r := 0; r < timedRuns(); r++ {
 			ph, err := pl.run(cat, 0)
 			if err != nil {
 				log.Fatal(err)

@@ -19,6 +19,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/planner"
 	"repro/internal/qerr"
+	"repro/internal/set"
 	"repro/internal/sqlparse"
 	"repro/internal/storage"
 	"repro/internal/telemetry"
@@ -158,9 +159,12 @@ func (e *Engine) QueryWithContext(ctx context.Context, sql string, qo QueryOptio
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	aq := e.tel.Registry.Register(sql, cancel, st.Trace)
+	a0, g0 := obs.HeapCounters()
 	t0 := time.Now()
 	res, err := e.runQuery(ctx, sql, qo, st, aq)
 	st.Phases.Total = time.Since(t0)
+	a1, g1 := obs.HeapCounters()
+	st.AllocBytes, st.GCCycles = a1-a0, g1-g0
 	st.Trace.Finish()
 	e.tel.Registry.Finish(aq)
 	e.observeLatency(st, err)
@@ -213,6 +217,15 @@ func (e *Engine) observeLatency(st *obs.QueryStats, err error) {
 	}
 	if err == nil {
 		c.ObserveClass(st.Dispatch, st.Phases.Total)
+	}
+	// Per-kernel latency estimates: the set kernels time one in every
+	// sampleStride invocations; a query that sampled a kernel at least
+	// once contributes its mean sampled latency under a kernel: class,
+	// so /metrics exports p50/p95/p99 per intersection kernel.
+	for k := 0; k < set.NumKernels; k++ {
+		if ns, ok := st.Intersect.SampledMeanNs(k); ok {
+			c.ObserveClass("kernel:"+set.KernelNames[k], time.Duration(ns))
+		}
 	}
 }
 

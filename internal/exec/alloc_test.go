@@ -1,0 +1,110 @@
+package exec
+
+import (
+	"testing"
+
+	"repro/internal/planner"
+)
+
+// The emit-time aggregation table runs once per WCOJ output tuple: with
+// the group set warm its add path must not allocate, on both the
+// open-addressing and the dense direct-indexed layouts.
+
+func accNode(domains []int) *cNode {
+	n := &cNode{
+		aggs:     make([]cAgg, 2),
+		aggKinds: []planner.AggKind{planner.AggSum, planner.AggMax},
+	}
+	for _, d := range domains {
+		n.hgroups = append(n.hgroups, hashGroup{domain: d})
+	}
+	return n
+}
+
+func TestHashAccAddZeroAllocs(t *testing.T) {
+	cases := []struct {
+		name    string
+		domains []int
+		dense   bool
+	}{
+		{"open_addressing", []int{0, 0}, false},
+		{"dense_fallback", []int{16, 32}, true},
+	}
+	for _, c := range cases {
+		n := accNode(c.domains)
+		h := newHashAcc(n)
+		if (h.dense != nil) != c.dense {
+			t.Fatalf("%s: dense=%v, want %v", c.name, h.dense != nil, c.dense)
+		}
+		toks := make([]uint64, 2)
+		vals := []float64{1, 2}
+		// Warm: insert a group population large enough to force several
+		// probe-table growths before measuring.
+		for g := 0; g < 256; g++ {
+			toks[0] = uint64(g % 16)
+			toks[1] = uint64(g % 32)
+			h.add(toks, vals)
+		}
+		g := 0
+		if n := testing.AllocsPerRun(1000, func() {
+			toks[0] = uint64(g % 16)
+			toks[1] = uint64(g % 32)
+			g++
+			h.add(toks, vals)
+		}); n != 0 {
+			t.Errorf("%s: %v allocs/op on warm add path, want 0", c.name, n)
+		}
+	}
+}
+
+// TestHashAccMatchesMap cross-checks the open-addressing table against
+// a straightforward map-based reference on a randomized-ish workload.
+func TestHashAccMatchesMap(t *testing.T) {
+	n := accNode([]int{0, 0})
+	h := newHashAcc(n)
+	ref := map[[2]uint64][2]float64{}
+	seen := map[[2]uint64]bool{}
+	toks := make([]uint64, 2)
+	x := uint64(0x9e3779b97f4a7c15)
+	for i := 0; i < 5000; i++ {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		toks[0] = x % 97
+		toks[1] = (x >> 32) % 89
+		v := float64(i%13) - 6
+		h.add(toks, []float64{v, v})
+		k := [2]uint64{toks[0], toks[1]}
+		r, ok := ref[k]
+		if !ok {
+			ref[k] = [2]float64{v, v}
+		} else {
+			if v > r[1] {
+				r[1] = v
+			}
+			r[0] += v
+			ref[k] = r
+		}
+		seen[k] = true
+	}
+	if h.n() != len(ref) {
+		t.Fatalf("group count: got %d, want %d", h.n(), len(ref))
+	}
+	for gi := 0; gi < h.n(); gi++ {
+		k := [2]uint64{h.tokens[gi*2], h.tokens[gi*2+1]}
+		r, ok := ref[k]
+		if !ok {
+			t.Fatalf("group %v not in reference", k)
+		}
+		if h.aggs[gi*2] != r[0] || h.aggs[gi*2+1] != r[1] {
+			t.Fatalf("group %v: got (%g,%g), want (%g,%g)",
+				k, h.aggs[gi*2], h.aggs[gi*2+1], r[0], r[1])
+		}
+	}
+	// merge into a fresh table must reproduce the same groups.
+	m := newHashAcc(n)
+	m.merge(h)
+	if m.n() != h.n() {
+		t.Fatalf("merge changed group count: %d vs %d", m.n(), h.n())
+	}
+}

@@ -65,11 +65,15 @@ type cNode struct {
 	// item from the current vertex bindings.
 	hashEmit bool
 	hgroups  []hashGroup
+	// aggKinds mirrors aggs[i].kind so the aggregation table can combine
+	// without reaching back into the node.
+	aggKinds []planner.AggKind
 }
 
 // hashGroup computes the emit-time group token of one GROUP BY item.
 type hashGroup struct {
 	level     int // position of the item's vertex in the node order
+	domain    int // token code-space size when known (> 0), else 0
 	metaRows  []int32
 	metaCodes []uint32
 	metaVal   expr.Value
@@ -278,6 +282,10 @@ func (c *compiled) compileNode(n *ghd.Node, ch *costopt.Choice, isRoot bool) (*c
 			}
 		}
 		cn.aggs = append(cn.aggs, ca)
+	}
+	cn.aggKinds = make([]planner.AggKind, len(cn.aggs))
+	for i := range cn.aggs {
+		cn.aggKinds[i] = cn.aggs[i].kind
 	}
 
 	// Level participation table.
@@ -684,12 +692,18 @@ func (c *compiled) buildGroupDecoders() error {
 		}
 		c.groups = append(c.groups, gd)
 		if c.p.HashEmit {
-			root.hgroups = append(root.hgroups, hashGroup{
+			hg := hashGroup{
 				level:     gd.pos,
 				metaRows:  gd.metaRows,
 				metaCodes: gd.metaCodes,
 				metaVal:   gd.metaVal,
-			})
+			}
+			if gd.metaCodes != nil && gd.metaDict != nil {
+				// Dictionary-coded tokens have a known domain, enabling the
+				// aggregation table's dense direct-indexed fallback.
+				hg.domain = gd.metaDict.Len()
+			}
+			root.hgroups = append(root.hgroups, hg)
 		}
 	}
 	return nil

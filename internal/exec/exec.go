@@ -248,6 +248,7 @@ func Run(p *planner.Plan, ch *costopt.Choice, cat *storage.Catalog, opts Options
 	} else {
 		res, err = assemble(c, rows)
 	}
+	releaseRows(rows) // assemble copies into the Result; recycle the buffer
 	tr.End(os)
 	if st != nil && err == nil {
 		st.Phases.Output = time.Since(t2)

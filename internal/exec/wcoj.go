@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"math"
+	"math/bits"
 	"strings"
 	"sync"
 
@@ -42,18 +43,119 @@ func (b *rowsBuf) appendRow(keys []uint32, aggs []float64) {
 	b.aggs = append(b.aggs, aggs...)
 }
 
-// hashAcc is the emit-time hash aggregation table (Fig. 4's
-// out(n_n) += pattern): group tokens → aggregate accumulators.
-type hashAcc struct {
-	idx    map[string]int
-	tokens []uint64  // nG per entry
-	aggs   []float64 // nA per entry
-	keyBuf []byte
-	nG, nA int
+// rowsPool recycles node output buffers: runNode checks one out per
+// node; the consumer releases it once the rows have been copied onward
+// (into a child trie or the final Result).
+var rowsPool = sync.Pool{New: func() any { return new(rowsBuf) }}
+
+func getRowsBuf(kWidth, aWidth int) *rowsBuf {
+	b := rowsPool.Get().(*rowsBuf)
+	b.kWidth, b.aWidth = kWidth, aWidth
+	b.keys = b.keys[:0]
+	b.aggs = b.aggs[:0]
+	return b
 }
 
-func newHashAcc(nG, nA int) *hashAcc {
-	return &hashAcc{idx: map[string]int{}, keyBuf: make([]byte, 8*nG), nG: nG, nA: nA}
+// releaseRows returns a buffer to the pool; callers must not touch it
+// (or slices derived from it) afterwards.
+func releaseRows(b *rowsBuf) {
+	if b != nil {
+		rowsPool.Put(b)
+	}
+}
+
+// hashAcc is the emit-time hash aggregation table (Fig. 4's
+// out(n_n) += pattern): group tokens → aggregate accumulators. Groups
+// live densely in tokens/aggs; lookup goes through either an
+// open-addressing index (linear probing over a power-of-two slot
+// array, wyhash-style token mixing) or, when every group column has a
+// known small code domain, a direct-indexed dense table. Both paths
+// keep the steady-state add allocation-free: growth rebuilds only the
+// slot index, never re-keys the dense storage, and merge folds another
+// table in group by group without materializing string keys.
+type hashAcc struct {
+	nG, nA int
+	kinds  []planner.AggKind
+	tokens []uint64  // nG per entry
+	aggs   []float64 // nA per entry
+
+	// Open-addressing index: slot values are group index + 1 (0 = empty).
+	slots []int32
+	mask  uint32
+
+	// Dense fallback: a mixed-radix code over the group columns' domains
+	// indexes the table directly — no hashing, no probing.
+	dense   []int32  // code → group index + 1
+	strides []uint64 // per group column
+}
+
+// denseAccCap bounds the dense fallback's table size (entries); past it
+// the probe table is cheaper than zeroing the dense table per query.
+const denseAccCap = 1 << 15
+
+const minAccSlots = 64
+
+// denseLayout returns mixed-radix strides over the group domains, or
+// ok=false when any domain is unknown or the product exceeds
+// denseAccCap.
+func denseLayout(hgroups []hashGroup) (strides []uint64, size uint64, ok bool) {
+	if len(hgroups) == 0 {
+		return nil, 0, false
+	}
+	size = 1
+	for _, hg := range hgroups {
+		if hg.domain <= 0 {
+			return nil, 0, false
+		}
+		size *= uint64(hg.domain)
+		if size > denseAccCap {
+			return nil, 0, false
+		}
+	}
+	strides = make([]uint64, len(hgroups))
+	st := uint64(1)
+	for i := len(hgroups) - 1; i >= 0; i-- {
+		strides[i] = st
+		st *= uint64(hgroups[i].domain)
+	}
+	return strides, size, true
+}
+
+func newHashAcc(n *cNode) *hashAcc {
+	h := &hashAcc{nG: len(n.hgroups), nA: len(n.aggs), kinds: n.aggKinds}
+	if strides, size, ok := denseLayout(n.hgroups); ok {
+		h.strides = strides
+		h.dense = make([]int32, size)
+	} else {
+		h.slots = make([]int32, minAccSlots)
+		h.mask = minAccSlots - 1
+	}
+	return h
+}
+
+// configureHashAcc prepares a pooled accumulator for node n, reusing
+// the index storage when the shape matches the previous query's.
+func configureHashAcc(h *hashAcc, n *cNode) *hashAcc {
+	if h == nil {
+		return newHashAcc(n)
+	}
+	strides, size, denseOK := denseLayout(n.hgroups)
+	if h.nG != len(n.hgroups) || h.nA != len(n.aggs) {
+		return newHashAcc(n)
+	}
+	switch {
+	case denseOK && h.dense != nil && uint64(len(h.dense)) == size:
+		h.strides = strides
+		clear(h.dense)
+	case !denseOK && h.slots != nil:
+		clear(h.slots)
+	default:
+		return newHashAcc(n)
+	}
+	h.kinds = n.aggKinds
+	h.tokens = h.tokens[:0]
+	h.aggs = h.aggs[:0]
+	return h
 }
 
 func (h *hashAcc) n() int { return len(h.tokens) / max1(h.nG) }
@@ -65,54 +167,115 @@ func max1(x int) int {
 	return x
 }
 
-// add combines one tuple's aggregate values into the group named by the
-// token tuple.
-func (h *hashAcc) add(n *cNode, toks []uint64, vals []float64) {
-	for i, t := range toks {
-		putU64(h.keyBuf[i*8:], t)
+// wyhash-style mixing constants (the wyp primes).
+const (
+	wyp0 = 0xa0761d6478bd642f
+	wyp1 = 0xe7037ed1a0b428db
+)
+
+// mix64 folds a full 64×64→128 multiply, the wyhash primitive.
+func mix64(a, b uint64) uint64 {
+	hi, lo := bits.Mul64(a, b)
+	return hi ^ lo
+}
+
+func hashToks(toks []uint64) uint64 {
+	h := uint64(wyp0)
+	for _, t := range toks {
+		h = mix64(h^t, wyp1)
 	}
-	k := string(h.keyBuf)
-	gi, ok := h.idx[k]
-	if !ok {
-		gi = h.n()
-		h.idx[k] = gi
-		h.tokens = append(h.tokens, toks...)
-		base := len(h.aggs)
-		h.aggs = append(h.aggs, vals...)
-		for i := range n.aggs {
-			switch n.aggs[i].kind {
-			case planner.AggMin, planner.AggMax:
-				// First value stands as-is.
-			default:
-				h.aggs[base+i] = vals[i]
-			}
+	return h
+}
+
+func equalToks(a, b []uint64) bool {
+	for i, v := range a {
+		if v != b[i] {
+			return false
 		}
+	}
+	return true
+}
+
+// add combines one tuple's aggregate values into the group named by the
+// token tuple. Once a group exists the path performs zero allocations;
+// new groups append to the dense storage (amortized doubling).
+func (h *hashAcc) add(toks []uint64, vals []float64) {
+	if h.dense != nil {
+		code := uint64(0)
+		for i, t := range toks {
+			code += t * h.strides[i]
+		}
+		gi := int(h.dense[code]) - 1
+		if gi < 0 {
+			h.dense[code] = int32(h.appendGroup(toks, vals)) + 1
+			return
+		}
+		h.combine(gi, vals)
 		return
 	}
-	base := gi * h.nA
-	for i := range n.aggs {
-		h.aggs[base+i] = combine1(n.aggs[i].kind, h.aggs[base+i], vals[i])
+	hv := hashToks(toks)
+	i := uint32(hv) & h.mask
+	for {
+		s := h.slots[i]
+		if s == 0 {
+			if (h.n()+1)*4 > len(h.slots)*3 {
+				h.grow()
+				i = uint32(hv) & h.mask
+				for h.slots[i] != 0 {
+					i = (i + 1) & h.mask
+				}
+			}
+			h.slots[i] = int32(h.appendGroup(toks, vals)) + 1
+			return
+		}
+		gi := int(s) - 1
+		base := gi * h.nG
+		if equalToks(h.tokens[base:base+h.nG], toks) {
+			h.combine(gi, vals)
+			return
+		}
+		i = (i + 1) & h.mask
 	}
 }
 
-// merge folds another accumulator into h.
-func (h *hashAcc) merge(n *cNode, o *hashAcc) {
+func (h *hashAcc) appendGroup(toks []uint64, vals []float64) int {
+	gi := h.n()
+	h.tokens = append(h.tokens, toks...)
+	h.aggs = append(h.aggs, vals...)
+	return gi
+}
+
+func (h *hashAcc) combine(gi int, vals []float64) {
+	base := gi * h.nA
+	for i, k := range h.kinds {
+		h.aggs[base+i] = combine1(k, h.aggs[base+i], vals[i])
+	}
+}
+
+// grow doubles the probe table and re-inserts the group indices; the
+// dense tokens/aggs storage is untouched.
+func (h *hashAcc) grow() {
+	n := len(h.slots) * 2
+	h.slots = make([]int32, n)
+	h.mask = uint32(n - 1)
+	ng := h.n()
+	for gi := 0; gi < ng; gi++ {
+		base := gi * h.nG
+		i := uint32(hashToks(h.tokens[base:base+h.nG])) & h.mask
+		for h.slots[i] != 0 {
+			i = (i + 1) & h.mask
+		}
+		h.slots[i] = int32(gi) + 1
+	}
+}
+
+// merge folds another accumulator into h without re-keying: each group
+// is re-located by its token tuple and combined by aggregate kind.
+func (h *hashAcc) merge(o *hashAcc) {
 	ng := o.n()
 	for gi := 0; gi < ng; gi++ {
-		h.add(n, o.tokens[gi*o.nG:(gi+1)*o.nG], o.aggs[gi*o.nA:(gi+1)*o.nA])
+		h.add(o.tokens[gi*o.nG:(gi+1)*o.nG], o.aggs[gi*o.nA:(gi+1)*o.nA])
 	}
-}
-
-func putU64(b []byte, v uint64) {
-	_ = b[7]
-	b[0] = byte(v)
-	b[1] = byte(v >> 8)
-	b[2] = byte(v >> 16)
-	b[3] = byte(v >> 24)
-	b[4] = byte(v >> 32)
-	b[5] = byte(v >> 40)
-	b[6] = byte(v >> 48)
-	b[7] = byte(v >> 56)
 }
 
 // outKeyWidth is the node's output key width: the materialized prefix
@@ -164,6 +327,7 @@ func runNode(n *cNode, opts Options, parent telemetry.SpanID) (*rowsBuf, *hashAc
 			return nil, nil, err
 		}
 		tr, err := buildChildTrie(cr.child, childRows, cr.attrs)
+		releaseRows(childRows) // buildChildTrie copied every row out
 		if err != nil {
 			return nil, nil, err
 		}
@@ -174,7 +338,7 @@ func runNode(n *cNode, opts Options, parent telemetry.SpanID) (*rowsBuf, *hashAc
 	}
 
 	nAggs := len(n.aggs)
-	out := &rowsBuf{kWidth: n.outKeyWidth(), aWidth: nAggs}
+	out := getRowsBuf(n.outKeyWidth(), nAggs)
 
 	// Level-0 iteration set (counted against this node's stats directly:
 	// this runs once per node, before the parfor fan-out).
@@ -184,7 +348,7 @@ func runNode(n *cNode, opts Options, parent telemetry.SpanID) (*rowsBuf, *hashAc
 	}
 	if len(vals) == 0 {
 		if n.hashEmit {
-			return out, newHashAcc(len(n.hgroups), nAggs), nil
+			return out, newHashAcc(n), nil
 		}
 		if n.matCount == 0 && !n.relaxed {
 			// A grand aggregate over an empty join still yields one row of
@@ -238,20 +402,22 @@ func runNode(n *cNode, opts Options, parent telemetry.SpanID) (*rowsBuf, *hashAc
 	}
 	for _, e := range errs {
 		if e != nil {
+			releaseWorkers(workers)
 			return nil, nil, e
 		}
 	}
 
-	// Combine worker outputs.
+	// Combine worker outputs; workers return to the pool once their
+	// results have been folded in.
+	var mergedAcc *hashAcc
 	switch {
 	case n.hashEmit:
-		merged := newHashAcc(len(n.hgroups), nAggs)
+		mergedAcc = newHashAcc(n)
 		for _, w := range workers {
 			if w != nil {
-				merged.merge(n, w.hacc)
+				mergedAcc.merge(w.hacc)
 			}
 		}
-		return out, merged, nil
 	case n.matCount > 0:
 		for _, w := range workers {
 			if w == nil {
@@ -294,15 +460,29 @@ func runNode(n *cNode, opts Options, parent telemetry.SpanID) (*rowsBuf, *hashAc
 		zeroAccToFinal(n, acc)
 		out.appendRow(nil, acc)
 	}
-	return out, nil, nil
+	releaseWorkers(workers)
+	return out, mergedAcc, nil
+}
+
+func releaseWorkers(ws []*worker) {
+	for _, w := range ws {
+		if w != nil {
+			w.release()
+		}
+	}
 }
 
 // levelZeroValues materializes the level-0 intersection, counting its
-// kernels against stat when non-nil.
+// kernels against stat when non-nil. For uint layouts the returned
+// slice aliases the trie (or the intersection buffer) — callers only
+// read it, so no defensive copy is taken.
 func levelZeroValues(n *cNode, stat *set.Stats) ([]uint32, error) {
 	ps := n.parts[0]
 	if len(ps) == 1 {
 		s := n.rels[ps[0].rel].tr.Set(ps[0].lvl, 0)
+		if vals, ok := s.Uints(); ok {
+			return vals, nil
+		}
 		return s.Values(), nil
 	}
 	sets := make([]*set.Set, len(ps))
@@ -312,6 +492,9 @@ func levelZeroValues(n *cNode, stat *set.Stats) ([]uint32, error) {
 	b1 := set.Buffer{Stat: stat}
 	b2 := set.Buffer{Stat: stat}
 	isect := set.IntersectMany(&b1, &b2, sets)
+	if vals, ok := isect.Uints(); ok {
+		return vals, nil
+	}
 	return isect.Values(), nil
 }
 
@@ -342,35 +525,116 @@ type levelBufs struct {
 	sets   []*set.Set
 }
 
+// workerPool recycles workers across parfor chunks, GHD nodes and
+// queries: their level buffers, rank tables, accumulator slices and
+// hash tables are the bulk of a query's transient allocations
+// (DESIGN.md §"Memory management").
+var workerPool = sync.Pool{New: func() any { return new(worker) }}
+
+func resizeU32(s []uint32, n int) []uint32 {
+	if cap(s) < n {
+		return make([]uint32, n)
+	}
+	return s[:n]
+}
+
+func resizeF64(s []float64, n int) []float64 {
+	if cap(s) < n {
+		return make([]float64, n)
+	}
+	return s[:n]
+}
+
+func resizeU64(s []uint64, n int) []uint64 {
+	if cap(s) < n {
+		return make([]uint64, n)
+	}
+	return s[:n]
+}
+
+func resizeI32(s []int32, n int) []int32 {
+	if cap(s) < n {
+		return make([]int32, n)
+	}
+	return s[:n]
+}
+
+// newWorker checks a worker out of the pool and sizes its scratch for
+// node n; release returns it once the node's results are merged. On
+// reuse every slice keeps its capacity, so a steady workload (the same
+// query shape over and over) checks out workers without allocating.
 func newWorker(n *cNode, ctx context.Context) *worker {
-	w := &worker{
-		n:       n,
-		ctx:     ctx,
-		curKey:  make([]uint32, n.outKeyWidth()),
-		acc:     make([]float64, len(n.aggs)),
-		out:     &rowsBuf{kWidth: n.outKeyWidth(), aWidth: len(n.aggs)},
-		scratch: make([]float64, len(n.aggs)),
+	w := workerPool.Get().(*worker)
+	w.id = 0
+	w.n = n
+	w.ctx = ctx
+	w.touched = false
+	w.iStats = set.Stats{}
+	w.curKey = resizeU32(w.curKey, n.outKeyWidth())
+	nA := len(n.aggs)
+	w.acc = resizeF64(w.acc, nA)
+	w.scratch = resizeF64(w.scratch, nA)
+	if w.out == nil {
+		w.out = &rowsBuf{}
 	}
-	w.ranks = make([][]int32, len(n.rels))
+	w.out.kWidth = n.outKeyWidth()
+	w.out.aWidth = nA
+	w.out.keys = w.out.keys[:0]
+	w.out.aggs = w.out.aggs[:0]
+	if cap(w.ranks) < len(n.rels) {
+		w.ranks = append(w.ranks[:cap(w.ranks)], make([][]int32, len(n.rels)-cap(w.ranks))...)
+	}
+	w.ranks = w.ranks[:len(n.rels)]
 	for i, cr := range n.rels {
-		w.ranks[i] = make([]int32, len(cr.attrs))
+		w.ranks[i] = resizeI32(w.ranks[i], len(cr.attrs))
 	}
-	w.bufs = make([]*levelBufs, n.nLevels)
+	if cap(w.bufs) < n.nLevels {
+		w.bufs = append(w.bufs[:cap(w.bufs)], make([]*levelBufs, n.nLevels-cap(w.bufs))...)
+	}
+	w.bufs = w.bufs[:n.nLevels]
 	for d := range w.bufs {
-		w.bufs[d] = &levelBufs{sets: make([]*set.Set, 0, len(n.parts[d]))}
-		w.bufs[d].b1.Stat = &w.iStats
-		w.bufs[d].b2.Stat = &w.iStats
+		if w.bufs[d] == nil {
+			w.bufs[d] = &levelBufs{}
+		}
+		lb := w.bufs[d]
+		lb.sets = lb.sets[:0]
+		lb.b1.Stat = &w.iStats
+		lb.b2.Stat = &w.iStats
 	}
 	if n.relaxed {
-		w.uAcc = newUnionAcc(n)
+		w.uAcc = configureUnionAcc(w.uAcc, n)
 	}
 	if n.hashEmit {
-		w.curVals = make([]uint32, n.nLevels)
-		w.hacc = newHashAcc(len(n.hgroups), len(n.aggs))
-		w.toks = make([]uint64, len(n.hgroups))
+		// curVals doubles as the hash-emit mode flag in the recursion
+		// (checked against nil), so it is sized here and nilled otherwise.
+		w.curVals = resizeU32(w.curVals, n.nLevels)
+		w.hacc = configureHashAcc(w.hacc, n)
+		w.toks = resizeU64(w.toks, len(n.hgroups))
+	} else {
+		w.curVals = nil
 	}
 	resetAcc(n, w.acc)
 	return w
+}
+
+// release returns a worker to the pool. Query-owned pointers — the
+// node, the context, and the trie sets captured in level buffers — are
+// cleared so pooled workers never pin a finished query's tries.
+func (w *worker) release() {
+	w.n = nil
+	w.ctx = nil
+	for _, lb := range w.bufs {
+		if lb == nil {
+			continue
+		}
+		for i := range lb.sets {
+			lb.sets[i] = nil
+		}
+		lb.sets = lb.sets[:0]
+		lb.b1.ClearRefs()
+		lb.b2.ClearRefs()
+	}
+	workerPool.Put(w)
 }
 
 // runChunk processes the assigned level-0 values, checking the context
@@ -568,7 +832,7 @@ func (w *worker) addTuple(lastVal uint32) {
 			}
 		}
 		if ok {
-			w.hacc.add(n, w.toks, vals)
+			w.hacc.add(w.toks, vals)
 		}
 		return
 	}
@@ -698,8 +962,33 @@ func newUnionAcc(n *cNode) *unionAcc {
 	}
 }
 
+// configureUnionAcc prepares a pooled union accumulator for node n:
+// when the pooled table is large enough it is revalidated by bumping
+// the epoch (stale marks are all ≤ the old epoch), otherwise a fresh
+// table is allocated.
+func configureUnionAcc(u *unionAcc, n *cNode) *unionAcc {
+	dom := n.lastDomain
+	if dom < 1 {
+		dom = 1
+	}
+	nA := len(n.aggs)
+	if u == nil || u.nAggs != nA || cap(u.mark) < dom || cap(u.vals) < dom*nA {
+		return newUnionAcc(n)
+	}
+	u.vals = u.vals[:dom*nA]
+	u.mark = u.mark[:dom]
+	u.reset()
+	return u
+}
+
 func (u *unionAcc) reset() {
 	u.epoch++
+	if u.epoch == math.MaxInt32 {
+		// Epoch wrap: clear the marks once so stale epochs can never
+		// collide with a reused value.
+		clear(u.mark)
+		u.epoch = 1
+	}
 	u.touched = u.touched[:0]
 }
 
@@ -739,10 +1028,18 @@ func (u *unionAcc) combineFrom(n *cNode, src *unionAcc, j uint32) {
 	}
 }
 
-// flushInto appends one row per touched last-attribute value.
+// flushInto appends one row per touched last-attribute value. When
+// prefix has a spare capacity slot (the worker's curKey does — it is
+// sized to the output width, which includes the relaxed tail), the row
+// is built in place without allocating.
 func (u *unionAcc) flushInto(n *cNode, out *rowsBuf, prefix []uint32) {
-	row := make([]uint32, len(prefix)+1)
-	copy(row, prefix)
+	var row []uint32
+	if cap(prefix) > len(prefix) {
+		row = prefix[:len(prefix)+1]
+	} else {
+		row = make([]uint32, len(prefix)+1)
+		copy(row, prefix)
+	}
 	for _, j := range u.touched {
 		row[len(prefix)] = j
 		base := int(j) * u.nAggs

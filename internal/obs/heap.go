@@ -1,0 +1,17 @@
+package obs
+
+import "runtime/metrics"
+
+// HeapCounters reads the process-wide cumulative heap-allocated byte
+// count and GC cycle count via runtime/metrics. Two reads bracket a
+// query (or a benchmark iteration batch); the deltas are the heap
+// traffic attributed to it. Cheap enough to take per query — no
+// stop-the-world, unlike runtime.ReadMemStats.
+func HeapCounters() (allocBytes, gcCycles uint64) {
+	s := [2]metrics.Sample{
+		{Name: "/gc/heap/allocs:bytes"},
+		{Name: "/gc/cycles/total:gc-cycles"},
+	}
+	metrics.Read(s[:])
+	return s[0].Value.Uint64(), s[1].Value.Uint64()
+}

@@ -80,6 +80,12 @@ type QueryStats struct {
 	TrieCacheMisses int
 	TriesBuilt      int
 
+	// Heap traffic attributed to the query: bytes allocated and GC
+	// cycles started while it ran (runtime/metrics deltas taken around
+	// the run — process-wide, so concurrent queries share the blame).
+	AllocBytes uint64
+	GCCycles   uint64
+
 	RowsOut int
 }
 
@@ -105,6 +111,7 @@ func (q *QueryStats) String() string {
 	fmt.Fprintf(&b, "intersections: %d (uint∩uint merge=%d gallop=%d, bs∩uint=%d, bs∩bs=%d), %s materialized\n",
 		is.Total(), is.UintUintMerge, is.UintUintGallop, is.BsUint, is.BsBs, fmtBytes(is.BytesOut))
 	fmt.Fprintf(&b, "tries: built=%d cache hit=%d miss=%d\n", q.TriesBuilt, q.TrieCacheHits, q.TrieCacheMisses)
+	fmt.Fprintf(&b, "heap: %s allocated, %d gc cycles\n", fmtBytes(q.AllocBytes), q.GCCycles)
 	fmt.Fprintf(&b, "rows: %d\n", q.RowsOut)
 	return b.String()
 }
@@ -112,10 +119,10 @@ func (q *QueryStats) String() string {
 // Line renders a compact one-line form for benchmark harnesses.
 func (q *QueryStats) Line() string {
 	is := &q.Intersect
-	return fmt.Sprintf("dispatch=%s plan=%t compile=%v execute=%v total=%v isect=%d(mg=%d gl=%d bu=%d bb=%d) cache=%d/%d rows=%d",
+	return fmt.Sprintf("dispatch=%s plan=%t compile=%v execute=%v total=%v isect=%d(mg=%d gl=%d bu=%d bb=%d) cache=%d/%d alloc=%dB rows=%d",
 		q.Dispatch, q.PlanCached, rd(q.Phases.Compile), rd(q.Phases.Execute), rd(q.Phases.Total),
 		is.Total(), is.UintUintMerge, is.UintUintGallop, is.BsUint, is.BsBs,
-		q.TrieCacheHits, q.TrieCacheHits+q.TrieCacheMisses, q.RowsOut)
+		q.TrieCacheHits, q.TrieCacheHits+q.TrieCacheMisses, q.AllocBytes, q.RowsOut)
 }
 
 func rd(d time.Duration) time.Duration { return d.Round(time.Microsecond) }
@@ -158,6 +165,9 @@ type EngineMetrics struct {
 	TriesBuilt      atomic.Uint64
 	PlanCacheHits   atomic.Uint64
 
+	AllocBytes atomic.Uint64
+	GCCycles   atomic.Uint64
+
 	// extra, when set, supplies derived gauges (the telemetry
 	// collector's latency quantiles) merged into Snapshot. Counters
 	// alone are exported by SnapshotCounters so fleet-level
@@ -190,6 +200,8 @@ func (m *EngineMetrics) Record(q *QueryStats) {
 	m.TrieCacheHits.Add(uint64(q.TrieCacheHits))
 	m.TrieCacheMisses.Add(uint64(q.TrieCacheMisses))
 	m.TriesBuilt.Add(uint64(q.TriesBuilt))
+	m.AllocBytes.Add(q.AllocBytes)
+	m.GCCycles.Add(q.GCCycles)
 	if q.PlanCached {
 		m.PlanCacheHits.Add(1)
 	}
@@ -233,6 +245,8 @@ func (m *EngineMetrics) SnapshotCounters() map[string]int64 {
 		"trie_cache_misses":        int64(m.TrieCacheMisses.Load()),
 		"tries_built":              int64(m.TriesBuilt.Load()),
 		"plan_cache_hits":          int64(m.PlanCacheHits.Load()),
+		"alloc_bytes":              int64(m.AllocBytes.Load()),
+		"gc_cycles":                int64(m.GCCycles.Load()),
 	}
 }
 

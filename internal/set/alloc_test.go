@@ -1,0 +1,95 @@
+package set
+
+import "testing"
+
+// The intersection kernels run in the innermost WCOJ loops: once their
+// buffers are warm they must not allocate. testing.AllocsPerRun guards
+// enforce exactly zero (make bench-smoke runs these in CI).
+
+func TestIntersectIntoZeroAllocs(t *testing.T) {
+	mk := func(start, step uint32, n int) []uint32 {
+		out := make([]uint32, n)
+		for i := range out {
+			out[i] = start + uint32(i)*step
+		}
+		return out
+	}
+	ua := FromSortedSparse(mk(0, 3, 4096))
+	ub := FromSortedSparse(mk(0, 2, 4096))
+	ba := BitsetFromSorted(mk(0, 3, 4096))
+	bb := BitsetFromSorted(mk(0, 2, 4096))
+
+	var stats Stats
+	buf := &Buffer{Stat: &stats}
+	cases := []struct {
+		name string
+		a, b *Set
+	}{
+		{"uint_uint_merge", &ua, &ub},
+		{"bs_uint", &ba, &ub},
+		{"bs_bs", &ba, &bb},
+	}
+	for _, c := range cases {
+		IntersectInto(buf, c.a, c.b) // warm the buffer
+		if n := testing.AllocsPerRun(100, func() {
+			IntersectInto(buf, c.a, c.b)
+		}); n != 0 {
+			t.Errorf("%s: %v allocs/op with a warm buffer, want 0", c.name, n)
+		}
+	}
+
+	// Galloping path: force the >= gallopThreshold size ratio.
+	small := FromSortedSparse(mk(0, 64, 64))
+	IntersectInto(buf, &small, &ub)
+	if stats.UintUintGallop == 0 {
+		t.Fatalf("size ratio %d did not select the galloping kernel", ub.Card()/small.Card())
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		IntersectInto(buf, &small, &ub)
+	}); n != 0 {
+		t.Errorf("uint_uint_gallop: %v allocs/op with a warm buffer, want 0", n)
+	}
+}
+
+func TestIntersectManyZeroAllocs(t *testing.T) {
+	mk := func(step uint32, n int) []uint32 {
+		out := make([]uint32, n)
+		for i := range out {
+			out[i] = uint32(i) * step
+		}
+		return out
+	}
+	s1 := FromSortedSparse(mk(2, 2048))
+	s2 := FromSortedSparse(mk(3, 2048))
+	s3 := BitsetFromSorted(mk(1, 4096))
+	ss := []*Set{&s1, &s2, &s3}
+
+	var stats Stats
+	b1 := &Buffer{Stat: &stats}
+	b2 := &Buffer{Stat: &stats}
+	IntersectMany(b1, b2, ss) // warm both buffers and the operand scratch
+	if n := testing.AllocsPerRun(100, func() {
+		IntersectMany(b1, b2, ss)
+	}); n != 0 {
+		t.Errorf("IntersectMany: %v allocs/op with warm buffers, want 0", n)
+	}
+}
+
+// TestIntersectManyKeepsOperandOrder pins the contract fixed in this
+// package: IntersectMany must not reorder the caller's operand slice
+// (it used to sort ss in place, silently corrupting callers that
+// indexed into it afterwards).
+func TestIntersectManyKeepsOperandOrder(t *testing.T) {
+	big := FromSortedSparse([]uint32{0, 2, 4, 6, 8, 10, 12})
+	mid := FromSortedSparse([]uint32{0, 4, 8, 12})
+	tiny := FromSortedSparse([]uint32{4, 8})
+	ss := []*Set{&big, &mid, &tiny}
+	var b1, b2 Buffer
+	got := IntersectMany(&b1, &b2, ss)
+	if got.Card() != 2 || !got.Contains(4) || !got.Contains(8) {
+		t.Fatalf("wrong intersection: card=%d", got.Card())
+	}
+	if ss[0] != &big || ss[1] != &mid || ss[2] != &tiny {
+		t.Fatalf("IntersectMany reordered the caller's operand slice")
+	}
+}

@@ -1,0 +1,99 @@
+package set
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// mergeIntersectBranchy is the pre-unrolling reference merge, kept for
+// BenchmarkMergeVariants so the unrolled kernel's win (or loss) on this
+// hardware is one benchmark run away.
+func mergeIntersectBranchy(out, a, b []uint32) []uint32 {
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		x, y := a[i], b[j]
+		switch {
+		case x < y:
+			i++
+		case x > y:
+			j++
+		default:
+			out = append(out, x)
+			i++
+			j++
+		}
+	}
+	return out
+}
+
+// randSorted builds n sorted distinct values drawn from [0, n*spread).
+func randSorted(rng *rand.Rand, n int, spread int) []uint32 {
+	seen := make(map[uint32]bool, n)
+	vals := make([]uint32, 0, n)
+	for len(vals) < n {
+		v := uint32(rng.Intn(n * spread))
+		if !seen[v] {
+			seen[v] = true
+			vals = append(vals, v)
+		}
+	}
+	sortU32(vals)
+	return vals
+}
+
+func sortU32(v []uint32) {
+	for i := 1; i < len(v); i++ {
+		for j := i; j > 0 && v[j] < v[j-1]; j-- {
+			v[j], v[j-1] = v[j-1], v[j]
+		}
+	}
+}
+
+func BenchmarkMergeVariants(b *testing.B) {
+	rng := rand.New(rand.NewSource(42))
+	for _, n := range []int{1024, 65536} {
+		x := randSorted(rng, n, 4)
+		y := randSorted(rng, n, 4)
+		out := make([]uint32, 0, n)
+		b.Run(fmt.Sprintf("n%d/branchy", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				out = mergeIntersectBranchy(out[:0], x, y)
+			}
+		})
+		b.Run(fmt.Sprintf("n%d/unrolled", n), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				out = mergeIntersect(out[:0], x, y)
+			}
+		})
+	}
+}
+
+// BenchmarkGallopCrossover sweeps the size ratio between the two sides
+// of a uint∩uint intersection, timing the merge and galloping kernels
+// head to head. The gallopThreshold constant is set where the gallop
+// rows start beating the merge rows on this hardware.
+func BenchmarkGallopCrossover(b *testing.B) {
+	rng := rand.New(rand.NewSource(7))
+	const small = 512
+	for _, ratio := range []int{2, 3, 4, 8, 16, 32, 64} {
+		large := randSorted(rng, small*ratio, 4)
+		probe := make([]uint32, small)
+		for i := range probe {
+			probe[i] = large[rng.Intn(len(large))]
+		}
+		sortU32(probe)
+		probe = dedupSorted(probe)
+		out := make([]uint32, 0, small)
+		b.Run(fmt.Sprintf("ratio%d/merge", ratio), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				out = mergeIntersect(out[:0], probe, large)
+			}
+		})
+		b.Run(fmt.Sprintf("ratio%d/gallop", ratio), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				out = gallopIntersect(out[:0], probe, large)
+			}
+		})
+	}
+}

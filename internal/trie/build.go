@@ -3,7 +3,6 @@ package trie
 import (
 	"fmt"
 	"runtime"
-	"sort"
 	"sync"
 
 	"repro/internal/set"
@@ -83,10 +82,6 @@ func Build(in BuildInput) (*Trie, error) {
 	// Per-level flattened element values and set boundaries.
 	vals := make([][]uint32, k)
 	ends := make([][]int32, k) // closed set boundaries (end offsets into vals)
-	for d := 0; d < k; d++ {
-		vals[d] = make([]uint32, 0, minInt(n, 1024))
-		ends[d] = make([]int32, 0, 16)
-	}
 
 	anns := make([]*Annotation, len(in.Anns))
 	combines := make([]CombineFunc, len(in.Anns))
@@ -103,36 +98,85 @@ func Build(in BuildInput) (*Trie, error) {
 	}
 
 	if n > 0 {
-		prev := order[0]
-		appendRow(in, anns, vals, prev, 0, k)
-		for idx := 1; idx < n; idx++ {
-			r := order[idx]
-			// First level at which this row differs from the previous one.
-			d := 0
-			for d < k && in.Keys[d][r] == in.Keys[d][prev] {
-				d++
+		// The dedup/emit scan parallelizes across level-0 partitions:
+		// rows with equal full keys share the level-0 key, so duplicate
+		// combination stays region-local, and each region boundary is
+		// exactly a sequential-scan "new set at every level" event.
+		regions := splitLevel0(in.Keys[0], order, buildThreads(in.Threads))
+		if len(regions) == 1 {
+			for d := 0; d < k; d++ {
+				vals[d] = make([]uint32, 0, minInt(n, 1024))
+				ends[d] = make([]int32, 0, 16)
 			}
-			if d == k {
-				// Full duplicate key tuple: combine last-level annotations.
-				for ai, a := range anns {
-					if a.Level == k-1 && a.Kind == F64 {
-						last := len(a.F64) - 1
-						a.F64[last] = combines[ai](a.F64[last], in.Anns[ai].F64[r])
+			aF := make([][]float64, len(in.Anns))
+			aC := make([][]uint32, len(in.Anns))
+			scanRegion(in, combines, order, k, vals, ends, aF, aC)
+			for ai := range anns {
+				anns[ai].F64 = aF[ai]
+				anns[ai].Codes = aC[ai]
+			}
+		} else {
+			type regionOut struct {
+				vals [][]uint32
+				ends [][]int32
+				aF   [][]float64
+				aC   [][]uint32
+			}
+			outs := make([]regionOut, len(regions))
+			var wg sync.WaitGroup
+			for ri, reg := range regions {
+				wg.Add(1)
+				go func(ri, lo, hi int) {
+					defer wg.Done()
+					o := &outs[ri]
+					o.vals = make([][]uint32, k)
+					o.ends = make([][]int32, k)
+					o.aF = make([][]float64, len(in.Anns))
+					o.aC = make([][]uint32, len(in.Anns))
+					scanRegion(in, combines, order[lo:hi], k, o.vals, o.ends, o.aF, o.aC)
+				}(ri, reg[0], reg[1])
+			}
+			wg.Wait()
+			// Concatenate region outputs, shifting set boundaries by the
+			// preceding regions' value counts.
+			for lvl := 0; lvl < k; lvl++ {
+				total, nEnds := 0, 0
+				for _, o := range outs {
+					total += len(o.vals[lvl])
+					nEnds += len(o.ends[lvl])
+				}
+				vals[lvl] = make([]uint32, 0, total)
+				ends[lvl] = make([]int32, 0, nEnds+1)
+				for _, o := range outs {
+					off := int32(len(vals[lvl]))
+					vals[lvl] = append(vals[lvl], o.vals[lvl]...)
+					for _, e := range o.ends[lvl] {
+						ends[lvl] = append(ends[lvl], off+e)
 					}
 				}
-				prev = r
-				continue
 			}
-			// Levels below d get new sets (their parent changed).
-			for lvl := d + 1; lvl < k; lvl++ {
-				ends[lvl] = append(ends[lvl], int32(len(vals[lvl])))
+			for ai := range anns {
+				total := 0
+				for _, o := range outs {
+					total += len(o.aF[ai]) + len(o.aC[ai])
+				}
+				switch anns[ai].Kind {
+				case F64:
+					anns[ai].F64 = make([]float64, 0, total)
+					for _, o := range outs {
+						anns[ai].F64 = append(anns[ai].F64, o.aF[ai]...)
+					}
+				case Code:
+					anns[ai].Codes = make([]uint32, 0, total)
+					for _, o := range outs {
+						anns[ai].Codes = append(anns[ai].Codes, o.aC[ai]...)
+					}
+				}
 			}
-			appendRow(in, anns, vals, r, d, k)
-			prev = r
 		}
-		for lvl := 0; lvl < k; lvl++ {
-			ends[lvl] = append(ends[lvl], int32(len(vals[lvl])))
-		}
+		// scanRegion closes levels 1..k-1 at each region end; the level-0
+		// close spans the whole trie.
+		ends[0] = append(ends[0], int32(len(vals[0])))
 	} else {
 		for lvl := 0; lvl < k; lvl++ {
 			ends[lvl] = append(ends[lvl], 0)
@@ -154,22 +198,92 @@ func Build(in BuildInput) (*Trie, error) {
 	return t, nil
 }
 
-// appendRow emits new trie elements for row r from level d downward and
-// their annotation values.
-func appendRow(in BuildInput, anns []*Annotation, vals [][]uint32, r int32, d, k int) {
-	for lvl := d; lvl < k; lvl++ {
-		vals[lvl] = append(vals[lvl], in.Keys[lvl][r])
-		for ai, a := range anns {
-			if a.Level != lvl {
-				continue
-			}
-			switch a.Kind {
-			case F64:
-				a.F64 = append(a.F64, in.Anns[ai].F64[r])
-			case Code:
-				a.Codes = append(a.Codes, in.Anns[ai].Codes[r])
+// buildThreads resolves the parallelism bound for Build's scans.
+func buildThreads(threads int) int {
+	if threads <= 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return threads
+}
+
+// splitLevel0 partitions the sorted row order into contiguous regions
+// aligned to level-0 key boundaries, so duplicate tuples (which share
+// every key column, in particular level 0) never straddle regions.
+func splitLevel0(col0 []uint32, order []int32, threads int) [][2]int {
+	n := len(order)
+	if threads <= 1 || n < 1<<14 {
+		return [][2]int{{0, n}}
+	}
+	regions := make([][2]int, 0, threads)
+	chunk := (n + threads - 1) / threads
+	lo := 0
+	for lo < n {
+		hi := lo + chunk
+		if hi >= n {
+			hi = n
+		} else {
+			for hi < n && col0[order[hi]] == col0[order[hi-1]] {
+				hi++
 			}
 		}
+		regions = append(regions, [2]int{lo, hi})
+		lo = hi
+	}
+	return regions
+}
+
+// scanRegion runs the dedup/emit scan over one contiguous region of the
+// sorted row order, appending into the caller's per-level vals/ends and
+// per-annotation buffers. It closes the sets of levels 1..k-1 at the
+// region end (the level-0 close spans regions and is the caller's).
+func scanRegion(in BuildInput, combines []CombineFunc, order []int32, k int,
+	vals [][]uint32, ends [][]int32, aF [][]float64, aC [][]uint32) {
+	emit := func(r int32, d int) {
+		for lvl := d; lvl < k; lvl++ {
+			vals[lvl] = append(vals[lvl], in.Keys[lvl][r])
+			for ai := range in.Anns {
+				a := &in.Anns[ai]
+				if a.Level != lvl {
+					continue
+				}
+				switch a.Kind {
+				case F64:
+					aF[ai] = append(aF[ai], a.F64[r])
+				case Code:
+					aC[ai] = append(aC[ai], a.Codes[r])
+				}
+			}
+		}
+	}
+	prev := order[0]
+	emit(prev, 0)
+	for _, r := range order[1:] {
+		// First level at which this row differs from the previous one.
+		d := 0
+		for d < k && in.Keys[d][r] == in.Keys[d][prev] {
+			d++
+		}
+		if d == k {
+			// Full duplicate key tuple: combine last-level annotations.
+			for ai := range in.Anns {
+				a := &in.Anns[ai]
+				if a.Level == k-1 && a.Kind == F64 {
+					last := len(aF[ai]) - 1
+					aF[ai][last] = combines[ai](aF[ai][last], a.F64[r])
+				}
+			}
+			prev = r
+			continue
+		}
+		// Levels below d get new sets (their parent changed).
+		for lvl := d + 1; lvl < k; lvl++ {
+			ends[lvl] = append(ends[lvl], int32(len(vals[lvl])))
+		}
+		emit(r, d)
+		prev = r
+	}
+	for lvl := 1; lvl < k; lvl++ {
+		ends[lvl] = append(ends[lvl], int32(len(vals[lvl])))
 	}
 }
 
@@ -252,17 +366,11 @@ func sortRows(keys [][]uint32, n, threads int) []int32 {
 	for i := range order {
 		order[i] = int32(i)
 	}
-	if n < 1<<12 {
-		sort.Slice(order, func(a, b int) bool {
-			ra, rb := order[a], order[b]
-			for _, col := range keys {
-				va, vb := col[ra], col[rb]
-				if va != vb {
-					return va < vb
-				}
-			}
-			return false
-		})
+	if n < 256 {
+		// Hand-rolled insertion sort: no reflection, no allocation, and
+		// O(n) on the near-sorted child-node outputs that dominate the
+		// small-input case.
+		insertionSortRows(keys, order)
 		return order
 	}
 	if threads <= 0 {
@@ -337,6 +445,29 @@ func sortRows(keys [][]uint32, n, threads int) []int32 {
 		}
 	}
 	return order
+}
+
+// insertionSortRows sorts order lexicographically by the key columns.
+func insertionSortRows(keys [][]uint32, order []int32) {
+	for i := 1; i < len(order); i++ {
+		r := order[i]
+		j := i - 1
+		for j >= 0 && rowLess(keys, r, order[j]) {
+			order[j+1] = order[j]
+			j--
+		}
+		order[j+1] = r
+	}
+}
+
+func rowLess(keys [][]uint32, a, b int32) bool {
+	for _, col := range keys {
+		va, vb := col[a], col[b]
+		if va != vb {
+			return va < vb
+		}
+	}
+	return false
 }
 
 func minInt(a, b int) int {
