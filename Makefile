@@ -7,7 +7,7 @@ BENCH_SF ?= 0.01
 BENCH_COUNT ?= 5
 BENCH_WARMUP ?= 2
 
-.PHONY: all build vet test race bench-smoke bench-save bench-compare telemetry-race telemetry-smoke ci clean
+.PHONY: all build vet test race bench-smoke bench-save bench-compare telemetry-race telemetry-smoke chaos ci clean
 
 all: build
 
@@ -52,7 +52,17 @@ telemetry-race:
 telemetry-smoke:
 	$(GO) run ./cmd/lhserve -gen matrix -la 0.05 -http 127.0.0.1:0 -smoke
 
-ci: vet build race bench-smoke telemetry-race telemetry-smoke
+# Resource-governance gauntlet: fault-injected panics in exec/trie/set
+# must fail only the query that hit them, over-budget queries abort
+# with ResourceExhausted, overload sheds with Retry-After, and the
+# governor/registry accounting drains to zero — all under -race — plus
+# a short front-end fuzz (malformed SQL must never panic).
+chaos:
+	$(GO) test -race -count=1 -run 'TestChaos|TestOverload|TestGovernorStress|TestEngineShutdown|TestSkewed' ./internal/core
+	$(GO) test -race -count=1 ./internal/governor ./internal/faultinject
+	$(GO) test -run '^$$' -fuzz FuzzParse -fuzztime 5s ./internal/sqlparse
+
+ci: vet build race bench-smoke telemetry-race telemetry-smoke chaos
 
 clean:
 	$(GO) clean ./...

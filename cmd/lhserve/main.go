@@ -21,7 +21,9 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -30,6 +32,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strconv"
 	"strings"
 	"sync/atomic"
 	"syscall"
@@ -37,6 +40,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/lagen"
+	"repro/internal/qerr"
 	"repro/internal/telemetry"
 	"repro/internal/tpch"
 	"repro/internal/voter"
@@ -51,6 +55,12 @@ var (
 	flagSlow    = flag.Duration("slow", 100*time.Millisecond, "slow-query threshold (0 logs every query)")
 	flagLoad    = flag.Int("load", 0, "background query-replay workers (keeps the debug endpoints lively)")
 	flagSmoke   = flag.Bool("smoke", false, "self-test: run queries, scrape /metrics, exit")
+
+	flagMaxConc   = flag.Int("max-concurrency", 0, "max concurrently executing queries (0 = unlimited)")
+	flagQueue     = flag.Int("queue-depth", 0, "admission wait-queue depth (with -max-concurrency)")
+	flagMemBudget = flag.Int64("mem-budget", 0, "per-query memory budget in bytes (0 = unlimited)")
+	flagMemSoft   = flag.Int64("mem-soft-limit", 0, "engine-wide soft memory limit in bytes (0 = unlimited)")
+	flagDrain     = flag.Duration("drain", 10*time.Second, "graceful-shutdown drain deadline")
 )
 
 func main() {
@@ -64,6 +74,15 @@ func main() {
 		}
 		defer f.Close()
 		opts = append(opts, core.WithSlowQueryLog(f, *flagSlow))
+	}
+	if *flagMaxConc > 0 {
+		opts = append(opts, core.WithMaxConcurrency(*flagMaxConc), core.WithQueueDepth(*flagQueue))
+	}
+	if *flagMemBudget > 0 {
+		opts = append(opts, core.WithMemoryBudget(*flagMemBudget))
+	}
+	if *flagMemSoft > 0 {
+		opts = append(opts, core.WithMemorySoftLimit(*flagMemSoft))
 	}
 	eng := core.New(opts...)
 	mix := populate(eng)
@@ -98,7 +117,21 @@ func main() {
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
 	close(stop)
-	srv.Close()
+
+	// Graceful shutdown: stop admitting (new queries shed with 429),
+	// drain in-flight queries up to the deadline, cancel stragglers via
+	// the live query registry, then stop the HTTP server.
+	fmt.Printf("lhserve: shutting down (drain %v)\n", *flagDrain)
+	eng.BeginShutdown()
+	ctx, cancel := context.WithTimeout(context.Background(), *flagDrain)
+	if n := eng.Drain(ctx); n > 0 {
+		fmt.Printf("lhserve: force-cancelled %d stragglers\n", n)
+	}
+	cancel()
+	sctx, scancel := context.WithTimeout(context.Background(), 2*time.Second)
+	srv.Shutdown(sctx)
+	scancel()
+	fmt.Println("lhserve: bye")
 }
 
 // populate generates the requested dataset and returns the query mix
@@ -149,6 +182,13 @@ func replay(eng *core.Engine, mix []string, w int, stop chan struct{}) {
 		default:
 		}
 		if _, err := eng.Query(mix[i%len(mix)]); err != nil {
+			// Shed or aborted queries are expected under governance; back
+			// off briefly and keep replaying so the load stays realistic.
+			var oe *qerr.OverloadedError
+			if errors.As(err, &oe) {
+				time.Sleep(oe.RetryAfter)
+				continue
+			}
 			log.Printf("replay: %v", err)
 			return
 		}
@@ -202,7 +242,7 @@ func handleQuery(eng *core.Engine, w http.ResponseWriter, r *http.Request) {
 	}
 	res, err := eng.QueryContext(r.Context(), sql)
 	if err != nil {
-		http.Error(w, err.Error(), http.StatusBadRequest)
+		writeQueryError(w, err)
 		return
 	}
 	resp := queryResponse{NumRows: res.NumRows}
@@ -234,6 +274,31 @@ func handleQuery(eng *core.Engine, w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "application/json")
 	json.NewEncoder(w).Encode(resp)
+}
+
+// writeQueryError maps typed engine errors onto HTTP status codes:
+// shed queries get 429 with a Retry-After backoff hint, resource
+// exhaustion 503, contained panics 500, everything else (parse/plan/
+// user errors) 400.
+func writeQueryError(w http.ResponseWriter, err error) {
+	var oe *qerr.OverloadedError
+	var re *qerr.ResourceExhaustedError
+	var ie *qerr.InternalError
+	switch {
+	case errors.As(err, &oe):
+		secs := int(oe.RetryAfter / time.Second)
+		if secs < 1 {
+			secs = 1
+		}
+		w.Header().Set("Retry-After", strconv.Itoa(secs))
+		http.Error(w, err.Error(), http.StatusTooManyRequests)
+	case errors.As(err, &re):
+		http.Error(w, err.Error(), http.StatusServiceUnavailable)
+	case errors.As(err, &ie):
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	default:
+		http.Error(w, err.Error(), http.StatusBadRequest)
+	}
 }
 
 // smoke executes the query mix, then validates the whole telemetry

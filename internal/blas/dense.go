@@ -13,6 +13,8 @@ package blas
 import (
 	"runtime"
 	"sync"
+
+	"repro/internal/qerr"
 )
 
 // blockSize is the micro-tile edge for the blocked GEMM kernel, sized so
@@ -40,6 +42,7 @@ func gemmParallel(m, k, n int, a, b, c []float64, threads int) {
 		return
 	}
 	var wg sync.WaitGroup
+	var pc qerr.PanicCell
 	chunk := (m + threads - 1) / threads
 	// Round row panels to the blocking factor to keep tiles aligned.
 	if chunk%blockSize != 0 {
@@ -53,10 +56,12 @@ func gemmParallel(m, k, n int, a, b, c []float64, threads int) {
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
+			defer pc.Recover()
 			gemmBlocked(lo, hi, k, n, a, b, c)
 		}(lo, hi)
 	}
 	wg.Wait()
+	pc.Repanic()
 }
 
 // gemmBlocked computes the row panel C[lo:hi] with i-k-j loop order and
@@ -97,16 +102,19 @@ func Gemv(m, n int, a, x, y []float64) {
 		return
 	}
 	var wg sync.WaitGroup
+	var pc qerr.PanicCell
 	chunk := (m + threads - 1) / threads
 	for lo := 0; lo < m; lo += chunk {
 		hi := min(lo+chunk, m)
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
+			defer pc.Recover()
 			gemvRange(lo, hi, n, a, x, y)
 		}(lo, hi)
 	}
 	wg.Wait()
+	pc.Repanic()
 }
 
 func gemvRange(lo, hi, n int, a, x, y []float64) {
@@ -146,16 +154,19 @@ func GemmNT(m, k, n int, a, bt, c []float64) {
 		return
 	}
 	var wg sync.WaitGroup
+	var pc qerr.PanicCell
 	chunk := (m + threads - 1) / threads
 	for lo := 0; lo < m; lo += chunk {
 		hi := min(lo+chunk, m)
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
+			defer pc.Recover()
 			gemmNTRange(lo, hi, k, n, a, bt, c)
 		}(lo, hi)
 	}
 	wg.Wait()
+	pc.Repanic()
 }
 
 func gemmNTRange(lo, hi, k, n int, a, bt, c []float64) {

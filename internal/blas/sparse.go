@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+
+	"repro/internal/qerr"
 )
 
 // CSR is a compressed-sparse-row matrix: the format accepted by sparse
@@ -105,16 +107,19 @@ func SpMV(a *CSR, x, y []float64) {
 		return
 	}
 	var wg sync.WaitGroup
+	var pc qerr.PanicCell
 	chunk := (a.Rows + threads - 1) / threads
 	for lo := 0; lo < a.Rows; lo += chunk {
 		hi := min(lo+chunk, a.Rows)
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
+			defer pc.Recover()
 			spmvRange(a, x, y, lo, hi)
 		}(lo, hi)
 	}
 	wg.Wait()
+	pc.Repanic()
 }
 
 func spmvRange(a *CSR, x, y []float64, lo, hi int) {
@@ -135,6 +140,7 @@ func SpGEMM(a, b *CSR) *CSR {
 	rowsOut := make([][]int32, a.Rows)
 	valsOut := make([][]float64, a.Rows)
 	var wg sync.WaitGroup
+	var pc qerr.PanicCell
 	chunk := (a.Rows + threads - 1) / threads
 	if chunk < 1 {
 		chunk = 1
@@ -144,6 +150,7 @@ func SpGEMM(a, b *CSR) *CSR {
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
+			defer pc.Recover()
 			// Dense accumulator with an epoch-marked touched list.
 			acc := make([]float64, b.Cols)
 			mark := make([]int32, b.Cols)
@@ -178,6 +185,7 @@ func SpGEMM(a, b *CSR) *CSR {
 		}(lo, hi)
 	}
 	wg.Wait()
+	pc.Repanic()
 	out := &CSR{Rows: a.Rows, Cols: b.Cols, RowPtr: make([]int32, a.Rows+1)}
 	total := 0
 	for r := 0; r < a.Rows; r++ {

@@ -8,6 +8,7 @@ package core
 import (
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"strings"
@@ -16,6 +17,7 @@ import (
 
 	"repro/internal/costopt"
 	"repro/internal/exec"
+	"repro/internal/governor"
 	"repro/internal/obs"
 	"repro/internal/planner"
 	"repro/internal/qerr"
@@ -35,6 +37,7 @@ type Engine struct {
 	metrics obs.EngineMetrics
 	tel     *telemetry.Collector
 	slow    *slowLog
+	gov     *governor.Governor
 
 	threads    int
 	noAttrElim bool
@@ -42,6 +45,7 @@ type Engine struct {
 	pickWorst  bool
 	noBLAS     bool
 	noCache    bool
+	govCfg     governor.Config
 }
 
 // Option configures an Engine.
@@ -86,6 +90,36 @@ func WithSlowQueryLog(w io.Writer, threshold time.Duration) Option {
 	return func(e *Engine) { e.slow = &slowLog{w: w, threshold: threshold} }
 }
 
+// WithMemoryBudget caps the tracked memory (query tries, worker
+// buffers, aggregation tables, result assembly) of each query; an
+// over-budget query aborts with qerr.ResourceExhaustedError. 0 means
+// unlimited.
+func WithMemoryBudget(n int64) Option {
+	return func(e *Engine) { e.govCfg.MemoryBudget = n }
+}
+
+// WithMemorySoftLimit sets the engine-wide soft memory limit: when the
+// sum of tracked allocations — or the process heap — exceeds it, the
+// next query to allocate aborts with an engine-wide
+// qerr.ResourceExhaustedError. 0 means unlimited.
+func WithMemorySoftLimit(n int64) Option {
+	return func(e *Engine) { e.govCfg.SoftLimit = n }
+}
+
+// WithMaxConcurrency bounds the number of concurrently executing
+// queries; excess queries wait in the admission queue. 0 means
+// unlimited.
+func WithMaxConcurrency(n int) Option {
+	return func(e *Engine) { e.govCfg.MaxConcurrency = n }
+}
+
+// WithQueueDepth bounds the admission wait queue; a query arriving with
+// the queue full is shed immediately with qerr.OverloadedError (0 with
+// admission control on means no queueing: shed when saturated).
+func WithQueueDepth(n int) Option {
+	return func(e *Engine) { e.govCfg.QueueDepth = n }
+}
+
 // New creates an empty engine.
 func New(opts ...Option) *Engine {
 	e := &Engine{cat: storage.NewCatalog(), cache: exec.NewTrieCache(), plans: map[string]*preparedPlan{}}
@@ -95,7 +129,9 @@ func New(opts ...Option) *Engine {
 	if e.tel == nil {
 		e.tel = telemetry.NewCollector()
 	}
+	e.gov = governor.New(e.govCfg)
 	e.tel.AddCounterSource(e.metrics.SnapshotCounters)
+	e.tel.AddCounterSource(e.gov.Counters)
 	e.metrics.SetExtra(e.tel.Quantiles)
 	return e
 }
@@ -128,6 +164,9 @@ type QueryOptions struct {
 	WorstOrder bool
 	// Threads overrides the engine thread setting for this query.
 	Threads int
+	// MemoryBudget overrides the engine-level per-query memory budget
+	// for this query (0 keeps the engine setting).
+	MemoryBudget int64
 }
 
 // Query parses, plans, optimizes and executes one SQL query.
@@ -159,8 +198,21 @@ func (e *Engine) QueryWithContext(ctx context.Context, sql string, qo QueryOptio
 	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	aq := e.tel.Registry.Register(sql, cancel, st.Trace)
-	a0, g0 := obs.HeapCounters()
 	t0 := time.Now()
+	// Admission control: registered first so a queued query is visible in
+	// the live registry (phase "queued"), then admitted or shed.
+	aq.SetPhase("queued")
+	release, aerr := e.gov.Acquire(ctx, 1)
+	if aerr != nil {
+		st.Phases.Total = time.Since(t0)
+		st.Trace.Finish()
+		e.tel.Registry.Finish(aq)
+		e.metrics.RecordError()
+		e.logSlow(st, aerr)
+		return nil, aerr
+	}
+	defer release()
+	a0, g0 := obs.HeapCounters()
 	res, err := e.runQuery(ctx, sql, qo, st, aq)
 	st.Phases.Total = time.Since(t0)
 	a1, g1 := obs.HeapCounters()
@@ -180,7 +232,18 @@ func (e *Engine) QueryWithContext(ctx context.Context, sql string, qo QueryOptio
 	return res, nil
 }
 
-func (e *Engine) runQuery(ctx context.Context, sql string, qo QueryOptions, st *obs.QueryStats, aq *telemetry.ActiveQuery) (*exec.Result, error) {
+func (e *Engine) runQuery(ctx context.Context, sql string, qo QueryOptions, st *obs.QueryStats, aq *telemetry.ActiveQuery) (res *exec.Result, err error) {
+	// Query-boundary panic barrier: a crash anywhere in the lifecycle
+	// below (or re-raised from a parallel section's PanicCell) fails only
+	// this query, as qerr.InternalError with the captured stack.
+	defer func() {
+		if r := recover(); r != nil {
+			ie := qerr.CapturePanic(r)
+			ie.SQL = sql
+			e.gov.RecordPanic()
+			res, err = nil, ie
+		}
+	}()
 	aq.SetPhase("prepare")
 	p, ch, err := e.prepareStats(sql, qo, st)
 	if err != nil {
@@ -190,11 +253,55 @@ func (e *Engine) runQuery(ctx context.Context, sql string, qo QueryOptions, st *
 	opts := e.execOptions(qo)
 	opts.Ctx = ctx
 	opts.Stats = st
-	res, err := exec.Run(p, ch, e.cat, opts)
+	mem := e.gov.NewAccountant(sql, qo.MemoryBudget)
+	defer mem.Close()
+	opts.Mem = mem
+	res, err = exec.Run(p, ch, e.cat, opts)
 	if err != nil {
+		// Panics recovered inside parfor workers surface as an
+		// InternalError return value rather than unwinding to the barrier
+		// above; count them the same way.
+		var ie *qerr.InternalError
+		if errors.As(err, &ie) {
+			e.gov.RecordPanic()
+		}
 		return nil, &qerr.ExecError{SQL: sql, Err: err}
 	}
 	return res, nil
+}
+
+// BeginShutdown stops admitting queries: every queued waiter and every
+// subsequent Acquire fails with qerr.OverloadedError. In-flight queries
+// are unaffected; pair with Drain for a graceful stop.
+func (e *Engine) BeginShutdown() { e.gov.BeginShutdown() }
+
+// Drain waits until every in-flight query finishes or ctx expires; on
+// expiry the stragglers are cancelled through the live query registry
+// and Drain waits (briefly) for them to observe the cancellation. It
+// returns the number of queries that were force-cancelled.
+func (e *Engine) Drain(ctx context.Context) int {
+	reg := e.tel.Registry
+	for reg.NumActive() > 0 {
+		if ctx.Err() != nil {
+			break
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	cancelled := 0
+	for _, qi := range reg.List() {
+		if reg.Cancel(qi.ID) {
+			cancelled++
+		}
+	}
+	if cancelled > 0 {
+		// Bounded wait for the cancelled queries to unwind: they observe
+		// the context at the next chunk/step check.
+		deadline := time.Now().Add(2 * time.Second)
+		for reg.NumActive() > 0 && time.Now().Before(deadline) {
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+	return cancelled
 }
 
 // observeLatency feeds one finished query into the latency histograms:

@@ -522,6 +522,15 @@ func (c *compiled) buildRel(relIdx int, order []string,
 		}
 	}
 
+	// Charge the query-trie build before running it: the build retains
+	// roughly twice the input columns (sort scratch plus trie levels), and
+	// an over-budget query should abort here rather than OOM inside Build.
+	if c.opts.Mem != nil {
+		est := int64(nRows) * int64(4*len(in.Keys)+8*len(in.Anns)) * 2
+		if err := c.opts.Mem.Charge(est); err != nil {
+			return nil, err
+		}
+	}
 	tr, err := trie.Build(in)
 	if err != nil {
 		return nil, fmt.Errorf("exec: building trie for %s: %v", r.Alias, err)

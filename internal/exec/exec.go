@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"repro/internal/costopt"
+	"repro/internal/governor"
 	"repro/internal/obs"
 	"repro/internal/planner"
 	"repro/internal/storage"
@@ -54,6 +55,11 @@ type Options struct {
 	// dispatch decisions for this execution. Counters are owned
 	// per-worker and merged at parfor joins — no hot-path allocation.
 	Stats *obs.QueryStats
+	// Mem, when non-nil, is the query's memory accountant: the large
+	// allocation sites (query-trie builds, worker output buffers,
+	// aggregation tables, result assembly) charge it and abort with
+	// qerr.ResourceExhaustedError when the query is over budget.
+	Mem *governor.Accountant
 }
 
 // ctxErr reports the options context's cancellation state (nil-safe).

@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/obs"
 	"repro/internal/planner"
+	"repro/internal/qerr"
 	"repro/internal/set"
 	"repro/internal/telemetry"
 )
@@ -231,6 +232,7 @@ func parallelRangeID(threads, n int, f func(id, lo, hi int)) {
 	}
 	chunk := (n + threads - 1) / threads
 	var wg sync.WaitGroup
+	var pc qerr.PanicCell
 	for t := 0; t < threads; t++ {
 		lo, hi := t*chunk, (t+1)*chunk
 		if hi > n {
@@ -242,8 +244,12 @@ func parallelRangeID(threads, n int, f func(id, lo, hi int)) {
 		wg.Add(1)
 		go func(t, lo, hi int) {
 			defer wg.Done()
+			defer pc.Recover()
 			f(t, lo, hi)
 		}(t, lo, hi)
 	}
 	wg.Wait()
+	// A panic in any chunk re-raises on the caller's goroutine, where the
+	// query-boundary barrier converts it to a qerr.InternalError.
+	pc.Repanic()
 }

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/faultinject"
 	"repro/internal/planner"
 	"repro/internal/sqlparse"
 )
@@ -15,8 +16,19 @@ import (
 // aggregate kind, and SELECT-level arithmetic over aggregates is
 // evaluated.
 func assemble(c *compiled, rows *rowsBuf) (*Result, error) {
+	faultinject.Fire(faultinject.PointExecOutput)
 	root := c.root
 	n := rows.n()
+
+	// Charge result assembly: the Result copies every row out of the
+	// pooled buffer into fresh columns (~16 bytes per cell is a safe
+	// upper bound across int64/float64/string columns).
+	if c.opts.Mem != nil {
+		est := int64(n) * int64(len(c.groups)+len(c.root.aggs)) * 16
+		if err := c.opts.Mem.Charge(est); err != nil {
+			return nil, err
+		}
+	}
 
 	// Direct mode: every group item reads a distinct key position and
 	// the key positions are exactly covered — stage-1 groups are final.
@@ -245,6 +257,13 @@ func decodeGroupColumn(c *compiled, g *groupDecoder, rows *rowsBuf, repr []int, 
 // assembleHash materializes a hash-emit result: group values decode
 // from the accumulated metadata tokens, aggregates are already final.
 func assembleHash(c *compiled, h *hashAcc) (*Result, error) {
+	faultinject.Fire(faultinject.PointExecOutput)
+	if c.opts.Mem != nil {
+		est := int64(h.n()) * int64(len(c.groups)+len(c.root.aggs)) * 16
+		if err := c.opts.Mem.Charge(est); err != nil {
+			return nil, err
+		}
+	}
 	nAggs := h.nA
 	if c.p.Having != nil {
 		kept := &hashAcc{nG: h.nG, nA: h.nA}

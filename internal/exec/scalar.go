@@ -8,6 +8,7 @@ import (
 	"repro/internal/expr"
 	"repro/internal/obs"
 	"repro/internal/planner"
+	"repro/internal/qerr"
 	"repro/internal/telemetry"
 )
 
@@ -93,6 +94,11 @@ func runScalarScan(p *planner.Plan, opts Options, parent telemetry.SpanID) (*Res
 		wg.Add(1)
 		go func(t, lo, hi int) {
 			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					errs[t] = qerr.CapturePanic(r)
+				}
+			}()
 			acc := make([]float64, len(aggs))
 			for ai := range aggs {
 				switch aggs[ai].kind {

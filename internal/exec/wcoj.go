@@ -8,7 +8,10 @@ import (
 	"strings"
 	"sync"
 
+	"repro/internal/faultinject"
+	"repro/internal/governor"
 	"repro/internal/planner"
+	"repro/internal/qerr"
 	"repro/internal/set"
 	"repro/internal/telemetry"
 	"repro/internal/trie"
@@ -19,6 +22,13 @@ import (
 // per-intersection hot path, fine enough that cancellation lands in
 // well under a chunk.
 const ctxCheckStride = 64
+
+// stepCheckMask samples the in-recursion tick (context cancellation +
+// memory-charge flush) once per 2048 visited trie nodes: a single
+// outermost value with a huge subtree — the skewed chunk the stride
+// check above cannot see — still observes cancellation within
+// microseconds of work, not at the end of the chunk.
+const stepCheckMask = 2048 - 1
 
 // rowsBuf is a node's output: materialized key codes and aggregate
 // values, struct-of-arrays.
@@ -326,6 +336,16 @@ func runNode(n *cNode, opts Options, parent telemetry.SpanID) (*rowsBuf, *hashAc
 		if err != nil {
 			return nil, nil, err
 		}
+		// Charge the child-trie materialization up front: the build copies
+		// every row into column buffers and roughly doubles them inside
+		// trie.Build, so an over-budget query aborts before allocating.
+		if opts.Mem != nil {
+			est := int64(childRows.n()) * int64(4*len(cr.attrs)+8) * 2
+			if err := opts.Mem.Charge(est); err != nil {
+				releaseRows(childRows)
+				return nil, nil, err
+			}
+		}
 		tr, err := buildChildTrie(cr.child, childRows, cr.attrs)
 		releaseRows(childRows) // buildChildTrie copied every row out
 		if err != nil {
@@ -383,12 +403,21 @@ func runNode(n *cNode, opts Options, parent telemetry.SpanID) (*rowsBuf, *hashAc
 			workers[t] = nil
 			continue
 		}
-		w := newWorker(n, opts.Ctx)
+		w := newWorker(n, opts.Ctx, opts.Mem)
 		w.id = t
 		workers[t] = w
 		wg.Add(1)
 		go func(w *worker, vs []uint32) {
 			defer wg.Done()
+			// Recovery barrier: a panic inside this worker fails only
+			// this query. The worker is poisoned (kept out of the pool)
+			// because its buffers may be in an inconsistent state.
+			defer func() {
+				if r := recover(); r != nil {
+					w.poisoned = true
+					errs[w.id] = qerr.CapturePanic(r)
+				}
+			}()
 			errs[w.id] = w.runChunk(vs)
 		}(w, vals[lo:hi])
 	}
@@ -466,7 +495,7 @@ func runNode(n *cNode, opts Options, parent telemetry.SpanID) (*rowsBuf, *hashAc
 
 func releaseWorkers(ws []*worker) {
 	for _, w := range ws {
-		if w != nil {
+		if w != nil && !w.poisoned {
 			w.release()
 		}
 	}
@@ -518,6 +547,18 @@ type worker struct {
 	// stats at the parfor join.
 	iStats set.Stats
 	ctx    context.Context // non-nil: checked every ctxCheckStride values
+
+	// steps counts visited trie nodes; every stepCheckMask+1 visits the
+	// worker ticks: context check plus memory-charge flush. This is the
+	// in-loop check that bounds cancellation latency on skewed chunks.
+	steps int
+	// mem is the query's accountant; memCharged is the retained-bytes
+	// high-water mark already charged (ticks charge only the delta).
+	mem        *governor.Accountant
+	memCharged int64
+	// poisoned marks a worker that panicked: its buffers are suspect,
+	// so release keeps it out of the pool.
+	poisoned bool
 }
 
 type levelBufs struct {
@@ -563,11 +604,15 @@ func resizeI32(s []int32, n int) []int32 {
 // node n; release returns it once the node's results are merged. On
 // reuse every slice keeps its capacity, so a steady workload (the same
 // query shape over and over) checks out workers without allocating.
-func newWorker(n *cNode, ctx context.Context) *worker {
+func newWorker(n *cNode, ctx context.Context, mem *governor.Accountant) *worker {
 	w := workerPool.Get().(*worker)
 	w.id = 0
 	w.n = n
 	w.ctx = ctx
+	w.mem = mem
+	w.steps = 0
+	w.memCharged = 0
+	w.poisoned = false
 	w.touched = false
 	w.iStats = set.Stats{}
 	w.curKey = resizeU32(w.curKey, n.outKeyWidth())
@@ -623,6 +668,7 @@ func newWorker(n *cNode, ctx context.Context) *worker {
 func (w *worker) release() {
 	w.n = nil
 	w.ctx = nil
+	w.mem = nil
 	for _, lb := range w.bufs {
 		if lb == nil {
 			continue
@@ -640,12 +686,18 @@ func (w *worker) release() {
 // runChunk processes the assigned level-0 values, checking the context
 // every ctxCheckStride values (the parfor chunk boundary).
 func (w *worker) runChunk(vals []uint32) error {
+	faultinject.Fire(faultinject.PointExecWorker)
 	n := w.n
 	ps := n.parts[0]
 	boundary := n.matCount - 1
 	for vi, v := range vals {
-		if w.ctx != nil && vi%ctxCheckStride == 0 {
-			if err := w.ctx.Err(); err != nil {
+		if vi%ctxCheckStride == 0 {
+			if w.ctx != nil {
+				if err := w.ctx.Err(); err != nil {
+					return err
+				}
+			}
+			if err := w.chargeRetained(); err != nil {
 				return err
 			}
 		}
@@ -687,6 +739,12 @@ func (w *worker) recurse(d int) error {
 	last := d == n.nLevels-1
 
 	visit := func(v uint32) error {
+		w.steps++
+		if w.steps&stepCheckMask == 0 {
+			if err := w.tick(); err != nil {
+				return err
+			}
+		}
 		if d < n.matCount {
 			w.curKey[d] = v
 		}
@@ -774,6 +832,43 @@ func (w *worker) recurse(d int) error {
 		return true
 	})
 	return err
+}
+
+// tick is the sampled in-recursion check (every stepCheckMask+1 visited
+// trie nodes): observe cancellation promptly even on a skewed chunk, and
+// flush newly retained memory to the query's accountant.
+func (w *worker) tick() error {
+	if w.ctx != nil {
+		if err := w.ctx.Err(); err != nil {
+			return err
+		}
+	}
+	return w.chargeRetained()
+}
+
+// chargeRetained charges the accountant for the growth of this worker's
+// retained buffers since the last flush. Charging capacity deltas keeps
+// the cost proportional to actual growth: a steady-state query whose
+// pooled buffers already fit charges nothing after the first tick.
+func (w *worker) chargeRetained() error {
+	if w.mem == nil {
+		return nil
+	}
+	ret := int64(cap(w.out.keys))*4 + int64(cap(w.out.aggs))*8
+	if w.curVals != nil && w.hacc != nil {
+		ret += int64(cap(w.hacc.tokens))*8 + int64(cap(w.hacc.aggs))*8 +
+			int64(cap(w.hacc.slots))*4 + int64(cap(w.hacc.dense))*4
+	}
+	if w.n != nil && w.n.relaxed && w.uAcc != nil {
+		ret += int64(cap(w.uAcc.vals))*8 + int64(cap(w.uAcc.mark))*4 +
+			int64(cap(w.uAcc.touched))*4
+	}
+	if ret <= w.memCharged {
+		return nil
+	}
+	d := ret - w.memCharged
+	w.memCharged = ret
+	return w.mem.Charge(d)
 }
 
 func (w *worker) parentRank(rel, lvl int) int32 {

@@ -1,0 +1,215 @@
+// Package faultinject is the engine's chaos harness: named fault points
+// compiled into exec, trie, set and governor that can be armed to force
+// panics, delays or allocation failures at run time. Disarmed (the
+// default), a point costs one atomic load — the package is safe to
+// leave in production builds.
+//
+// Points are armed programmatically (tests) or from the environment:
+//
+//	LH_FAULTS="exec.worker=panic*1,set.intersect=delay:5ms" lhserve ...
+//
+// Each entry is point=mode with an optional :arg (delay duration) and
+// an optional *N fire budget (default: unlimited). Supported modes are
+// "panic", "delay:<duration>" and "error".
+package faultinject
+
+import (
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Mode selects what an armed fault point does when hit.
+type Mode uint8
+
+const (
+	// ModePanic makes the point panic (exercises the recovery barriers).
+	ModePanic Mode = iota
+	// ModeDelay makes the point sleep for Fault.Delay.
+	ModeDelay
+	// ModeError makes the point report an injected failure (e.g. a
+	// simulated allocation failure in the governor).
+	ModeError
+)
+
+// Fault configures one armed point.
+type Fault struct {
+	Mode  Mode
+	Delay time.Duration
+	// Times bounds how often the point fires before disarming itself;
+	// <= 0 means every hit fires.
+	Times int64
+}
+
+// The canonical point names. Callers pass these constants so the set of
+// chaos points is greppable in one place.
+const (
+	PointExecWorker     = "exec.worker"     // start of every parfor worker chunk
+	PointExecOutput     = "exec.output"     // result assembly
+	PointTrieBuild      = "trie.build"      // trie construction (compile phase)
+	PointSetIntersect   = "set.intersect"   // multi-set intersection kernel entry
+	PointGovernorCharge = "governor.charge" // memory accountant charge
+)
+
+// ErrInjected is the sentinel returned by Err for ModeError points.
+var ErrInjected = fmt.Errorf("faultinject: injected failure")
+
+type armedFault struct {
+	Fault
+	left atomic.Int64 // remaining fires when Times > 0
+}
+
+var (
+	// nArmed counts armed points: the only state the hot path reads.
+	nArmed atomic.Int32
+
+	mu     sync.Mutex
+	points = map[string]*armedFault{}
+)
+
+// Enabled reports whether any point is armed (one atomic load).
+func Enabled() bool { return nArmed.Load() != 0 }
+
+// Arm installs (or replaces) a fault at the named point.
+func Arm(point string, f Fault) {
+	af := &armedFault{Fault: f}
+	if f.Times > 0 {
+		af.left.Store(f.Times)
+	}
+	mu.Lock()
+	if _, dup := points[point]; !dup {
+		nArmed.Add(1)
+	}
+	points[point] = af
+	mu.Unlock()
+}
+
+// Disarm removes the fault at the named point, if armed.
+func Disarm(point string) {
+	mu.Lock()
+	if _, ok := points[point]; ok {
+		delete(points, point)
+		nArmed.Add(-1)
+	}
+	mu.Unlock()
+}
+
+// Reset disarms every point (test cleanup).
+func Reset() {
+	mu.Lock()
+	nArmed.Add(-int32(len(points)))
+	points = map[string]*armedFault{}
+	mu.Unlock()
+}
+
+// hit consumes one firing of the named point, honoring the Times
+// budget. Nil when the point is not armed or its budget is spent.
+func hit(point string) *armedFault {
+	mu.Lock()
+	af := points[point]
+	mu.Unlock()
+	if af == nil {
+		return nil
+	}
+	if af.Times > 0 && af.left.Add(-1) < 0 {
+		return nil
+	}
+	return af
+}
+
+// Fire triggers the named point: panics for ModePanic, sleeps for
+// ModeDelay, and is a no-op for ModeError (use Err at sites that can
+// return an error). Disarmed, it is a single atomic load.
+func Fire(point string) {
+	if nArmed.Load() == 0 {
+		return
+	}
+	af := hit(point)
+	if af == nil {
+		return
+	}
+	switch af.Mode {
+	case ModePanic:
+		panic("faultinject: forced panic at " + point)
+	case ModeDelay:
+		time.Sleep(af.Delay)
+	}
+}
+
+// Err triggers the named point at an error-returning site: ModeError
+// yields ErrInjected, ModePanic panics, ModeDelay sleeps and returns
+// nil. Disarmed, it is a single atomic load.
+func Err(point string) error {
+	if nArmed.Load() == 0 {
+		return nil
+	}
+	af := hit(point)
+	if af == nil {
+		return nil
+	}
+	switch af.Mode {
+	case ModePanic:
+		panic("faultinject: forced panic at " + point)
+	case ModeDelay:
+		time.Sleep(af.Delay)
+		return nil
+	default:
+		return ErrInjected
+	}
+}
+
+// init arms points from LH_FAULTS (ignoring malformed entries rather
+// than failing startup — chaos configuration must never brick a boot).
+func init() {
+	spec := os.Getenv("LH_FAULTS")
+	if spec == "" {
+		return
+	}
+	for _, entry := range strings.Split(spec, ",") {
+		point, mode, ok := strings.Cut(strings.TrimSpace(entry), "=")
+		if !ok || point == "" {
+			continue
+		}
+		f, err := parseFault(mode)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "faultinject: ignoring %q: %v\n", entry, err)
+			continue
+		}
+		Arm(point, f)
+	}
+}
+
+// parseFault parses "panic", "delay:10ms" or "error", each with an
+// optional "*N" fire budget suffix.
+func parseFault(s string) (Fault, error) {
+	var f Fault
+	if base, times, ok := strings.Cut(s, "*"); ok {
+		n, err := strconv.ParseInt(times, 10, 64)
+		if err != nil || n <= 0 {
+			return f, fmt.Errorf("bad fire budget %q", times)
+		}
+		f.Times = n
+		s = base
+	}
+	mode, arg, _ := strings.Cut(s, ":")
+	switch mode {
+	case "panic":
+		f.Mode = ModePanic
+	case "delay":
+		f.Mode = ModeDelay
+		d, err := time.ParseDuration(arg)
+		if err != nil {
+			return f, fmt.Errorf("bad delay %q", arg)
+		}
+		f.Delay = d
+	case "error":
+		f.Mode = ModeError
+	default:
+		return f, fmt.Errorf("unknown mode %q", mode)
+	}
+	return f, nil
+}

@@ -1,0 +1,72 @@
+package faultinject
+
+import (
+	"errors"
+	"testing"
+	"time"
+)
+
+func TestDisarmedIsNoop(t *testing.T) {
+	Reset()
+	Fire("nope")
+	if err := Err("nope"); err != nil {
+		t.Fatalf("disarmed Err = %v", err)
+	}
+	if Enabled() {
+		t.Fatal("Enabled with no armed points")
+	}
+}
+
+func TestPanicBudget(t *testing.T) {
+	Reset()
+	t.Cleanup(Reset)
+	Arm(PointExecWorker, Fault{Mode: ModePanic, Times: 1})
+	panicked := func() (p bool) {
+		defer func() { p = recover() != nil }()
+		Fire(PointExecWorker)
+		return false
+	}
+	if !panicked() {
+		t.Fatal("first hit did not panic")
+	}
+	if panicked() {
+		t.Fatal("budget of 1 fired twice")
+	}
+}
+
+func TestErrMode(t *testing.T) {
+	Reset()
+	t.Cleanup(Reset)
+	Arm(PointGovernorCharge, Fault{Mode: ModeError})
+	if err := Err(PointGovernorCharge); !errors.Is(err, ErrInjected) {
+		t.Fatalf("Err = %v, want ErrInjected", err)
+	}
+	Disarm(PointGovernorCharge)
+	if err := Err(PointGovernorCharge); err != nil {
+		t.Fatalf("after Disarm, Err = %v", err)
+	}
+}
+
+func TestDelayMode(t *testing.T) {
+	Reset()
+	t.Cleanup(Reset)
+	Arm(PointSetIntersect, Fault{Mode: ModeDelay, Delay: 10 * time.Millisecond, Times: 1})
+	t0 := time.Now()
+	Fire(PointSetIntersect)
+	if d := time.Since(t0); d < 10*time.Millisecond {
+		t.Fatalf("delay fired for only %v", d)
+	}
+}
+
+func TestParseFault(t *testing.T) {
+	f, err := parseFault("delay:5ms*3")
+	if err != nil || f.Mode != ModeDelay || f.Delay != 5*time.Millisecond || f.Times != 3 {
+		t.Fatalf("parseFault = %+v, %v", f, err)
+	}
+	if _, err := parseFault("nonsense"); err == nil {
+		t.Fatal("parseFault accepted garbage")
+	}
+	if _, err := parseFault("delay:notaduration"); err == nil {
+		t.Fatal("parseFault accepted bad delay")
+	}
+}

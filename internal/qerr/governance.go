@@ -1,0 +1,95 @@
+package qerr
+
+import (
+	"fmt"
+	"runtime/debug"
+	"sync/atomic"
+	"time"
+)
+
+// ResourceExhaustedError reports a query aborted by the memory governor:
+// either its own budget was exceeded or the engine-wide soft limit was
+// hit while it was the one charging. The query fails; the process does
+// not OOM.
+type ResourceExhaustedError struct {
+	SQL    string
+	Used   int64 // bytes charged to the query when it was aborted
+	Limit  int64 // the limit that tripped (query budget or engine soft limit)
+	Engine bool  // true when the engine-wide soft limit tripped
+}
+
+func (e *ResourceExhaustedError) Error() string {
+	scope := "query memory budget"
+	if e.Engine {
+		scope = "engine memory soft limit"
+	}
+	if e.SQL != "" {
+		return fmt.Sprintf("levelheaded: %s exceeded running %q: %d bytes charged, limit %d",
+			scope, fragment(e.SQL), e.Used, e.Limit)
+	}
+	return fmt.Sprintf("levelheaded: %s exceeded: %d bytes charged, limit %d", scope, e.Used, e.Limit)
+}
+
+// OverloadedError reports a query shed by admission control: the engine
+// was at max concurrency and the wait queue was full (or the query's
+// deadline could not outlast the expected queue wait, or the engine is
+// shutting down). RetryAfter is the server's backoff hint.
+type OverloadedError struct {
+	Reason     string // "queue full", "deadline before admission", "shutting down"
+	RetryAfter time.Duration
+}
+
+func (e *OverloadedError) Error() string {
+	return fmt.Sprintf("levelheaded: overloaded (%s), retry after %v", e.Reason, e.RetryAfter)
+}
+
+// InternalError reports a panic captured at a recovery barrier (the
+// query boundary or a parfor worker): the crash is converted into a
+// failure of the offending query only. Stack is the goroutine stack at
+// the panic site.
+type InternalError struct {
+	SQL   string
+	Panic any
+	Stack []byte
+}
+
+func (e *InternalError) Error() string {
+	if e.SQL != "" {
+		return fmt.Sprintf("levelheaded: internal error running %q: panic: %v", fragment(e.SQL), e.Panic)
+	}
+	return fmt.Sprintf("levelheaded: internal error: panic: %v", e.Panic)
+}
+
+// CapturePanic wraps a recovered panic value into an InternalError,
+// capturing the current goroutine's stack. When the value already is an
+// InternalError (a barrier downstream re-panicked to propagate across a
+// goroutine join), it is passed through so the original stack survives.
+func CapturePanic(r any) *InternalError {
+	if ie, ok := r.(*InternalError); ok {
+		return ie
+	}
+	return &InternalError{Panic: r, Stack: debug.Stack()}
+}
+
+// PanicCell propagates the first panic out of a fan-out of goroutines:
+// each worker defers Recover, and the spawning goroutine calls Repanic
+// after the join. The re-raised value is the captured *InternalError,
+// so the query-boundary barrier reports the worker's original stack.
+type PanicCell struct {
+	p atomic.Pointer[InternalError]
+}
+
+// Recover must be deferred inside each spawned goroutine.
+func (c *PanicCell) Recover() {
+	if r := recover(); r != nil {
+		c.p.CompareAndSwap(nil, CapturePanic(r))
+	}
+}
+
+// Repanic re-raises the first captured panic, if any, on the caller's
+// goroutine (after the WaitGroup join).
+func (c *PanicCell) Repanic() {
+	if p := c.p.Load(); p != nil {
+		panic(p)
+	}
+}

@@ -4,6 +4,8 @@ import (
 	"math/bits"
 	"sort"
 	"time"
+
+	"repro/internal/faultinject"
 )
 
 // gallopThreshold is the size ratio beyond which uint∩uint switches from
@@ -376,6 +378,7 @@ func gallopIntersect(out, small, large []uint32) []uint32 {
 // — this runs in the innermost WCOJ loops and must not allocate once
 // the buffers are warm.
 func IntersectMany(buf, buf2 *Buffer, ss []*Set) Set {
+	faultinject.Fire(faultinject.PointSetIntersect)
 	switch len(ss) {
 	case 0:
 		return Set{}

@@ -1,0 +1,49 @@
+package sqlparse
+
+import (
+	"testing"
+)
+
+// FuzzParse feeds arbitrary bytes through the SQL front-end. The
+// contract under fuzz is total: Parse must return (*Query, nil) or
+// (nil, error) for any input — never panic, hang, or return a nil
+// query without an error. Malformed SQL surfaces to engine callers as
+// a qerr.ParseError wrapping the error returned here.
+func FuzzParse(f *testing.F) {
+	seeds := []string{
+		// Well-formed queries spanning the supported subset.
+		`SELECT count(*) FROM t`,
+		`SELECT a, b FROM t WHERE a = b`,
+		`SELECT t1.a AS x, sum(t2.v * t1.v) AS s FROM t AS t1, t AS t2 WHERE t1.b = t2.a GROUP BY t1.a`,
+		`SELECT l_orderkey, min(l_quantity) FROM lineitem GROUP BY l_orderkey;`,
+		`SELECT a FROM t WHERE d >= DATE '1994-01-01' AND d < DATE '1995-01-01'`,
+		`SELECT a FROM t WHERE s = 'BUILDING' AND n <> 12 AND f < 0.07`,
+		// Malformed / boundary inputs.
+		``,
+		`;`,
+		`SELECT`,
+		`SELECT FROM`,
+		`SELECT * FROM`,
+		`SELECT a FROM t WHERE`,
+		`SELECT a FROM t GROUP`,
+		`SELECT a FROM t WHERE a = `,
+		`SELECT a FROM t WHERE a = 'unterminated`,
+		`SELECT a FROM t WHERE d = DATE '19x4-01-01'`,
+		`SELECT a FROM t trailing garbage )(`,
+		`SELECT ((((a FROM t`,
+		`SELECT a,, FROM t`,
+		`select a from t where a = 9999999999999999999999999`,
+		"SELECT a FROM t \x00\xff\xfe",
+		`SELECT sum( FROM t`,
+		`SELECT a AS FROM t`,
+	}
+	for _, s := range seeds {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, src string) {
+		q, err := Parse(src)
+		if err == nil && q == nil {
+			t.Fatalf("Parse(%q) returned nil query without an error", src)
+		}
+	})
+}

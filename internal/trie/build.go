@@ -5,6 +5,8 @@ import (
 	"runtime"
 	"sync"
 
+	"repro/internal/faultinject"
+	"repro/internal/qerr"
 	"repro/internal/set"
 )
 
@@ -45,6 +47,7 @@ type BuildInput struct {
 // by combining their annotations (the AJAR pre-aggregation that makes
 // annotations 1-1 with last-level trie elements, paper §II-C, §III-B).
 func Build(in BuildInput) (*Trie, error) {
+	faultinject.Fire(faultinject.PointTrieBuild)
 	k := len(in.Keys)
 	if k == 0 {
 		return nil, fmt.Errorf("trie: no key columns")
@@ -124,10 +127,14 @@ func Build(in BuildInput) (*Trie, error) {
 			}
 			outs := make([]regionOut, len(regions))
 			var wg sync.WaitGroup
+			// Panics in region workers re-raise on the caller after the
+			// join, where the query-boundary barrier converts them.
+			var pc qerr.PanicCell
 			for ri, reg := range regions {
 				wg.Add(1)
 				go func(ri, lo, hi int) {
 					defer wg.Done()
+					defer pc.Recover()
 					o := &outs[ri]
 					o.vals = make([][]uint32, k)
 					o.ends = make([][]int32, k)
@@ -137,6 +144,7 @@ func Build(in BuildInput) (*Trie, error) {
 				}(ri, reg[0], reg[1])
 			}
 			wg.Wait()
+			pc.Repanic()
 			// Concatenate region outputs, shifting set boundaries by the
 			// preceding regions' value counts.
 			for lvl := 0; lvl < k; lvl++ {
@@ -319,6 +327,7 @@ func buildLevel(vals []uint32, ends []int32, threads int) *Level {
 	}
 	chunk := (len(ends) + threads - 1) / threads
 	var wg sync.WaitGroup
+	var pc qerr.PanicCell
 	for t := 0; t < threads; t++ {
 		lo, hi := t*chunk, (t+1)*chunk
 		if hi > len(ends) {
@@ -331,6 +340,7 @@ func buildLevel(vals []uint32, ends []int32, threads int) *Level {
 		wg.Add(1)
 		go func(t, lo, hi int) {
 			defer wg.Done()
+			defer pc.Recover()
 			allDense := true
 			for i := lo; i < hi; i++ {
 				var s0 int32
@@ -348,6 +358,7 @@ func buildLevel(vals []uint32, ends []int32, threads int) *Level {
 		}(t, lo, hi)
 	}
 	wg.Wait()
+	pc.Repanic()
 	for t := 0; t < threads; t++ {
 		if !dense[t] {
 			l.Dense = false
@@ -382,6 +393,7 @@ func sortRows(keys [][]uint32, n, threads int) []int32 {
 	tmp := make([]int32, n)
 	counts := make([][256]int, threads)
 	chunk := (n + threads - 1) / threads
+	var pc qerr.PanicCell
 	for colIdx := len(keys) - 1; colIdx >= 0; colIdx-- {
 		col := keys[colIdx]
 		maxV := uint32(0)
@@ -404,6 +416,7 @@ func sortRows(keys [][]uint32, n, threads int) []int32 {
 				wg.Add(1)
 				go func(t, lo, hi int) {
 					defer wg.Done()
+					defer pc.Recover()
 					c := &counts[t]
 					for i := range c {
 						c[i] = 0
@@ -414,6 +427,7 @@ func sortRows(keys [][]uint32, n, threads int) []int32 {
 				}(t, lo, hi)
 			}
 			wg.Wait()
+			pc.Repanic()
 			// Stable global offsets: digit-major, then worker order.
 			sum := 0
 			for d := 0; d < 256; d++ {
@@ -432,6 +446,7 @@ func sortRows(keys [][]uint32, n, threads int) []int32 {
 				wg.Add(1)
 				go func(t, lo, hi int) {
 					defer wg.Done()
+					defer pc.Recover()
 					c := &counts[t]
 					for _, r := range order[lo:hi] {
 						d := (col[r] >> shift) & 0xff
@@ -441,6 +456,7 @@ func sortRows(keys [][]uint32, n, threads int) []int32 {
 				}(t, lo, hi)
 			}
 			wg.Wait()
+			pc.Repanic()
 			order, tmp = tmp, order
 		}
 	}

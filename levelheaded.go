@@ -94,6 +94,15 @@ type (
 	UnknownColumnError = qerr.UnknownColumnError
 	// FrozenTableError reports a mutation attempted after Freeze.
 	FrozenTableError = qerr.FrozenTableError
+	// ResourceExhaustedError reports a query aborted for exceeding its
+	// memory budget (or the engine-wide soft limit).
+	ResourceExhaustedError = qerr.ResourceExhaustedError
+	// OverloadedError reports a query shed by admission control; its
+	// RetryAfter is a backoff hint (lhserve maps it to HTTP 429).
+	OverloadedError = qerr.OverloadedError
+	// InternalError reports a panic contained at the query boundary: the
+	// query failed, the engine keeps serving, Stack has the crash site.
+	InternalError = qerr.InternalError
 )
 
 // Column kinds.
@@ -137,6 +146,20 @@ var (
 	// WithSlowQueryLog emits one JSON line per query slower than the
 	// threshold (threshold 0 logs every query).
 	WithSlowQueryLog = core.WithSlowQueryLog
+	// WithMemoryBudget caps each query's tracked memory; over-budget
+	// queries abort with *ResourceExhaustedError (0 = unlimited).
+	WithMemoryBudget = core.WithMemoryBudget
+	// WithMemorySoftLimit sets the engine-wide soft memory limit; when
+	// tracked allocations or the process heap exceed it, the next query
+	// to allocate aborts (0 = unlimited).
+	WithMemorySoftLimit = core.WithMemorySoftLimit
+	// WithMaxConcurrency bounds concurrently executing queries; excess
+	// queries queue, and queue overflow sheds with *OverloadedError
+	// (0 = unlimited).
+	WithMaxConcurrency = core.WithMaxConcurrency
+	// WithQueueDepth bounds the admission wait queue used with
+	// WithMaxConcurrency.
+	WithQueueDepth = core.WithQueueDepth
 )
 
 // NewTelemetry creates a standalone telemetry collector to share across
@@ -240,3 +263,13 @@ func (e *Engine) CacheSize() int { return e.inner.CacheSize() }
 // histograms, live query registry, retained traces) — pass it to
 // ServeDebug to monitor the engine over HTTP.
 func (e *Engine) Telemetry() *Telemetry { return e.inner.Telemetry() }
+
+// BeginShutdown stops admitting queries: queued and subsequent queries
+// fail with *OverloadedError while in-flight queries run to completion.
+func (e *Engine) BeginShutdown() { e.inner.BeginShutdown() }
+
+// Drain blocks until every in-flight query finishes or ctx expires;
+// stragglers are then cancelled through the live query registry. It
+// returns the number of force-cancelled queries. Call BeginShutdown
+// first so the drain converges.
+func (e *Engine) Drain(ctx context.Context) int { return e.inner.Drain(ctx) }
