@@ -7,7 +7,11 @@ BENCH_SF ?= 0.01
 BENCH_COUNT ?= 5
 BENCH_WARMUP ?= 2
 
-.PHONY: all build vet test race bench-smoke bench-save bench-compare telemetry-race telemetry-smoke chaos ci clean
+# difftest-long parameters: wall-clock budget for the nightly
+# randomized sweep (time-seeded; failures shrink to a JSON repro).
+DIFFTEST_BUDGET ?= 60s
+
+.PHONY: all build vet test race bench-smoke bench-save bench-compare telemetry-race telemetry-smoke chaos difftest difftest-long ci clean
 
 all: build
 
@@ -62,7 +66,23 @@ chaos:
 	$(GO) test -race -count=1 ./internal/governor ./internal/faultinject
 	$(GO) test -run '^$$' -fuzz FuzzParse -fuzztime 5s ./internal/sqlparse
 
-ci: vet build race bench-smoke telemetry-race telemetry-smoke chaos
+# Differential & metamorphic correctness harness (internal/difftest):
+# a short, seeded, deterministic run of >=500 generated query/dataset
+# pairs across the brute-force reference evaluator, the pairwise BLAS
+# kernels, metamorphic identities (count partition, permutation
+# invariance, aggregate re-association) and the dictionary invariant
+# lane. A failure prints the shrunken JSON repro path; replay it with
+# `go run ./cmd/lhfuzz -replay <file>`.
+difftest:
+	$(GO) test -count=1 -run TestDifferentialShort ./internal/difftest
+
+# Nightly: time-budgeted randomized sweep with a fresh seed each run
+# (set DIFFTEST_BUDGET to taste). Same shrink-to-JSON failure mode.
+difftest-long:
+	$(GO) test -count=1 -run TestDifferentialLong -timeout 0 \
+		./internal/difftest -difftest.duration $(DIFFTEST_BUDGET)
+
+ci: vet build race bench-smoke telemetry-race telemetry-smoke chaos difftest
 
 clean:
 	$(GO) clean ./...

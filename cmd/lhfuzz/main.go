@@ -1,0 +1,168 @@
+// Command lhfuzz drives the differential/metamorphic correctness
+// harness from the shell: it generates random schema+data+query cases,
+// runs each through its oracle lane (brute-force reference evaluator,
+// pairwise BLAS kernels, metamorphic identities, dictionary
+// invariants), and on the first disagreement shrinks the case to a
+// minimal JSON artifact suitable for committing to a testdata/
+// directory.
+//
+// Usage:
+//
+//	lhfuzz [-n 1000] [-seed 1] [-duration 30s] [-lane refeval] [-out DIR]
+//	lhfuzz -replay repro.json
+//
+// Exit status is 1 when any disagreement was found (the shrunken repro
+// path is printed), 0 on a clean run.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/difftest"
+)
+
+type lane struct {
+	name string
+	gen  func(*difftest.Gen) (*difftest.Case, *difftest.QuerySpec)
+}
+
+var lanes = []lane{
+	{"refeval", func(g *difftest.Gen) (*difftest.Case, *difftest.QuerySpec) { return g.Candidate() }},
+	{"count-partition", func(g *difftest.Gen) (*difftest.Case, *difftest.QuerySpec) { return g.GenCountPartitionCase(), nil }},
+	{"permutation", func(g *difftest.Gen) (*difftest.Case, *difftest.QuerySpec) { return g.GenPermutationCase(), nil }},
+	{"reassociation", func(g *difftest.Gen) (*difftest.Case, *difftest.QuerySpec) { return g.GenReassociationCase(), nil }},
+	{"spmv", func(g *difftest.Gen) (*difftest.Case, *difftest.QuerySpec) { return g.GenSpMVCase(), nil }},
+	{"spmm", func(g *difftest.Gen) (*difftest.Case, *difftest.QuerySpec) { return g.GenSpMMCase(), nil }},
+	{"dict", func(g *difftest.Gen) (*difftest.Case, *difftest.QuerySpec) { return g.GenDictCase(), nil }},
+}
+
+func main() {
+	n := flag.Int("n", 1000, "number of generated cases (ignored with -duration)")
+	seed := flag.Int64("seed", 1, "base seed; case i uses seed+i")
+	dur := flag.Duration("duration", 0, "run for this long instead of a fixed count")
+	laneName := flag.String("lane", "", "restrict to one lane (refeval, count-partition, permutation, reassociation, spmv, spmm, dict)")
+	out := flag.String("out", "", "directory for shrunken repro artifacts (default: temp dir)")
+	replay := flag.String("replay", "", "replay one JSON case artifact and exit")
+	flag.Parse()
+
+	if *replay != "" {
+		os.Exit(replayFile(*replay))
+	}
+
+	active := lanes
+	if *laneName != "" {
+		active = nil
+		for _, l := range lanes {
+			if l.name == *laneName {
+				active = []lane{l}
+			}
+		}
+		if active == nil {
+			fmt.Fprintf(os.Stderr, "lhfuzz: unknown lane %q\n", *laneName)
+			os.Exit(2)
+		}
+	}
+
+	deadline := time.Time{}
+	if *dur > 0 {
+		deadline = time.Now().Add(*dur)
+	}
+	stats := map[string]int{}
+	skips := 0
+	for i := 0; ; i++ {
+		if deadline.IsZero() {
+			if i >= *n {
+				break
+			}
+		} else if !time.Now().Before(deadline) {
+			break
+		}
+		l := active[i%len(active)]
+		g := difftest.NewGen(*seed + int64(i))
+		c, spec := l.gen(g)
+		o := difftest.RunLane(c)
+		switch o.Verdict {
+		case difftest.Agree:
+			stats[l.name]++
+		case difftest.Skip:
+			skips++
+		case difftest.Disagree:
+			fail(l.name, c, spec, o, *out)
+		}
+	}
+	total := 0
+	for _, l := range active {
+		fmt.Printf("%-16s %6d agreed\n", l.name, stats[l.name])
+		total += stats[l.name]
+	}
+	fmt.Printf("%-16s %6d (generator outside supported subset)\n", "skipped", skips)
+	fmt.Printf("lhfuzz: %d cases, zero disagreements\n", total)
+}
+
+// fail shrinks the disagreeing case, writes the artifact, and exits 1.
+func fail(laneName string, c *difftest.Case, spec *difftest.QuerySpec, o difftest.Outcome, outDir string) {
+	fmt.Fprintf(os.Stderr, "lhfuzz: %s lane disagreement\n  SQL: %s\n  %s\n", laneName, c.SQL, o.Detail)
+	c.Note = fmt.Sprintf("lane=%s; first detail: %s", laneName, o.Detail)
+	red := difftest.Reduce(c, spec, difftest.DefaultCheck)
+	var path string
+	var err error
+	if outDir != "" {
+		if err = os.MkdirAll(outDir, 0o755); err == nil {
+			path = filepath.Join(outDir, fmt.Sprintf("lhfuzz-%s-%d.json", laneName, red.Seed))
+			err = os.WriteFile(path, red.Marshal(), 0o644)
+		}
+	} else {
+		var f *os.File
+		f, err = os.CreateTemp("", "lhfuzz-"+laneName+"-*.json")
+		if err == nil {
+			_, err = f.Write(red.Marshal())
+			if cerr := f.Close(); err == nil {
+				err = cerr
+			}
+			path = f.Name()
+		}
+	}
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lhfuzz: could not write repro (%v); artifact follows\n%s\n", err, red.Marshal())
+	} else {
+		fmt.Fprintf(os.Stderr, "lhfuzz: shrunken repro (%d tables, SQL %q) written to %s\n",
+			len(red.Tables), red.SQL, path)
+	}
+	os.Exit(1)
+}
+
+// replayFile re-runs one committed artifact through its lane.
+func replayFile(path string) int {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lhfuzz: %v\n", err)
+		return 2
+	}
+	c, err := difftest.UnmarshalCase(b)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "lhfuzz: %s: %v\n", path, err)
+		return 2
+	}
+	o := difftest.RunLane(c)
+	switch o.Verdict {
+	case difftest.Disagree:
+		fmt.Fprintf(os.Stderr, "lhfuzz: %s DISAGREES\n  SQL: %s\n  %s\n", path, c.SQL, o.Detail)
+		return 1
+	case difftest.Skip:
+		fmt.Printf("lhfuzz: %s skipped (outside supported subset): %s\n", path, o.Detail)
+	default:
+		fmt.Printf("lhfuzz: %s agrees (lane %s)\n", path, laneOf(c))
+	}
+	return 0
+}
+
+func laneOf(c *difftest.Case) string {
+	if c.Lane == "" {
+		return "refeval"
+	}
+	return c.Lane
+}

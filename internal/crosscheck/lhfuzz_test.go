@@ -1,0 +1,47 @@
+package crosscheck_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/difftest"
+)
+
+// TestLhfuzzArtifacts replays every committed shrunken repro under
+// testdata/lhfuzz/ through its differential lane. Each artifact is a
+// bug the fuzz harness once caught (see the "note" field); a
+// regression turns back into a disagreement here, with the engine and
+// reference results in the failure message.
+func TestLhfuzzArtifacts(t *testing.T) {
+	paths, err := filepath.Glob(filepath.Join("testdata", "lhfuzz", "*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) == 0 {
+		t.Fatal("no committed lhfuzz artifacts found under testdata/lhfuzz")
+	}
+	for _, path := range paths {
+		path := path
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			b, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			c, err := difftest.UnmarshalCase(b)
+			if err != nil {
+				t.Fatalf("%s: %v", path, err)
+			}
+			out := difftest.RunLane(c)
+			switch out.Verdict {
+			case difftest.Disagree:
+				t.Fatalf("replay disagrees: %s\nSQL: %s\nnote: %s", out.Detail, c.SQL, c.Note)
+			case difftest.Skip:
+				// A committed artifact must stay inside the supported
+				// subset; a skip means the repro silently stopped testing
+				// anything.
+				t.Fatalf("replay skipped (%s) — artifact no longer exercises the engine", out.Detail)
+			}
+		})
+	}
+}

@@ -8,6 +8,7 @@ package dict
 
 import (
 	"fmt"
+	"math"
 	"sort"
 )
 
@@ -49,6 +50,11 @@ type Dictionary struct {
 	ints     []int64
 	floats   []float64
 	strs     []string
+	// hasNaN marks a float dictionary whose last code is the canonical
+	// NaN entry. NaN compares unequal to everything (including itself),
+	// so it must be kept out of the binary-searched prefix: exactly one
+	// code represents all NaNs and it sorts after every ordered value.
+	hasNaN bool
 }
 
 // NewIdentity returns the identity dictionary over [0, n).
@@ -64,6 +70,10 @@ func (d *Dictionary) Len() int { return d.n }
 
 // Identity reports whether d is an identity dictionary.
 func (d *Dictionary) Identity() bool { return d.identity }
+
+// HasNaN reports whether a float dictionary carries the canonical NaN
+// entry (always the last code).
+func (d *Dictionary) HasNaN() bool { return d.hasNaN }
 
 // EncodeInt returns the code for v. ok is false if v is not in the
 // dictionary.
@@ -84,16 +94,36 @@ func (d *Dictionary) EncodeInt(v int64) (uint32, bool) {
 	return 0, false
 }
 
-// EncodeFloat returns the code for v.
+// EncodeFloat returns the code for v. All NaN payloads map to the one
+// canonical NaN code (if present); -0.0 encodes as +0.0.
 func (d *Dictionary) EncodeFloat(v float64) (uint32, bool) {
 	if d.kind != Float {
 		return 0, false
 	}
-	i := sort.Search(len(d.floats), func(i int) bool { return d.floats[i] >= v })
-	if i < len(d.floats) && d.floats[i] == v {
+	if math.IsNaN(v) {
+		if d.hasNaN {
+			return uint32(d.n - 1), true
+		}
+		return 0, false
+	}
+	if v == 0 {
+		v = 0
+	}
+	ordered := d.orderedFloats()
+	i := sort.Search(len(ordered), func(i int) bool { return ordered[i] >= v })
+	if i < len(ordered) && ordered[i] == v {
 		return uint32(i), true
 	}
 	return 0, false
+}
+
+// orderedFloats returns the totally ordered (NaN-free) prefix that
+// binary searches may run over.
+func (d *Dictionary) orderedFloats() []float64 {
+	if d.hasNaN {
+		return d.floats[:len(d.floats)-1]
+	}
+	return d.floats
 }
 
 // EncodeString returns the code for v.
@@ -125,9 +155,16 @@ func (d *Dictionary) LowerBoundInt(v int64) uint32 {
 	return uint32(sort.Search(len(d.ints), func(i int) bool { return d.ints[i] >= v }))
 }
 
-// LowerBoundFloat is LowerBoundInt for float dictionaries.
+// LowerBoundFloat is LowerBoundInt for float dictionaries. The NaN
+// code (when present) sorts after every real value, so it is never
+// covered by a finite lower bound; a NaN argument bounds nothing and
+// returns Len().
 func (d *Dictionary) LowerBoundFloat(v float64) uint32 {
-	return uint32(sort.Search(len(d.floats), func(i int) bool { return d.floats[i] >= v }))
+	if math.IsNaN(v) {
+		return uint32(d.n)
+	}
+	ordered := d.orderedFloats()
+	return uint32(sort.Search(len(ordered), func(i int) bool { return ordered[i] >= v }))
 }
 
 // LowerBoundString is LowerBoundInt for string dictionaries.
@@ -156,6 +193,7 @@ type Builder struct {
 	seenI  map[int64]struct{}
 	seenF  map[float64]struct{}
 	seenS  map[string]struct{}
+	hasNaN bool
 	sealed bool
 }
 
@@ -176,8 +214,20 @@ func NewBuilder(kind Kind) *Builder {
 // AddInt records an integer value.
 func (b *Builder) AddInt(v int64) { b.seenI[v] = struct{}{} }
 
-// AddFloat records a float value.
-func (b *Builder) AddFloat(v float64) { b.seenF[v] = struct{}{} }
+// AddFloat records a float value. NaN is canonicalized to a single
+// dictionary entry (Go map keys treat each NaN as distinct, so storing
+// them raw would mint one code per insert and break lookups); -0.0 is
+// folded into +0.0 so the two encode identically.
+func (b *Builder) AddFloat(v float64) {
+	if math.IsNaN(v) {
+		b.hasNaN = true
+		return
+	}
+	if v == 0 {
+		v = 0 // collapse -0.0 into +0.0
+	}
+	b.seenF[v] = struct{}{}
+}
 
 // AddString records a string value.
 func (b *Builder) AddString(v string) { b.seenS[v] = struct{}{} }
@@ -201,11 +251,17 @@ func (b *Builder) Build() *Dictionary {
 		sort.Slice(d.ints, func(i, j int) bool { return d.ints[i] < d.ints[j] })
 		d.n = len(d.ints)
 	case Float:
-		d.floats = make([]float64, 0, len(b.seenF))
+		d.floats = make([]float64, 0, len(b.seenF)+1)
 		for v := range b.seenF {
 			d.floats = append(d.floats, v)
 		}
 		sort.Float64s(d.floats)
+		if b.hasNaN {
+			// One canonical NaN code, ordered after every real value so
+			// the binary-searched prefix stays totally ordered.
+			d.floats = append(d.floats, math.NaN())
+			d.hasNaN = true
+		}
 		d.n = len(d.floats)
 	case String:
 		d.strs = make([]string, 0, len(b.seenS))

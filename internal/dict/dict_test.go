@@ -1,6 +1,7 @@
 package dict
 
 import (
+	"math"
 	"math/rand"
 	"sort"
 	"testing"
@@ -178,5 +179,84 @@ func TestIntDictProperty(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200, Rand: rand.New(rand.NewSource(1))}); err != nil {
 		t.Error(err)
+	}
+}
+
+func TestFloatDictionaryNaNCanonicalized(t *testing.T) {
+	b := NewBuilder(Float)
+	// Several distinct NaN inserts must collapse to one code; before the
+	// fix each insert minted a fresh map entry and sort.Float64s left
+	// NaNs at positions that broke the binary-search invariant.
+	for i := 0; i < 5; i++ {
+		b.AddFloat(math.NaN())
+	}
+	for _, v := range []float64{3.5, -1.25, 0, 7} {
+		b.AddFloat(v)
+	}
+	d := b.Build()
+	if d.Len() != 5 {
+		t.Fatalf("Len = %d, want 5 (4 reals + 1 canonical NaN)", d.Len())
+	}
+	if !d.HasNaN() {
+		t.Fatal("HasNaN = false")
+	}
+	nanCode, ok := d.EncodeFloat(math.NaN())
+	if !ok || nanCode != uint32(d.Len()-1) {
+		t.Fatalf("EncodeFloat(NaN) = %d,%v, want last code %d", nanCode, ok, d.Len()-1)
+	}
+	if !math.IsNaN(d.DecodeFloat(nanCode)) {
+		t.Fatalf("DecodeFloat(nan code) = %v, want NaN", d.DecodeFloat(nanCode))
+	}
+	// Ordered reals keep dense ranks below the NaN code.
+	for i, v := range []float64{-1.25, 0, 3.5, 7} {
+		code, ok := d.EncodeFloat(v)
+		if !ok || code != uint32(i) {
+			t.Fatalf("EncodeFloat(%v) = %d,%v, want %d", v, code, ok, i)
+		}
+	}
+	// A finite lower bound never covers the NaN code.
+	if lb := d.LowerBoundFloat(100); lb != uint32(d.Len()-1) {
+		t.Fatalf("LowerBoundFloat(100) = %d, want %d (exclude NaN)", lb, d.Len()-1)
+	}
+	if lb := d.LowerBoundFloat(math.NaN()); lb != uint32(d.Len()) {
+		t.Fatalf("LowerBoundFloat(NaN) = %d, want Len()", lb)
+	}
+}
+
+func TestFloatDictionaryNegativeZeroRoundTrip(t *testing.T) {
+	b := NewBuilder(Float)
+	b.AddFloat(math.Copysign(0, -1))
+	b.AddFloat(0.0)
+	b.AddFloat(1.5)
+	d := b.Build()
+	if d.Len() != 2 {
+		t.Fatalf("Len = %d, want 2 (-0.0 folds into +0.0)", d.Len())
+	}
+	cNeg, okNeg := d.EncodeFloat(math.Copysign(0, -1))
+	cPos, okPos := d.EncodeFloat(0.0)
+	if !okNeg || !okPos || cNeg != cPos {
+		t.Fatalf("EncodeFloat(-0)=%d,%v EncodeFloat(+0)=%d,%v, want same code", cNeg, okNeg, cPos, okPos)
+	}
+	if v := d.DecodeFloat(cPos); v != 0 || math.Signbit(v) {
+		t.Fatalf("DecodeFloat(zero code) = %v, want +0.0", v)
+	}
+	if lbNeg, lbPos := d.LowerBoundFloat(math.Copysign(0, -1)), d.LowerBoundFloat(0.0); lbNeg != lbPos {
+		t.Fatalf("LowerBoundFloat(-0)=%d != LowerBoundFloat(+0)=%d", lbNeg, lbPos)
+	}
+}
+
+func TestFloatDictionaryNoNaN(t *testing.T) {
+	b := NewBuilder(Float)
+	b.AddFloat(1)
+	b.AddFloat(2)
+	d := b.Build()
+	if d.HasNaN() {
+		t.Fatal("HasNaN = true on NaN-free dictionary")
+	}
+	if _, ok := d.EncodeFloat(math.NaN()); ok {
+		t.Fatal("EncodeFloat(NaN) should miss when no NaN was added")
+	}
+	if lb := d.LowerBoundFloat(1.5); lb != 1 {
+		t.Fatalf("LowerBoundFloat(1.5) = %d, want 1", lb)
 	}
 }

@@ -1,0 +1,197 @@
+package difftest
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"testing"
+	"time"
+)
+
+var (
+	flagSeed  = flag.Int64("difftest.seed", 20260806, "base seed for the deterministic differential run")
+	flagLong  = flag.Duration("difftest.duration", 0, "run randomized lanes for this long instead of fixed counts")
+	flagCount = flag.Int("difftest.count", 0, "override per-lane case counts (0 = defaults)")
+)
+
+// laneRun generates cases until want non-skipped runs complete,
+// failing with a shrunken JSON artifact on the first disagreement.
+func laneRun(t *testing.T, name string, baseSeed int64, want int,
+	gen func(*Gen) (*Case, *QuerySpec)) int {
+	t.Helper()
+	done := 0
+	for i := 0; done < want; i++ {
+		if i > want*40+200 {
+			t.Fatalf("%s lane: %d/%d cases after %d attempts — generator acceptance collapsed", name, done, want, i)
+		}
+		g := NewGen(baseSeed + int64(i))
+		c, spec := gen(g)
+		out := RunLane(c)
+		switch out.Verdict {
+		case Skip:
+			continue
+		case Disagree:
+			failWithRepro(t, name, c, spec, out)
+		}
+		done++
+	}
+	return done
+}
+
+func failWithRepro(t *testing.T, lane string, c *Case, spec *QuerySpec, out Outcome) {
+	t.Helper()
+	c.Note = fmt.Sprintf("%s; first detail: %s", c.Note, out.Detail)
+	red := Reduce(c, spec, DefaultCheck)
+	f, err := os.CreateTemp("", "lhfuzz-"+lane+"-*.json")
+	if err == nil {
+		f.Write(red.Marshal())
+		f.Close()
+		t.Fatalf("%s lane disagreement: %s\nSQL: %s\nshrunken repro written to %s",
+			lane, out.Detail, red.SQL, f.Name())
+	}
+	t.Fatalf("%s lane disagreement: %s\nSQL: %s\nrepro (unwritable): %s",
+		lane, out.Detail, red.SQL, red.Marshal())
+}
+
+// TestDifferentialShort is the seeded deterministic run behind `make
+// difftest`: ≥500 generated query/dataset pairs across the refeval,
+// pairwise, and metamorphic oracles (plus the dict-invariant lane),
+// zero disagreements expected.
+func TestDifferentialShort(t *testing.T) {
+	seed := *flagSeed
+	counts := map[string]int{
+		"refeval":         220,
+		"count-partition": 90,
+		"permutation":     60,
+		"reassociation":   60,
+		"spmv":            45,
+		"spmm":            45,
+		"dict":            80,
+	}
+	if *flagCount > 0 {
+		for k := range counts {
+			counts[k] = *flagCount
+		}
+	}
+	total := 0
+	total += laneRun(t, "refeval", seed, counts["refeval"], func(g *Gen) (*Case, *QuerySpec) {
+		return g.Candidate()
+	})
+	total += laneRun(t, "count-partition", seed+1e6, counts["count-partition"], func(g *Gen) (*Case, *QuerySpec) {
+		return g.GenCountPartitionCase(), nil
+	})
+	total += laneRun(t, "permutation", seed+2e6, counts["permutation"], func(g *Gen) (*Case, *QuerySpec) {
+		return g.GenPermutationCase(), nil
+	})
+	total += laneRun(t, "reassociation", seed+3e6, counts["reassociation"], func(g *Gen) (*Case, *QuerySpec) {
+		return g.GenReassociationCase(), nil
+	})
+	total += laneRun(t, "spmv", seed+4e6, counts["spmv"], func(g *Gen) (*Case, *QuerySpec) {
+		return g.GenSpMVCase(), nil
+	})
+	total += laneRun(t, "spmm", seed+5e6, counts["spmm"], func(g *Gen) (*Case, *QuerySpec) {
+		return g.GenSpMMCase(), nil
+	})
+	total += laneRun(t, "dict", seed+6e6, counts["dict"], func(g *Gen) (*Case, *QuerySpec) {
+		return g.GenDictCase(), nil
+	})
+	if total < 500 && *flagCount == 0 {
+		t.Fatalf("only %d query/dataset pairs ran; want >= 500", total)
+	}
+	t.Logf("differential run: %d pairs, zero disagreements", total)
+}
+
+// TestDifferentialLong is the nightly time-budgeted run behind `make
+// difftest-long` (skipped unless -difftest.duration is set).
+func TestDifferentialLong(t *testing.T) {
+	if *flagLong <= 0 {
+		t.Skip("set -difftest.duration to run the long randomized sweep")
+	}
+	deadline := time.Now().Add(*flagLong)
+	seed := time.Now().UnixNano()
+	t.Logf("long run: base seed %d, budget %s", seed, *flagLong)
+	lanes := []struct {
+		name string
+		gen  func(*Gen) (*Case, *QuerySpec)
+	}{
+		{"refeval", func(g *Gen) (*Case, *QuerySpec) { return g.Candidate() }},
+		{"count-partition", func(g *Gen) (*Case, *QuerySpec) { return g.GenCountPartitionCase(), nil }},
+		{"permutation", func(g *Gen) (*Case, *QuerySpec) { return g.GenPermutationCase(), nil }},
+		{"reassociation", func(g *Gen) (*Case, *QuerySpec) { return g.GenReassociationCase(), nil }},
+		{"spmv", func(g *Gen) (*Case, *QuerySpec) { return g.GenSpMVCase(), nil }},
+		{"spmm", func(g *Gen) (*Case, *QuerySpec) { return g.GenSpMMCase(), nil }},
+		{"dict", func(g *Gen) (*Case, *QuerySpec) { return g.GenDictCase(), nil }},
+	}
+	ran := 0
+	for i := 0; time.Now().Before(deadline); i++ {
+		lane := lanes[i%len(lanes)]
+		g := NewGen(seed + int64(i))
+		c, spec := lane.gen(g)
+		out := RunLane(c)
+		if out.Verdict == Disagree {
+			failWithRepro(t, lane.name, c, spec, out)
+		}
+		if out.Verdict == Agree {
+			ran++
+		}
+	}
+	t.Logf("long run: %d pairs, zero disagreements", ran)
+}
+
+// FuzzDifferential drives the refeval and dict lanes from a fuzzed
+// seed; `go test -fuzz=FuzzDifferential ./internal/difftest` explores
+// new generator streams, and the seeded corpus keeps CI deterministic.
+func FuzzDifferential(f *testing.F) {
+	for _, s := range []int64{1, 42, 20260806, -7} {
+		f.Add(s)
+	}
+	f.Fuzz(func(t *testing.T, seed int64) {
+		g := NewGen(seed)
+		for tries := 0; tries < 12; tries++ {
+			c, spec := g.Candidate()
+			out := RunLane(c)
+			if out.Verdict == Disagree {
+				failWithRepro(t, "refeval", c, spec, out)
+			}
+			if out.Verdict == Agree {
+				break
+			}
+		}
+		dc := g.GenDictCase()
+		if out := RunLane(dc); out.Verdict == Disagree {
+			failWithRepro(t, "dict", dc, nil, out)
+		}
+	})
+}
+
+// TestCaseJSONRoundTrip pins the artifact format: NaN, -0.0 and quote
+// edge values survive Marshal/Unmarshal.
+func TestCaseJSONRoundTrip(t *testing.T) {
+	c := &Case{
+		Lane: "refeval",
+		Tables: []TableDef{{
+			Name: "t0",
+			Cols: []ColDef{
+				{Name: "k0", Kind: "int", Role: "key", Domain: "s0"},
+				{Name: "a0", Kind: "float", Role: "ann"},
+				{Name: "a1", Kind: "string", Role: "ann"},
+			},
+			Rows: [][]string{
+				{"9223372036854775807", "NaN", "o'hara"},
+				{"0", "-0", ""},
+			},
+		}},
+		SQL: "SELECT count(*) FROM t0",
+	}
+	rt, err := UnmarshalCase(c.Marshal())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(rt.Marshal()) != string(c.Marshal()) {
+		t.Fatalf("round trip changed artifact:\n%s\nvs\n%s", rt.Marshal(), c.Marshal())
+	}
+	out := RunLane(rt)
+	if out.Verdict == Disagree {
+		t.Fatalf("round-tripped case disagrees: %s", out.Detail)
+	}
+}

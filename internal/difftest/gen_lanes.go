@@ -1,0 +1,365 @@
+package difftest
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// GenCountPartitionCase builds a dataset plus the three counting
+// queries of the predicate-partitioning relation
+// COUNT(P) = COUNT(P∧Q) + COUNT(P∧¬Q).
+func (g *Gen) GenCountPartitionCase() *Case {
+	r := g.rnd
+	base, _ := g.Candidate()
+
+	// Rebuild the FROM/JOIN skeleton and draw P (optional) and Q
+	// (required) over it.
+	tables, bound, joins := g.rebind(base)
+	_ = tables
+	var pParts []string
+	pParts = append(pParts, joins...)
+	if r.Intn(2) == 0 {
+		if p := g.genFilter(bound); p != "" {
+			pParts = append(pParts, p)
+		}
+	}
+	q := ""
+	for tries := 0; q == "" && tries < 8; tries++ {
+		q = g.genFilter(bound)
+	}
+	if q == "" {
+		q = "1 = 1"
+	}
+
+	mk := func(extra ...string) string {
+		preds := append(append([]string{}, pParts...), extra...)
+		sql := "SELECT count(*) FROM " + fromList(base)
+		if len(preds) > 0 {
+			sql += " WHERE " + strings.Join(preds, " AND ")
+		}
+		return sql
+	}
+	c := &Case{
+		Seed:   g.seed,
+		Lane:   "count-partition",
+		Tables: base.Tables,
+		SQL:    mk(),
+		Extra:  []string{mk(q), mk("NOT (" + q + ")")},
+	}
+	return c
+}
+
+// GenPermutationCase builds a grouped query plus permuted variants:
+// reversed FROM list with swapped join sides, reversed predicate
+// order, and a reversed GROUP BY list (with a column permutation
+// prefix so results re-align).
+func (g *Gen) GenPermutationCase() *Case {
+	r := g.rnd
+	var c *Case
+	var spec *QuerySpec
+	for tries := 0; tries < 32; tries++ {
+		c, spec = g.Candidate()
+		if len(spec.GroupBy) >= 1 && len(spec.From) >= 1 {
+			break
+		}
+	}
+	if len(spec.GroupBy) == 0 {
+		// Force one group column.
+		spec.GroupBy = append(spec.GroupBy, spec.From[0].Alias+"."+firstColName(c, spec.From[0].Table))
+		c.SQL = spec.SQL()
+	}
+	c.Lane = "permutation"
+	c.Note = fmt.Sprintf("groups=%d", len(spec.GroupBy))
+
+	// Variant 1: reverse FROM and predicate order, swap join sides.
+	v1 := spec.Clone()
+	reverseFrom(v1)
+	for i, j := range v1.Joins {
+		if l, op, rr, ok := splitEq(j); ok && op == "=" {
+			v1.Joins[i] = rr + " = " + l
+		}
+	}
+	reverseStrings(v1.Joins)
+	reverseStrings(v1.Filters)
+	c.Extra = append(c.Extra, v1.SQL())
+
+	// Variant 2: reversed GROUP BY (output columns permute with it).
+	if len(spec.GroupBy) > 1 {
+		v2 := spec.Clone()
+		reverseStrings(v2.GroupBy)
+		nG, nA := len(spec.GroupBy), len(spec.Aggs)
+		perm := make([]string, 0, nG+nA)
+		for k := 0; k < nG; k++ {
+			perm = append(perm, strconv.Itoa(nG-1-k))
+		}
+		for k := 0; k < nA; k++ {
+			perm = append(perm, strconv.Itoa(nG+k))
+		}
+		c.Extra = append(c.Extra, "perm:"+strings.Join(perm, ",")+":"+v2.SQL())
+	}
+
+	// Variant 3: shuffled filter order only.
+	if len(spec.Filters) > 1 {
+		v3 := spec.Clone()
+		r.Shuffle(len(v3.Filters), func(i, j int) {
+			v3.Filters[i], v3.Filters[j] = v3.Filters[j], v3.Filters[i]
+		})
+		c.Extra = append(c.Extra, v3.SQL())
+	}
+	return c
+}
+
+// GenReassociationCase builds GROUP BY g SELECT g, sum(x) plus the
+// global SELECT sum(x): grouped sums must re-add to the global sum.
+func (g *Gen) GenReassociationCase() *Case {
+	var c *Case
+	var spec *QuerySpec
+	var sumArg string
+	for tries := 0; tries < 64; tries++ {
+		c, spec = g.Candidate()
+		_, bound, _ := g.rebind(c)
+		cols := numericAnnCols(bound, true)
+		if len(cols) == 0 {
+			continue
+		}
+		sumArg = cols[g.rnd.Intn(len(cols))]
+		if len(spec.GroupBy) == 0 {
+			spec.GroupBy = []string{spec.From[0].Alias + "." + firstColName(c, spec.From[0].Table)}
+		}
+		break
+	}
+	if sumArg == "" {
+		sumArg = "1"
+	}
+	if len(spec.GroupBy) == 0 {
+		spec.GroupBy = []string{spec.From[0].Alias + "." + firstColName(c, spec.From[0].Table)}
+	}
+	spec.GroupBy = spec.GroupBy[:1]
+	spec.Aggs = []string{"sum(" + sumArg + ")"}
+	spec.Having = ""
+	c.Lane = "reassociation"
+	c.SQL = spec.SQL()
+	scalar := spec.Clone()
+	scalar.GroupBy = nil
+	c.Extra = []string{scalar.SQL()}
+	return c
+}
+
+// GenSpMVCase builds a random sparse matrix-vector pair and the SpMV
+// query for the pairwise lane.
+func (g *Gen) GenSpMVCase() *Case {
+	r := g.rnd
+	n := 1 + r.Intn(10)
+	m := TableDef{Name: "m", Cols: []ColDef{
+		{Name: "i", Kind: "int", Role: "key", Domain: "row"},
+		{Name: "j", Kind: "int", Role: "key", Domain: "col"},
+		{Name: "v", Kind: "float", Role: "ann"},
+	}}
+	nnz := r.Intn(n*n + 1)
+	for e := 0; e < nnz; e++ {
+		m.Rows = append(m.Rows, []string{
+			strconv.Itoa(r.Intn(n)),
+			strconv.Itoa(r.Intn(n)),
+			fmtFloat(float64(r.Intn(65)-32) / 4),
+		})
+	}
+	x := TableDef{Name: "x", Cols: []ColDef{
+		{Name: "k", Kind: "int", Role: "key", Domain: "col", PK: true},
+		{Name: "x", Kind: "float", Role: "ann"},
+	}}
+	perm := r.Perm(n)
+	cover := r.Intn(n + 1)
+	sort.Ints(perm[:cover])
+	for _, k := range perm[:cover] {
+		x.Rows = append(x.Rows, []string{
+			strconv.Itoa(k),
+			fmtFloat(float64(r.Intn(65)-32) / 4),
+		})
+	}
+	return &Case{
+		Seed:   g.seed,
+		Lane:   "spmv",
+		Tables: []TableDef{m, x},
+		SQL:    "SELECT m.i, sum(m.v * x.x) FROM m, x WHERE m.j = x.k GROUP BY m.i",
+	}
+}
+
+// GenSpMMCase builds two random sparse matrices and the SpMM query.
+func (g *Gen) GenSpMMCase() *Case {
+	r := g.rnd
+	n := 1 + r.Intn(8)
+	mk := func(name, di, dj string) TableDef {
+		t := TableDef{Name: name, Cols: []ColDef{
+			{Name: "i", Kind: "int", Role: "key", Domain: di},
+			{Name: "j", Kind: "int", Role: "key", Domain: dj},
+			{Name: "v", Kind: "float", Role: "ann"},
+		}}
+		nnz := r.Intn(n*n + 1)
+		for e := 0; e < nnz; e++ {
+			t.Rows = append(t.Rows, []string{
+				strconv.Itoa(r.Intn(n)),
+				strconv.Itoa(r.Intn(n)),
+				fmtFloat(float64(r.Intn(33)-16) / 4),
+			})
+		}
+		return t
+	}
+	return &Case{
+		Seed:   g.seed,
+		Lane:   "spmm",
+		Tables: []TableDef{mk("ma", "row", "mid"), mk("mb", "mid", "col")},
+		SQL:    "SELECT ma.i, mb.j, sum(ma.v * mb.v) FROM ma, mb WHERE ma.j = mb.i GROUP BY ma.i, mb.j",
+	}
+}
+
+// --- shared helpers ---
+
+// rebind reconstructs generator bookkeeping (bound tables with value
+// samples) for a case produced earlier, so new filters can be drawn
+// over the same dataset.
+func (g *Gen) rebind(c *Case) ([]*genTable, []boundTable, []string) {
+	var tables []*genTable
+	byName := map[string]*genTable{}
+	for ti := range c.Tables {
+		td := c.Tables[ti]
+		gt := &genTable{def: td}
+		for ci := range td.Cols {
+			gc := &genCol{def: td.Cols[ci]}
+			for _, row := range td.Rows {
+				g.recordSample(gc, row[ci])
+				if gc.def.Kind == "float" {
+					if len(gc.sampleF) > 0 && gc.sampleF[len(gc.sampleF)-1] != gc.sampleF[len(gc.sampleF)-1] {
+						gc.hasNaN = true
+					}
+				}
+			}
+			gt.cols = append(gt.cols, gc)
+		}
+		tables = append(tables, gt)
+		byName[td.Name] = gt
+	}
+	var bound []boundTable
+	var joins []string
+	// Recover FROM aliases and join predicates from the case SQL via a
+	// light parse of the generated shape.
+	sql := c.SQL
+	fromIdx := strings.Index(sql, " FROM ")
+	if fromIdx < 0 {
+		for _, t := range tables {
+			bound = append(bound, boundTable{t.def.Name, t})
+		}
+		return tables, bound, joins
+	}
+	rest := sql[fromIdx+6:]
+	end := len(rest)
+	for _, kw := range []string{" WHERE ", " GROUP BY ", " HAVING "} {
+		if i := strings.Index(rest, kw); i >= 0 && i < end {
+			end = i
+		}
+	}
+	for _, item := range strings.Split(rest[:end], ", ") {
+		parts := strings.Split(strings.TrimSpace(item), " AS ")
+		tname := strings.TrimSpace(parts[0])
+		alias := tname
+		if len(parts) == 2 {
+			alias = strings.TrimSpace(parts[1])
+		}
+		if t := byName[tname]; t != nil {
+			bound = append(bound, boundTable{alias, t})
+		}
+	}
+	if wi := strings.Index(sql, " WHERE "); wi >= 0 {
+		wend := len(sql)
+		for _, kw := range []string{" GROUP BY ", " HAVING "} {
+			if i := strings.Index(sql, kw); i >= 0 && i < wend {
+				wend = i
+			}
+		}
+		for _, pred := range strings.Split(sql[wi+7:wend], " AND ") {
+			if l, op, rr, ok := splitEq(pred); ok && op == "=" &&
+				strings.Count(l, ".") == 1 && strings.Count(rr, ".") == 1 &&
+				!strings.ContainsAny(l+rr, "'()") &&
+				aliasPart(l) != aliasPart(rr) {
+				joins = append(joins, strings.TrimSpace(pred))
+			}
+		}
+	}
+	if len(bound) == 0 {
+		for _, t := range tables {
+			bound = append(bound, boundTable{t.def.Name, t})
+		}
+	}
+	return tables, bound, joins
+}
+
+func aliasPart(ref string) string {
+	ref = strings.TrimSpace(ref)
+	if i := strings.Index(ref, "."); i > 0 {
+		return ref[:i]
+	}
+	return ref
+}
+
+func splitEq(pred string) (l, op, r string, ok bool) {
+	i := strings.Index(pred, " = ")
+	if i < 0 {
+		return "", "", "", false
+	}
+	return strings.TrimSpace(pred[:i]), "=", strings.TrimSpace(pred[i+3:]), true
+}
+
+func fromList(c *Case) string {
+	sql := c.SQL
+	fi := strings.Index(sql, " FROM ")
+	if fi < 0 {
+		return c.Tables[0].Name
+	}
+	rest := sql[fi+6:]
+	end := len(rest)
+	for _, kw := range []string{" WHERE ", " GROUP BY ", " HAVING "} {
+		if i := strings.Index(rest, kw); i >= 0 && i < end {
+			end = i
+		}
+	}
+	return rest[:end]
+}
+
+func firstColName(c *Case, table string) string {
+	for _, t := range c.Tables {
+		if t.Name == table {
+			return t.Cols[0].Name
+		}
+	}
+	return "k"
+}
+
+func reverseFrom(s *QuerySpec) {
+	for i, j := 0, len(s.From)-1; i < j; i, j = i+1, j-1 {
+		s.From[i], s.From[j] = s.From[j], s.From[i]
+	}
+}
+
+func reverseStrings(xs []string) {
+	for i, j := 0, len(xs)-1; i < j; i, j = i+1, j-1 {
+		xs[i], xs[j] = xs[j], xs[i]
+	}
+}
+
+// RandomSortedU32 draws a random strictly-sorted uint32 slice from the
+// generator's stream — the shared driver for set-kernel property tests.
+func (g *Gen) RandomSortedU32(maxLen, maxVal int) []uint32 {
+	r := g.rnd
+	n := r.Intn(maxLen + 1)
+	seen := map[uint32]bool{}
+	for i := 0; i < n; i++ {
+		seen[uint32(r.Intn(maxVal+1))] = true
+	}
+	out := make([]uint32, 0, len(seen))
+	for v := range seen {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}

@@ -1,0 +1,402 @@
+package difftest
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strconv"
+
+	"repro/internal/dict"
+	"repro/internal/exec"
+	"repro/internal/pairwise"
+)
+
+// RunLane dispatches a case to the oracle lane it was generated for,
+// so committed artifacts replay through the exact check that caught
+// them.
+func RunLane(c *Case) Outcome {
+	switch c.Lane {
+	case "", "refeval":
+		return RunRefevalLane(c)
+	case "dict":
+		return RunDictLane(c)
+	case "count-partition":
+		return RunCountPartitionLane(c)
+	case "permutation":
+		return RunPermutationLane(c)
+	case "reassociation":
+		return RunReassociationLane(c)
+	case "spmv":
+		return RunSpMVLane(c)
+	case "spmm":
+		return RunSpMMLane(c)
+	}
+	return Outcome{Verdict: Skip, Detail: "unknown lane " + c.Lane}
+}
+
+// --- metamorphic lanes (oracle-free relations) ---
+
+// scalarValue extracts the single aggregate value of a no-GROUP BY
+// result; an empty result (empty WCOJ join) counts as 0.
+func scalarValue(res *exec.Result) float64 {
+	if res.NumRows == 0 || len(res.Cols) == 0 {
+		return 0
+	}
+	return res.Cols[0].F64[0]
+}
+
+// RunCountPartitionLane checks COUNT(P) = COUNT(P∧Q) + COUNT(P∧¬Q):
+// SQL counts under P, Extra[0] under P∧Q, Extra[1] under P∧¬Q.
+func RunCountPartitionLane(c *Case) Outcome {
+	if len(c.Extra) != 2 {
+		return Outcome{Verdict: Skip, Detail: "count-partition needs 2 extra queries"}
+	}
+	eng, err := c.BuildEngine()
+	if err != nil {
+		return Outcome{Verdict: Skip, Detail: err.Error()}
+	}
+	vals := make([]float64, 3)
+	for i, sql := range []string{c.SQL, c.Extra[0], c.Extra[1]} {
+		res, err := eng.Query(sql)
+		if err != nil {
+			if planReject(err) {
+				return Outcome{Verdict: Skip, Detail: err.Error()}
+			}
+			return disagree("query %d failed: %v", i, err)
+		}
+		vals[i] = scalarValue(res)
+	}
+	if vals[0] != vals[1]+vals[2] {
+		return disagree("COUNT partition violated: count(P)=%v but count(P∧Q)=%v + count(P∧¬Q)=%v",
+			vals[0], vals[1], vals[2])
+	}
+	return Outcome{Verdict: Agree}
+}
+
+// RunPermutationLane checks that every Extra query (a FROM/WHERE/GROUP
+// BY permutation of SQL) produces the same result multiset. Extra
+// queries prefixed with "perm:<i0,i1,...>:" carry a column permutation
+// mapping variant column p[k] back to base column k.
+func RunPermutationLane(c *Case) Outcome {
+	eng, err := c.BuildEngine()
+	if err != nil {
+		return Outcome{Verdict: Skip, Detail: err.Error()}
+	}
+	base, err := eng.Query(c.SQL)
+	if err != nil {
+		if planReject(err) {
+			return Outcome{Verdict: Skip, Detail: err.Error()}
+		}
+		return disagree("base query failed: %v", err)
+	}
+	isAgg := aggMask(c)
+	for _, raw := range c.Extra {
+		sql, perm := parsePermPrefix(raw)
+		res, err := eng.Query(sql)
+		if err != nil {
+			if planReject(err) {
+				return Outcome{Verdict: Skip, Detail: err.Error()}
+			}
+			return disagree("variant failed: %v (variant %q)", err, sql)
+		}
+		if perm != nil {
+			if len(perm) != len(res.Cols) {
+				return disagree("bad column permutation %v for %d columns", perm, len(res.Cols))
+			}
+			cols := make([]*exec.Column, len(res.Cols))
+			for k, p := range perm {
+				cols[k] = res.Cols[p]
+			}
+			res = &exec.Result{Cols: cols, NumRows: res.NumRows}
+		}
+		if err := CompareEngineResults(res, base, isAgg); err != nil {
+			return disagree("permutation variance: %v (variant %q)", err, sql)
+		}
+	}
+	return Outcome{Verdict: Agree}
+}
+
+// aggMask marks aggregate output columns for a generated query: the
+// generator always renders group columns first, then aggregates, and
+// records the split in Note as "groups=<n>".
+func aggMask(c *Case) []bool {
+	n := 0
+	fmt.Sscanf(c.Note, "groups=%d", &n)
+	var mask []bool
+	for i := 0; i < n; i++ {
+		mask = append(mask, false)
+	}
+	// Remaining columns are aggregates; CompareEngineResults only reads
+	// indices < len(mask) as group columns.
+	return mask
+}
+
+func parsePermPrefix(raw string) (sql string, perm []int) {
+	const pfx = "perm:"
+	if len(raw) < len(pfx) || raw[:len(pfx)] != pfx {
+		return raw, nil
+	}
+	rest := raw[len(pfx):]
+	for i := 0; i < len(rest); i++ {
+		if rest[i] == ':' {
+			spec := rest[:i]
+			sql = rest[i+1:]
+			cur := 0
+			has := false
+			for j := 0; j <= len(spec); j++ {
+				if j == len(spec) || spec[j] == ',' {
+					if has {
+						perm = append(perm, cur)
+					}
+					cur, has = 0, false
+					continue
+				}
+				if spec[j] < '0' || spec[j] > '9' {
+					return raw, nil
+				}
+				cur = cur*10 + int(spec[j]-'0')
+				has = true
+			}
+			return sql, perm
+		}
+	}
+	return raw, nil
+}
+
+// RunReassociationLane checks semiring re-association: the grouped sums
+// of SQL (GROUP BY g SELECT g, sum(x)) must re-add to the global sum
+// Extra[0] (SELECT sum(x), same FROM/WHERE).
+func RunReassociationLane(c *Case) Outcome {
+	if len(c.Extra) != 1 {
+		return Outcome{Verdict: Skip, Detail: "reassociation needs 1 extra query"}
+	}
+	eng, err := c.BuildEngine()
+	if err != nil {
+		return Outcome{Verdict: Skip, Detail: err.Error()}
+	}
+	grouped, err := eng.Query(c.SQL)
+	if err != nil {
+		if planReject(err) {
+			return Outcome{Verdict: Skip, Detail: err.Error()}
+		}
+		return disagree("grouped query failed: %v", err)
+	}
+	scalar, err := eng.Query(c.Extra[0])
+	if err != nil {
+		if planReject(err) {
+			return Outcome{Verdict: Skip, Detail: err.Error()}
+		}
+		return disagree("scalar query failed: %v", err)
+	}
+	sumCol := grouped.Cols[len(grouped.Cols)-1]
+	total := 0.0
+	for i := 0; i < grouped.NumRows; i++ {
+		total += sumCol.F64[i]
+	}
+	want := scalarValue(scalar)
+	if !numEqualLoose(total, want) {
+		return disagree("re-association violated: Σ group sums = %v, global sum = %v", total, want)
+	}
+	return Outcome{Verdict: Agree}
+}
+
+func numEqualLoose(a, b float64) bool {
+	if math.IsNaN(a) || math.IsNaN(b) {
+		return math.IsNaN(a) && math.IsNaN(b)
+	}
+	diff := math.Abs(a - b)
+	return diff <= 1e-6*math.Max(1, math.Max(math.Abs(a), math.Abs(b)))
+}
+
+// --- linear-algebra lanes against the pairwise engine ---
+
+// RunSpMVLane compares the engine's SpMV SQL against the pairwise
+// hash-join engine. The case must hold tables "m"(i,j,v) and
+// "x"(k,x) with unique vector keys.
+func RunSpMVLane(c *Case) Outcome {
+	eng, err := c.BuildEngine()
+	if err != nil {
+		return Outcome{Verdict: Skip, Detail: err.Error()}
+	}
+	res, err := eng.Query(c.SQL)
+	if err != nil {
+		if planReject(err) {
+			return Outcome{Verdict: Skip, Detail: err.Error()}
+		}
+		return disagree("engine SpMV failed: %v", err)
+	}
+	pw := pairwise.New(eng.Catalog())
+	want, err := pw.SpMV("m", "x")
+	if err != nil {
+		return Outcome{Verdict: Skip, Detail: err.Error()}
+	}
+	got := map[int64]float64{}
+	for r := 0; r < res.NumRows; r++ {
+		got[res.Cols[0].I64[r]] = res.Cols[1].F64[r]
+	}
+	if len(got) != len(want) {
+		return disagree("SpMV nnz: engine %d, pairwise %d", len(got), len(want))
+	}
+	for k, wv := range want {
+		gv, ok := got[k]
+		if !ok {
+			return disagree("SpMV row %d missing from engine result", k)
+		}
+		if !numEqualLoose(gv, wv) {
+			return disagree("SpMV y[%d]: engine %v, pairwise %v", k, gv, wv)
+		}
+	}
+	return Outcome{Verdict: Agree}
+}
+
+// RunSpMMLane compares the engine's SpMM SQL against pairwise.SpMM
+// via nonzero count and content checksum. Tables "ma" and "mb" hold
+// COO triples (i,j,v).
+func RunSpMMLane(c *Case) Outcome {
+	eng, err := c.BuildEngine()
+	if err != nil {
+		return Outcome{Verdict: Skip, Detail: err.Error()}
+	}
+	res, err := eng.Query(c.SQL)
+	if err != nil {
+		if planReject(err) {
+			return Outcome{Verdict: Skip, Detail: err.Error()}
+		}
+		return disagree("engine SpMM failed: %v", err)
+	}
+	pw := pairwise.New(eng.Catalog())
+	nnz, checksum, err := pw.SpMM("ma", "mb", 0)
+	if err != nil {
+		return Outcome{Verdict: Skip, Detail: err.Error()}
+	}
+	if res.NumRows != nnz {
+		return disagree("SpMM nnz: engine %d, pairwise %d", res.NumRows, nnz)
+	}
+	got := 0.0
+	for r := 0; r < res.NumRows; r++ {
+		i := res.Cols[0].I64[r]
+		j := res.Cols[1].I64[r]
+		v := res.Cols[2].F64[r]
+		got += v * float64(i+2*j+1)
+	}
+	if !numEqualLoose(got, checksum) {
+		return disagree("SpMM checksum: engine %v, pairwise %v", got, checksum)
+	}
+	return Outcome{Verdict: Agree}
+}
+
+// --- dictionary-invariant lane ---
+
+// RunDictLane drives internal/dict with the float multiset stored in
+// the case's single table and checks the order-preserving encode
+// invariants against a naive sorted-dedup reference.
+func RunDictLane(c *Case) Outcome {
+	if len(c.Tables) != 1 || len(c.Tables[0].Cols) != 1 {
+		return Outcome{Verdict: Skip, Detail: "dict lane wants one single-column table"}
+	}
+	var vals []float64
+	for _, row := range c.Tables[0].Rows {
+		v, err := strconv.ParseFloat(row[0], 64)
+		if err != nil {
+			return Outcome{Verdict: Skip, Detail: err.Error()}
+		}
+		vals = append(vals, v)
+	}
+	return checkDictInvariants(vals)
+}
+
+func checkDictInvariants(vals []float64) Outcome {
+	b := dict.NewBuilder(dict.Float)
+	for _, v := range vals {
+		b.AddFloat(v)
+	}
+	d := b.Build()
+
+	// Naive reference: canonical distinct set (-0 folded, NaN counted
+	// once, ordered last).
+	seen := map[float64]bool{}
+	hasNaN := false
+	for _, v := range vals {
+		if math.IsNaN(v) {
+			hasNaN = true
+			continue
+		}
+		if v == 0 {
+			v = 0
+		}
+		seen[v] = true
+	}
+	var sorted []float64
+	for v := range seen {
+		sorted = append(sorted, v)
+	}
+	sort.Float64s(sorted)
+
+	wantLen := len(sorted)
+	if hasNaN {
+		wantLen++
+	}
+	if d.Len() != wantLen {
+		return disagree("dict Len = %d, reference distinct = %d", d.Len(), wantLen)
+	}
+	for i, v := range sorted {
+		code, ok := d.EncodeFloat(v)
+		if !ok || code != uint32(i) {
+			return disagree("EncodeFloat(%v) = %d,%v, want code %d", v, code, ok, i)
+		}
+		if got := d.DecodeFloat(code); got != v {
+			return disagree("DecodeFloat(%d) = %v, want %v", code, got, v)
+		}
+	}
+	if hasNaN {
+		code, ok := d.EncodeFloat(math.NaN())
+		if !ok || code != uint32(wantLen-1) {
+			return disagree("EncodeFloat(NaN) = %d,%v, want last code %d", code, ok, wantLen-1)
+		}
+		if !math.IsNaN(d.DecodeFloat(code)) {
+			return disagree("DecodeFloat(NaN code) = %v, want NaN", d.DecodeFloat(code))
+		}
+	} else if _, ok := d.EncodeFloat(math.NaN()); ok {
+		return disagree("EncodeFloat(NaN) succeeded on NaN-free dictionary")
+	}
+	// Lower bounds agree with the naive reference on every probe point
+	// (members, midpoints, and beyond-range probes).
+	probes := append([]float64{}, sorted...)
+	for i := 0; i+1 < len(sorted); i++ {
+		probes = append(probes, (sorted[i]+sorted[i+1])/2)
+	}
+	probes = append(probes, math.Inf(-1), math.Inf(1), -1e300, 1e300)
+	for _, p := range probes {
+		want := uint32(sort.SearchFloat64s(sorted, p))
+		if got := d.LowerBoundFloat(p); got != want {
+			return disagree("LowerBoundFloat(%v) = %d, reference %d", p, got, want)
+		}
+	}
+	return Outcome{Verdict: Agree}
+}
+
+// GenDictCase produces a random float multiset case for the dict lane.
+func (g *Gen) GenDictCase() *Case {
+	r := g.rnd
+	n := r.Intn(24)
+	t := TableDef{Name: "floats", Cols: []ColDef{{Name: "v", Kind: "float", Role: "ann"}}}
+	for i := 0; i < n; i++ {
+		var v float64
+		switch r.Intn(8) {
+		case 0:
+			v = math.NaN()
+		case 1:
+			v = math.Copysign(0, -1)
+		case 2:
+			v = 0
+		case 3:
+			v = math.MaxFloat64
+		case 4:
+			v = -math.MaxFloat64
+		default:
+			v = float64(r.Intn(257)-128) / 4
+		}
+		t.Rows = append(t.Rows, []string{fmtFloat(v)})
+	}
+	return &Case{Seed: g.seed, Lane: "dict", Tables: []TableDef{t}}
+}

@@ -1,0 +1,159 @@
+package difftest
+
+import "strings"
+
+// Check re-runs a candidate case and reports whether it still
+// disagrees (the reduction invariant).
+type Check func(*Case) bool
+
+// DefaultCheck replays the case through its own lane.
+func DefaultCheck(c *Case) bool { return RunLane(c).Verdict == Disagree }
+
+// Reduce shrinks a disagreeing case to a (locally) minimal repro:
+// rows are delta-debugged away table by table, then — when the
+// query's structured spec is available — filters, HAVING, aggregates
+// and GROUP BY items are dropped one at a time. Every step re-checks
+// that the disagreement persists. spec may be nil (row shrinking
+// only); Reduce never mutates its inputs.
+func Reduce(c *Case, spec *QuerySpec, check Check) *Case {
+	cur := cloneCase(c)
+	var curSpec *QuerySpec
+	if spec != nil {
+		curSpec = spec.Clone()
+	}
+
+	for pass := 0; pass < 6; pass++ {
+		changed := false
+		if shrinkRows(cur, check) {
+			changed = true
+		}
+		if curSpec != nil && shrinkSpec(cur, curSpec, check) {
+			changed = true
+		}
+		if !changed {
+			break
+		}
+	}
+	return cur
+}
+
+func cloneCase(c *Case) *Case {
+	n := &Case{Seed: c.Seed, Lane: c.Lane, Note: c.Note, SQL: c.SQL}
+	n.Extra = append([]string{}, c.Extra...)
+	for _, t := range c.Tables {
+		nt := TableDef{Name: t.Name}
+		nt.Cols = append([]ColDef{}, t.Cols...)
+		for _, r := range t.Rows {
+			nt.Rows = append(nt.Rows, append([]string{}, r...))
+		}
+		n.Tables = append(n.Tables, nt)
+	}
+	return n
+}
+
+// shrinkRows removes row chunks (halves, then quarters, down to single
+// rows) from each table while the case still disagrees.
+func shrinkRows(c *Case, check Check) bool {
+	shrunk := false
+	for ti := range c.Tables {
+		rows := c.Tables[ti].Rows
+		chunk := (len(rows) + 1) / 2
+		for chunk >= 1 {
+			removedAny := false
+			for start := 0; start < len(rows); {
+				end := start + chunk
+				if end > len(rows) {
+					end = len(rows)
+				}
+				cand := make([][]string, 0, len(rows)-(end-start))
+				cand = append(cand, rows[:start]...)
+				cand = append(cand, rows[end:]...)
+				c.Tables[ti].Rows = cand
+				if check(c) {
+					rows = cand
+					shrunk = true
+					removedAny = true
+					// Re-scan from the same start: the chunk there is new.
+				} else {
+					c.Tables[ti].Rows = rows
+					start = end
+				}
+			}
+			if !removedAny || chunk == 1 {
+				chunk /= 2
+			}
+		}
+		c.Tables[ti].Rows = rows
+	}
+	return shrunk
+}
+
+// shrinkSpec drops query parts one at a time, re-rendering SQL after
+// each accepted drop.
+func shrinkSpec(c *Case, spec *QuerySpec, check Check) bool {
+	shrunk := false
+	try := func(mut *QuerySpec) bool {
+		old := c.SQL
+		c.SQL = mut.SQL()
+		if check(c) {
+			*spec = *mut
+			return true
+		}
+		c.SQL = old
+		return false
+	}
+
+	// Drop HAVING.
+	if spec.Having != "" {
+		mut := spec.Clone()
+		mut.Having = ""
+		if try(mut) {
+			shrunk = true
+		}
+	}
+	// Drop filters.
+	for i := 0; i < len(spec.Filters); {
+		mut := spec.Clone()
+		mut.Filters = append(append([]string{}, spec.Filters[:i]...), spec.Filters[i+1:]...)
+		if try(mut) {
+			shrunk = true
+		} else {
+			i++
+		}
+	}
+	// Drop aggregates (keep at least one output item).
+	for i := 0; i < len(spec.Aggs) && len(spec.GroupBy)+len(spec.Aggs) > 1; {
+		mut := spec.Clone()
+		mut.Aggs = append(append([]string{}, spec.Aggs[:i]...), spec.Aggs[i+1:]...)
+		if mut.Having != "" && !strings.Contains(strings.Join(mut.Aggs, " "), havingAgg(mut.Having)) {
+			mut.Having = ""
+		}
+		if try(mut) {
+			shrunk = true
+		} else {
+			i++
+		}
+	}
+	// Drop GROUP BY items.
+	for i := 0; i < len(spec.GroupBy) && len(spec.GroupBy)+len(spec.Aggs) > 1; {
+		mut := spec.Clone()
+		mut.GroupBy = append(append([]string{}, spec.GroupBy[:i]...), spec.GroupBy[i+1:]...)
+		if try(mut) {
+			shrunk = true
+		} else {
+			i++
+		}
+	}
+	return shrunk
+}
+
+// havingAgg extracts the aggregate expression a generated HAVING
+// clause references (everything before the comparison operator).
+func havingAgg(h string) string {
+	for _, op := range []string{" > ", " <= ", " <> ", " >= ", " < ", " = "} {
+		if i := strings.Index(h, op); i >= 0 {
+			return h[:i]
+		}
+	}
+	return h
+}

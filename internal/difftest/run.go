@@ -1,0 +1,93 @@
+package difftest
+
+import (
+	"errors"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/exec"
+	"repro/internal/qerr"
+	"repro/internal/refeval"
+	"repro/internal/sqlparse"
+)
+
+func parseDate(s string) (int32, error) { return sqlparse.ParseDate(s) }
+
+// Verdict classifies one differential run.
+type Verdict int
+
+const (
+	// Agree: both engines accepted the query and produced equal results.
+	Agree Verdict = iota
+	// Disagree: results differ, or exactly one side failed.
+	Disagree
+	// Skip: the query is outside the supported subset (both sides, or
+	// the planner, rejected it) — the generator retries.
+	Skip
+)
+
+// Outcome is the result of running one case through an oracle.
+type Outcome struct {
+	Verdict Verdict
+	Detail  string
+}
+
+func disagree(format string, args ...any) Outcome {
+	return Outcome{Verdict: Disagree, Detail: fmt.Sprintf(format, args...)}
+}
+
+// planReject reports whether err means "query outside the supported
+// subset" (skip) rather than an execution failure (finding).
+func planReject(err error) bool {
+	var pe *qerr.PlanError
+	var pse *qerr.ParseError
+	return errors.As(err, &pe) || errors.As(err, &pse)
+}
+
+// RunRefevalLane executes the case on the engine and on the brute-force
+// reference evaluator and compares results.
+func RunRefevalLane(c *Case) Outcome {
+	eng, err := c.BuildEngine()
+	if err != nil {
+		return Outcome{Verdict: Skip, Detail: err.Error()}
+	}
+	engRes, engErr := eng.Query(c.SQL)
+
+	rels, err := c.Relations()
+	if err != nil {
+		return Outcome{Verdict: Skip, Detail: err.Error()}
+	}
+	refRes, refErr := refeval.Eval(c.SQL, rels)
+
+	switch {
+	case engErr != nil && planReject(engErr):
+		// Outside the supported subset; nothing to differentiate.
+		return Outcome{Verdict: Skip, Detail: engErr.Error()}
+	case engErr != nil && refErr != nil:
+		return Outcome{Verdict: Skip, Detail: engErr.Error()}
+	case engErr != nil:
+		return disagree("engine failed, reference succeeded: %v", engErr)
+	case refErr != nil:
+		// The reference cannot evaluate a query the engine accepted —
+		// treat as a harness gap, not an engine bug.
+		return Outcome{Verdict: Skip, Detail: refErr.Error()}
+	}
+	if err := CompareResults(engRes, refRes); err != nil {
+		return disagree("%v", err)
+	}
+	return Outcome{Verdict: Agree}
+}
+
+// runEngine executes sql on a freshly built engine for c's dataset.
+func runEngine(c *Case, sql string) (*exec.Result, error) {
+	eng, err := c.BuildEngine()
+	if err != nil {
+		return nil, err
+	}
+	return eng.Query(sql)
+}
+
+// runEngineOn executes sql reusing an already-loaded engine.
+func runEngineOn(eng *core.Engine, sql string) (*exec.Result, error) {
+	return eng.Query(sql)
+}

@@ -2,6 +2,7 @@ package exec
 
 import (
 	"fmt"
+	"math"
 	"sort"
 
 	"repro/internal/costopt"
@@ -573,11 +574,23 @@ func (c *compiled) keyCodesFor(r *planner.RelInfo, col *storage.Column) ([]uint3
 // numeric annotation column promoted to a trie level.
 func (c *compiled) pseudoEncode(col *storage.Column) ([]uint32, *pseudoDecoder) {
 	f := col.AnnFloats()
+	// NaN map keys are each distinct (NaN != NaN), so dedup/rank maps
+	// would mint unbounded entries and every rank[NaN] lookup would
+	// miss, silently coding NaN rows as 0. Canonicalize: one trailing
+	// NaN code, and -0.0 folded into +0.0.
+	hasNaN := false
 	uniq := map[float64]struct{}{}
 	for _, v := range f {
+		if math.IsNaN(v) {
+			hasNaN = true
+			continue
+		}
+		if v == 0 {
+			v = 0
+		}
 		uniq[v] = struct{}{}
 	}
-	vals := make([]float64, 0, len(uniq))
+	vals := make([]float64, 0, len(uniq)+1)
 	for v := range uniq {
 		vals = append(vals, v)
 	}
@@ -586,8 +599,19 @@ func (c *compiled) pseudoEncode(col *storage.Column) ([]uint32, *pseudoDecoder) 
 	for i, v := range vals {
 		rank[v] = uint32(i)
 	}
+	nanCode := uint32(len(vals))
+	if hasNaN {
+		vals = append(vals, math.NaN())
+	}
 	codes := make([]uint32, len(f))
 	for i, v := range f {
+		if math.IsNaN(v) {
+			codes[i] = nanCode
+			continue
+		}
+		if v == 0 {
+			v = 0
+		}
 		codes[i] = rank[v]
 	}
 	return codes, &pseudoDecoder{numVals: vals, isDate: col.Def.Kind == storage.Date}

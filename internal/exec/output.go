@@ -81,7 +81,7 @@ func assemble(c *compiled, rows *rowsBuf) (*Result, error) {
 					if g.metaCodes != nil {
 						return uint64(g.metaCodes[row]), nil
 					}
-					return math.Float64bits(g.metaVal(row)), nil
+					return floatBits(g.metaVal(row)), nil
 				}
 			}
 		}
@@ -200,6 +200,11 @@ func evalAggExpr(e *planner.EmitNode, aggs []float64) float64 {
 		return evalAggExpr(e.L, aggs) * evalAggExpr(e.R, aggs)
 	case planner.EmitDiv:
 		return evalAggExpr(e.L, aggs) / evalAggExpr(e.R, aggs)
+	case planner.EmitMulInd:
+		if l := evalAggExpr(e.L, aggs); l != 0 {
+			return l * evalAggExpr(e.R, aggs)
+		}
+		return 0
 	}
 	return 0
 }

@@ -228,6 +228,11 @@ func evalScalarSkel(e *planner.EmitNode, leaves []expr.Value, row int32) float64
 		return evalScalarSkel(e.L, leaves, row) * evalScalarSkel(e.R, leaves, row)
 	case planner.EmitDiv:
 		return evalScalarSkel(e.L, leaves, row) / evalScalarSkel(e.R, leaves, row)
+	case planner.EmitMulInd:
+		if l := evalScalarSkel(e.L, leaves, row); l != 0 {
+			return l * evalScalarSkel(e.R, leaves, row)
+		}
+		return 0
 	}
 	return 0
 }

@@ -978,11 +978,29 @@ func (w *worker) evalSkel(a *cAgg, e *planner.EmitNode) float64 {
 		return w.evalSkel(a, e.L) * w.evalSkel(a, e.R)
 	case planner.EmitDiv:
 		return w.evalSkel(a, e.L) / w.evalSkel(a, e.R)
+	case planner.EmitMulInd:
+		// CASE indicator: a predicate that never fired contributes an
+		// exact 0, even when the THEN side pre-aggregated to NaN/Inf.
+		if l := w.evalSkel(a, e.L); l != 0 {
+			return l * w.evalSkel(a, e.R)
+		}
+		return 0
 	}
 	return 0
 }
 
-func floatBits(f float64) uint64 { return math.Float64bits(f) }
+// floatBits maps a float64 group value to its hash token. -0.0 folds
+// onto +0.0 and every NaN payload onto one canonical NaN so that values
+// that compare equal (or are all "the" NaN) land in one group.
+func floatBits(f float64) uint64 {
+	if f == 0 {
+		return 0
+	}
+	if f != f {
+		return math.Float64bits(math.NaN())
+	}
+	return math.Float64bits(f)
+}
 
 // combine1 merges one value into an accumulator per aggregate kind.
 func combine1(kind planner.AggKind, acc, v float64) float64 {

@@ -267,7 +267,9 @@ func (c *compiler) compileIn(v sqlparse.InExpr) (Filter, error) {
 			}
 			codes := col.AnnCodes()
 			if codes == nil {
-				return nil, fmt.Errorf("expr: string IN on key columns is not supported")
+				// Key column: domain codes index the shared dictionary the
+				// predicate table above was sized to.
+				codes = col.KeyCodes()
 			}
 			return func(row int32) bool { return table[codes[row]] }, nil
 		}
@@ -330,7 +332,9 @@ func (c *compiler) compileLike(v sqlparse.LikeExpr) (Filter, error) {
 	}
 	codes := col.AnnCodes()
 	if codes == nil {
-		return nil, fmt.Errorf("expr: LIKE on key columns is not supported")
+		// Key column: domain codes index the shared dictionary the
+		// predicate table above was sized to.
+		codes = col.KeyCodes()
 	}
 	return func(row int32) bool { return table[codes[row]] }, nil
 }
@@ -383,6 +387,20 @@ func likeMatch(s, pat string) bool {
 	return prev[n]
 }
 
+// boolAsNum compiles a predicate used in numeric context to 0/1.
+func (c *compiler) boolAsNum(e sqlparse.Expr) (Value, error) {
+	f, err := c.compileBool(e)
+	if err != nil {
+		return nil, err
+	}
+	return func(row int32) float64 {
+		if f(row) {
+			return 1
+		}
+		return 0
+	}, nil
+}
+
 func (c *compiler) compileNum(e sqlparse.Expr) (Value, error) {
 	switch v := e.(type) {
 	case sqlparse.NumberLit:
@@ -433,16 +451,7 @@ func (c *compiler) compileNum(e sqlparse.Expr) (Value, error) {
 			}
 		default:
 			// Boolean in numeric context evaluates to 0/1 (CASE shortcut).
-			f, err := c.compileBool(v)
-			if err != nil {
-				return nil, err
-			}
-			return func(row int32) float64 {
-				if f(row) {
-					return 1
-				}
-				return 0
-			}, nil
+			return c.boolAsNum(v)
 		}
 	case sqlparse.UnaryExpr:
 		if v.Op == "-" {
@@ -452,7 +461,14 @@ func (c *compiler) compileNum(e sqlparse.Expr) (Value, error) {
 			}
 			return func(row int32) float64 { return -x(row) }, nil
 		}
+		if v.Op == "not" {
+			return c.boolAsNum(v)
+		}
 		return nil, fmt.Errorf("expr: unary %q in numeric context", v.Op)
+	case sqlparse.BetweenExpr, sqlparse.InExpr, sqlparse.LikeExpr:
+		// Predicate forms in numeric context (e.g. a decomposed CASE
+		// condition) evaluate to 0/1 like boolean BinaryExprs do.
+		return c.boolAsNum(e)
 	case sqlparse.CaseExpr:
 		type arm struct {
 			cond Filter

@@ -808,7 +808,7 @@ func (b *builder) decompose(e sqlparse.Expr, spec *AggSpec) (*EmitNode, error) {
 		if err != nil {
 			return nil, err
 		}
-		return &EmitNode{Op: EmitMul, L: cond, R: then}, nil
+		return &EmitNode{Op: EmitMulInd, L: cond, R: then}, nil
 	default:
 		return nil, fmt.Errorf("planner: cannot decompose cross-relation expression %s", e)
 	}

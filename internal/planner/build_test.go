@@ -216,9 +216,10 @@ func TestCaseDecomposition(t *testing.T) {
 		FROM lineitem, supplier, nation
 		WHERE l_suppkey = s_suppkey AND s_nationkey = n_nationkey
 		GROUP BY n_name`)
-	// First aggregate: indicator(nation) × value(lineitem).
+	// First aggregate: indicator(nation) × value(lineitem), using the
+	// short-circuiting indicator product (0·NaN must stay 0).
 	a := p.Aggs[0]
-	if len(a.Leaves) != 2 || a.Skeleton.Op != EmitMul {
+	if len(a.Leaves) != 2 || a.Skeleton.Op != EmitMulInd {
 		t.Fatalf("case agg = %+v", a)
 	}
 	relNames := map[int]string{}

@@ -79,6 +79,11 @@ const (
 	EmitSub
 	EmitMul
 	EmitDiv
+	// EmitMulInd is the indicator product of a decomposed CASE WHEN p
+	// THEN x ELSE 0: a left operand of exactly 0 short-circuits to 0
+	// without evaluating IEEE 0*NaN or 0*Inf, which would leak a NaN
+	// into groups whose predicate never fired.
+	EmitMulInd
 )
 
 // EmitNode is the skeleton combining per-relation leaves into the value

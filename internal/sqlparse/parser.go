@@ -240,13 +240,19 @@ func (p *parser) parseComparison() (Expr, error) {
 	}
 	negate := false
 	if p.peek().kind == tokIdent && p.peek().text == "not" {
-		// lookahead for NOT BETWEEN / NOT IN / NOT LIKE
+		// Lookahead for NOT BETWEEN / NOT IN / NOT LIKE. Only an ident
+		// token continues the form — a string literal like 'in' after
+		// NOT, or NOT at end of input, must restore and let the caller
+		// report the dangling token instead of silently dropping NOT.
 		save := p.i
 		p.next()
-		switch p.peek().text {
-		case "between", "in", "like":
-			negate = true
-		default:
+		if nxt := p.peek(); nxt.kind == tokIdent {
+			switch nxt.text {
+			case "between", "in", "like":
+				negate = true
+			}
+		}
+		if !negate {
 			p.i = save
 			return l, nil
 		}

@@ -310,3 +310,41 @@ func TestHavingParses(t *testing.T) {
 		t.Error("dangling HAVING should error")
 	}
 }
+
+func TestNotLookaheadEdgeCases(t *testing.T) {
+	// A dangling NOT at end of input must error, not silently vanish.
+	if _, err := Parse(`SELECT a FROM r WHERE x NOT`); err == nil {
+		t.Fatal("dangling NOT parsed without error")
+	}
+	// NOT followed by a string literal 'in' is not NOT IN: the
+	// lookahead must restore and report the stray tokens. Before the
+	// fix the token-kind check was missing, so 'in' set negate, the
+	// keyword switch matched nothing, and the NOT was swallowed.
+	if _, err := Parse(`SELECT a FROM r WHERE x NOT 'in'`); err == nil {
+		t.Fatal("x NOT 'in' parsed without error")
+	}
+	// Prefix NOT wrapping a NOT IN keeps both negations.
+	q := mustParse(t, `SELECT a FROM r WHERE NOT x NOT IN (1, 2)`)
+	un, ok := q.Where.(UnaryExpr)
+	if !ok || un.Op != "not" {
+		t.Fatalf("outer = %T %+v, want UnaryExpr not", q.Where, q.Where)
+	}
+	in, ok := un.X.(InExpr)
+	if !ok || !in.Negate || len(in.Vals) != 2 {
+		t.Fatalf("inner = %T %+v, want negated InExpr with 2 vals", un.X, un.X)
+	}
+	// NOT binding inside an AND chain: a = b AND NOT (c LIKE 'x%').
+	q = mustParse(t, `SELECT a FROM r WHERE a = b AND NOT c LIKE 'x%'`)
+	and, ok := q.Where.(BinaryExpr)
+	if !ok || and.Op != "and" {
+		t.Fatalf("top = %T %+v, want and", q.Where, q.Where)
+	}
+	un, ok = and.R.(UnaryExpr)
+	if !ok || un.Op != "not" {
+		t.Fatalf("rhs = %T %+v, want UnaryExpr not", and.R, and.R)
+	}
+	like, ok := un.X.(LikeExpr)
+	if !ok || like.Negate || like.Pattern != "x%" {
+		t.Fatalf("rhs inner = %T %+v, want non-negated LikeExpr", un.X, un.X)
+	}
+}

@@ -171,6 +171,14 @@ func (c *Catalog) Freeze() error {
 				}
 			case Float64:
 				col.floats = col.Floats
+				if col.floats == nil {
+					// An empty table has a nil Floats buffer; expression
+					// compilation distinguishes "numeric buffer present"
+					// from "string annotation" by nil-ness, so freeze an
+					// empty (non-nil) buffer to keep zero-row relations
+					// filterable.
+					col.floats = []float64{}
+				}
 			case Int64, Date:
 				col.floats = make([]float64, len(col.Ints))
 				for i, v := range col.Ints {
