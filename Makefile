@@ -4,8 +4,15 @@ GO ?= go
 # the scale factor it was measured at.
 BENCH_BASELINE ?= BENCH_tpch.json
 BENCH_SF ?= 0.01
-BENCH_COUNT ?= 5
+# Runs per query; benchdiff compares the min, and min-over-15 is stable
+# enough on a shared machine for the 2% regression gate below.
+BENCH_COUNT ?= 15
 BENCH_WARMUP ?= 2
+# Regression gate for bench-compare in ci: fail when the TPC-H geomean
+# time ratio new/old exceeds this (the delta-store machinery must cost
+# nothing while deltas are empty — the hot path branches on one nil
+# snapshot pointer).
+BENCH_MAX_RATIO ?= 1.02
 
 # difftest-long parameters: wall-clock budget for the nightly
 # randomized sweep (time-seeded; failures shrink to a JSON repro).
@@ -44,7 +51,7 @@ bench-save:
 # geomean + per-query table, via the in-repo cmd/benchdiff).
 bench-compare:
 	$(GO) run ./cmd/lhbench -suite tpch -sf $(BENCH_SF) -count $(BENCH_COUNT) -warmup $(BENCH_WARMUP) -json /tmp/bench_current.json
-	$(GO) run ./cmd/benchdiff $(BENCH_BASELINE) /tmp/bench_current.json
+	$(GO) run ./cmd/benchdiff -max-ratio $(BENCH_MAX_RATIO) $(BENCH_BASELINE) /tmp/bench_current.json
 
 # Focused race check on the lock-free telemetry paths (histogram
 # recording, span buffers, registry) and their integration points.
@@ -82,7 +89,7 @@ difftest-long:
 	$(GO) test -count=1 -run TestDifferentialLong -timeout 0 \
 		./internal/difftest -difftest.duration $(DIFFTEST_BUDGET)
 
-ci: vet build race bench-smoke telemetry-race telemetry-smoke chaos difftest
+ci: vet build race bench-smoke telemetry-race telemetry-smoke chaos difftest bench-compare
 
 clean:
 	$(GO) clean ./...

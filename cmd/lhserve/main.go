@@ -13,6 +13,14 @@
 //	curl localhost:8080/debug/trace/3          # chrome://tracing JSON
 //	curl localhost:8080/debug/trace/3/tree     # indented span tree
 //	curl -d 'SELECT count(*) AS c FROM matrix' localhost:8080/query
+//	curl -d '{"i": 7, "j": 9, "v": 0.5}' 'localhost:8080/ingest?table=matrix'
+//	curl -d '7|9|0.5' 'localhost:8080/ingest?table=matrix&format=delim&delim=|'
+//
+// Ingested rows are visible to the next query without downtime; the
+// engine folds them through delta stores and epoch snapshots, and
+// -auto-compact N merges them into base storage in the background once
+// a table's backlog reaches N rows. /debug/queries reports per-table
+// delta backlog and last-compaction epoch alongside in-flight queries.
 //
 // -slowlog FILE (with -slow THRESHOLD) appends one JSON line per query
 // slower than the threshold. -smoke runs a self-test: execute queries,
@@ -41,6 +49,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/lagen"
 	"repro/internal/qerr"
+	"repro/internal/storage"
 	"repro/internal/telemetry"
 	"repro/internal/tpch"
 	"repro/internal/voter"
@@ -55,6 +64,8 @@ var (
 	flagSlow    = flag.Duration("slow", 100*time.Millisecond, "slow-query threshold (0 logs every query)")
 	flagLoad    = flag.Int("load", 0, "background query-replay workers (keeps the debug endpoints lively)")
 	flagSmoke   = flag.Bool("smoke", false, "self-test: run queries, scrape /metrics, exit")
+
+	flagAutoCompact = flag.Int("auto-compact", 0, "background-compact when a table's delta backlog reaches this many rows (0 = manual)")
 
 	flagMaxConc   = flag.Int("max-concurrency", 0, "max concurrently executing queries (0 = unlimited)")
 	flagQueue     = flag.Int("queue-depth", 0, "admission wait-queue depth (with -max-concurrency)")
@@ -84,6 +95,9 @@ func main() {
 	if *flagMemSoft > 0 {
 		opts = append(opts, core.WithMemorySoftLimit(*flagMemSoft))
 	}
+	if *flagAutoCompact > 0 {
+		opts = append(opts, core.WithAutoCompact(*flagAutoCompact))
+	}
 	eng := core.New(opts...)
 	mix := populate(eng)
 
@@ -91,6 +105,18 @@ func main() {
 	mux.Handle("/", telemetry.Handler(eng.Telemetry()))
 	mux.HandleFunc("/query", func(w http.ResponseWriter, r *http.Request) {
 		handleQuery(eng, w, r)
+	})
+	mux.HandleFunc("/ingest", func(w http.ResponseWriter, r *http.Request) {
+		handleIngest(eng, w, r)
+	})
+	// Override the telemetry handler's /debug/queries so the payload
+	// also carries per-table delta/compaction state.
+	mux.HandleFunc("/debug/queries", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		json.NewEncoder(w).Encode(map[string]interface{}{
+			"queries": eng.Telemetry().Registry.List(),
+			"tables":  eng.TablesStatus(),
+		})
 	})
 	ln, err := net.Listen("tcp", *flagHTTP)
 	if err != nil {
@@ -276,6 +302,155 @@ func handleQuery(eng *core.Engine, w http.ResponseWriter, r *http.Request) {
 	json.NewEncoder(w).Encode(resp)
 }
 
+// maxIngestBody bounds one /ingest request body.
+const maxIngestBody = 32 << 20
+
+// ingestResponse is the /ingest JSON payload.
+type ingestResponse struct {
+	Table string `json:"table"`
+	Rows  int    `json:"rows"`
+}
+
+// handleIngest appends rows to a table: POST /ingest?table=T with an
+// NDJSON body (default: one JSON object keyed by column name, or one
+// JSON array in schema order, per line) or &format=delim&delim=, with
+// delimiter-separated text lines. Admission control applies — an
+// overloaded engine sheds the batch with 429 + Retry-After. Appended
+// rows are visible to the next query; compaction happens in the
+// background (see -auto-compact) or via the engine API.
+func handleIngest(eng *core.Engine, w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		http.Error(w, "POST required", http.StatusMethodNotAllowed)
+		return
+	}
+	table := r.URL.Query().Get("table")
+	if table == "" {
+		http.Error(w, "missing ?table=", http.StatusBadRequest)
+		return
+	}
+	body := io.LimitReader(r.Body, maxIngestBody)
+	var n int
+	var err error
+	switch format := r.URL.Query().Get("format"); format {
+	case "", "ndjson":
+		tab := eng.Catalog().Table(table)
+		if tab == nil {
+			http.Error(w, fmt.Sprintf("unknown table %q", table), http.StatusBadRequest)
+			return
+		}
+		var rows [][]interface{}
+		rows, err = decodeNDJSON(&tab.Schema, body)
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		n, err = eng.IngestRows(r.Context(), table, rows)
+	case "delim":
+		delim := r.URL.Query().Get("delim")
+		if delim == "" {
+			delim = ","
+		}
+		if len(delim) != 1 {
+			http.Error(w, "delim must be a single byte", http.StatusBadRequest)
+			return
+		}
+		n, err = eng.IngestDelimited(r.Context(), table, body, delim[0])
+	default:
+		http.Error(w, fmt.Sprintf("unknown format %q (want ndjson or delim)", format), http.StatusBadRequest)
+		return
+	}
+	if err != nil {
+		writeQueryError(w, err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(ingestResponse{Table: table, Rows: n})
+}
+
+// decodeNDJSON converts newline-delimited JSON values into rows for
+// IngestRows. Objects are keyed by column name; arrays follow schema
+// order. Numbers decode exactly (json.Number), so int64 keys survive
+// beyond float53 precision.
+func decodeNDJSON(schema *storage.Schema, r io.Reader) ([][]interface{}, error) {
+	dec := json.NewDecoder(r)
+	dec.UseNumber()
+	var rows [][]interface{}
+	for line := 1; ; line++ {
+		var raw interface{}
+		if err := dec.Decode(&raw); err == io.EOF {
+			return rows, nil
+		} else if err != nil {
+			return nil, fmt.Errorf("ingest row %d: %w", line, err)
+		}
+		row := make([]interface{}, len(schema.Cols))
+		switch v := raw.(type) {
+		case []interface{}:
+			if len(v) != len(schema.Cols) {
+				return nil, fmt.Errorf("ingest row %d: %d values for %d columns", line, len(v), len(schema.Cols))
+			}
+			for i := range v {
+				cv, err := ingestValue(&schema.Cols[i], v[i])
+				if err != nil {
+					return nil, fmt.Errorf("ingest row %d: %w", line, err)
+				}
+				row[i] = cv
+			}
+		case map[string]interface{}:
+			if len(v) != len(schema.Cols) {
+				return nil, fmt.Errorf("ingest row %d: %d fields for %d columns", line, len(v), len(schema.Cols))
+			}
+			for i := range schema.Cols {
+				def := &schema.Cols[i]
+				fv, ok := v[def.Name]
+				if !ok {
+					return nil, fmt.Errorf("ingest row %d: missing column %q", line, def.Name)
+				}
+				cv, err := ingestValue(def, fv)
+				if err != nil {
+					return nil, fmt.Errorf("ingest row %d: %w", line, err)
+				}
+				row[i] = cv
+			}
+		default:
+			return nil, fmt.Errorf("ingest row %d: want a JSON object or array, got %T", line, raw)
+		}
+		rows = append(rows, row)
+	}
+}
+
+// ingestValue maps one decoded JSON value onto the column's kind.
+func ingestValue(def *storage.ColumnDef, v interface{}) (interface{}, error) {
+	switch def.Kind {
+	case storage.Int64, storage.Date:
+		if num, ok := v.(json.Number); ok {
+			i, err := strconv.ParseInt(num.String(), 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("column %s: %q is not an integer", def.Name, num)
+			}
+			return i, nil
+		}
+		if s, ok := v.(string); ok && def.Kind == storage.Date {
+			return s, nil // "YYYY-MM-DD", parsed by storage
+		}
+		return nil, fmt.Errorf("column %s: want integer, got %T", def.Name, v)
+	case storage.Float64:
+		if num, ok := v.(json.Number); ok {
+			f, err := num.Float64()
+			if err != nil {
+				return nil, fmt.Errorf("column %s: %v", def.Name, err)
+			}
+			return f, nil
+		}
+		return nil, fmt.Errorf("column %s: want number, got %T", def.Name, v)
+	case storage.String:
+		if s, ok := v.(string); ok {
+			return s, nil
+		}
+		return nil, fmt.Errorf("column %s: want string, got %T", def.Name, v)
+	}
+	return nil, fmt.Errorf("column %s: unsupported kind", def.Name)
+}
+
 // writeQueryError maps typed engine errors onto HTTP status codes:
 // shed queries get 429 with a Retry-After backoff hint, resource
 // exhaustion 503, contained panics 500, everything else (parse/plan/
@@ -332,13 +507,22 @@ func smoke(eng *core.Engine, addr string, mix []string) error {
 		"levelheaded_queries",
 		"levelheaded_query_latency_seconds_bucket",
 		`le="+Inf"`,
+		"levelheaded_delta_rows",
+		"levelheaded_compactions_total",
 	} {
 		if !strings.Contains(metrics, want) {
 			return fmt.Errorf("/metrics missing %q", want)
 		}
 	}
-	if _, err := get("/debug/queries"); err != nil {
+	dbg, err := get("/debug/queries")
+	if err != nil {
 		return err
+	}
+	if !strings.Contains(dbg, `"tables"`) {
+		return fmt.Errorf("/debug/queries missing per-table status: %s", dbg)
+	}
+	if err := smokeIngest(eng, addr); err != nil {
+		return fmt.Errorf("ingest: %w", err)
 	}
 	ids := eng.Telemetry().Registry.TraceIDs()
 	if len(ids) == 0 {
@@ -358,4 +542,101 @@ func smoke(eng *core.Engine, addr string, mix []string) error {
 	fmt.Printf("smoke: %d queries, %d result rows, %d metric bytes, trace %d has %d spans\n",
 		len(mix), rows.Load(), len(metrics), ids[0], len(events))
 	return nil
+}
+
+// smokeIngest round-trips live rows through the real listener: count a
+// table, POST /ingest in both formats, and check the next query sees
+// the new rows without any compaction.
+func smokeIngest(eng *core.Engine, addr string) error {
+	names := eng.Catalog().Tables()
+	if len(names) == 0 {
+		return fmt.Errorf("no tables")
+	}
+	table := names[0]
+	tab := eng.Catalog().Table(table)
+	count := func() (int64, error) {
+		res, err := eng.QueryContext(context.Background(), "SELECT count(*) AS n FROM "+table)
+		if err != nil {
+			return 0, err
+		}
+		return int64(res.Col("n").F64[0]), nil
+	}
+	before, err := count()
+	if err != nil {
+		return err
+	}
+	mkRow := func(seed int64) []string {
+		fields := make([]string, len(tab.Schema.Cols))
+		for i, c := range tab.Schema.Cols {
+			switch c.Kind {
+			case storage.Int64:
+				fields[i] = strconv.FormatInt(1_000_000+seed, 10)
+			case storage.Float64:
+				fields[i] = "1.5"
+			case storage.String:
+				fields[i] = fmt.Sprintf("smoke-%d", seed)
+			case storage.Date:
+				fields[i] = "1997-01-01"
+			}
+		}
+		return fields
+	}
+	post := func(path, body string) error {
+		resp, err := http.Post("http://"+addr+path, "application/octet-stream", strings.NewReader(body))
+		if err != nil {
+			return err
+		}
+		defer resp.Body.Close()
+		b, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != http.StatusOK {
+			return fmt.Errorf("POST %s: status %d: %s", path, resp.StatusCode, b)
+		}
+		return nil
+	}
+	// One row per format: NDJSON array, then delimited text.
+	arr, _ := json.Marshal(toJSONRow(tab.Schema.Cols, mkRow(1)))
+	if err := post("/ingest?table="+table, string(arr)+"\n"); err != nil {
+		return err
+	}
+	if err := post("/ingest?table="+table+"&format=delim&delim=|", strings.Join(mkRow(2), "|")+"\n"); err != nil {
+		return err
+	}
+	after, err := count()
+	if err != nil {
+		return err
+	}
+	if after != before+2 {
+		return fmt.Errorf("count after ingest = %d, want %d", after, before+2)
+	}
+	if err := eng.Compact(context.Background()); err != nil {
+		return err
+	}
+	final, err := count()
+	if err != nil {
+		return err
+	}
+	if final != after {
+		return fmt.Errorf("count after compact = %d, want %d", final, after)
+	}
+	fmt.Printf("smoke: ingested 2 rows into %s (count %d -> %d), compacted clean\n", table, before, final)
+	return nil
+}
+
+// toJSONRow converts delimited text fields into JSON-encodable values
+// per the schema (NDJSON array form).
+func toJSONRow(cols []storage.ColumnDef, fields []string) []interface{} {
+	out := make([]interface{}, len(fields))
+	for i, f := range fields {
+		switch cols[i].Kind {
+		case storage.Int64:
+			n, _ := strconv.ParseInt(f, 10, 64)
+			out[i] = n
+		case storage.Float64:
+			x, _ := strconv.ParseFloat(f, 64)
+			out[i] = x
+		default:
+			out[i] = f
+		}
+	}
+	return out
 }

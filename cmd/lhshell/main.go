@@ -23,6 +23,7 @@ package main
 
 import (
 	"bufio"
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -148,7 +149,7 @@ func main() {
 			fmt.Print(s)
 		default:
 			t0 := time.Now()
-			res, err := eng.Query(line)
+			res, err := eng.QueryContext(context.Background(), line)
 			if err != nil {
 				fmt.Println("error:", err)
 				continue

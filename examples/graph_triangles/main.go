@@ -15,6 +15,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -62,11 +63,11 @@ func main() {
 		log.Fatal(err)
 	}
 	for _, e := range es {
-		if err := tab.AppendRow(e.s, e.d); err != nil {
+		if err := tab.Append(e.s, e.d); err != nil {
 			log.Fatal(err)
 		}
 	}
-	if err := eng.Freeze(); err != nil {
+	if err := eng.Compact(context.Background()); err != nil {
 		log.Fatal(err)
 	}
 
@@ -75,11 +76,12 @@ func main() {
 		WHERE e1.dst = e2.src AND e3.src = e1.src AND e3.dst = e2.dst`
 
 	// Warm the trie cache, then time the hot run.
-	if _, err := eng.Query(q); err != nil {
+	ctx := context.Background()
+	if _, err := eng.Query(ctx, q); err != nil {
 		log.Fatal(err)
 	}
 	t0 := time.Now()
-	res, err := eng.Query(q)
+	res, err := eng.Query(ctx, q)
 	if err != nil {
 		log.Fatal(err)
 	}

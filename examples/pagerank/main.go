@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
@@ -58,7 +59,7 @@ func main() {
 		log.Fatal(err)
 	}
 	for _, e := range es {
-		if err := m.AppendRow(e.d, e.s, 1/float64(outDeg[e.s])); err != nil {
+		if err := m.Append(e.d, e.s, 1/float64(outDeg[e.s])); err != nil {
 			log.Fatal(err)
 		}
 	}
@@ -71,7 +72,7 @@ func main() {
 		log.Fatal(err)
 	}
 	for n := 0; n < *nodes; n++ {
-		if err := diag.AppendRow(int64(n), 1.0); err != nil {
+		if err := diag.Append(int64(n), 1.0); err != nil {
 			log.Fatal(err)
 		}
 	}
@@ -85,7 +86,7 @@ func main() {
 			log.Fatal(err)
 		}
 		for k, v := range vals {
-			if err := t.AppendRow(int64(k), v); err != nil {
+			if err := t.Append(int64(k), v); err != nil {
 				log.Fatal(err)
 			}
 		}
@@ -99,13 +100,14 @@ func main() {
 
 	t0 := time.Now()
 	for it := 0; it < *iters; it++ {
-		// A fresh engine per iteration keeps the example simple (catalogs
-		// are immutable once queried); the matrix trie rebuild is the
-		// dominant cost and is shared across the comparison anyway.
+		// A fresh engine per iteration keeps the example simple (the rank
+		// vector is replaced wholesale each round, not appended to); the
+		// matrix trie rebuild is the dominant cost and is shared across
+		// the comparison anyway.
 		iterEng := lh.New()
 		cloneTables(eng, iterEng)
 		mkVec(iterEng, "rank", rank)
-		res, err := iterEng.Query(`SELECT m.i, sum(m.v * rank.x) as y
+		res, err := iterEng.Query(context.Background(), `SELECT m.i, sum(m.v * rank.x) as y
 			FROM m, rank WHERE m.j = rank.k GROUP BY m.i`)
 		if err != nil {
 			log.Fatal(err)

@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -35,7 +36,7 @@ func main() {
 		{0, 0, 1}, {0, 2, 2}, {1, 1, 3}, {2, 0, 4}, {2, 3, 1}, {3, 2, 5},
 	}
 	for _, c := range cells {
-		if err := matrix.AppendRow(c.i, c.j, c.v); err != nil {
+		if err := matrix.Append(c.i, c.j, c.v); err != nil {
 			log.Fatal(err)
 		}
 	}
@@ -63,13 +64,14 @@ func main() {
 		{3, "ASIA", 45, "1995-03-01"}, {4, "ASIA", 210, "1994-07-19"},
 	}
 	for _, r := range rows {
-		if err := orders.AppendRow(r.id, r.region, r.total, r.date); err != nil {
+		if err := orders.Append(r.id, r.region, r.total, r.date); err != nil {
 			log.Fatal(err)
 		}
 	}
 
 	// BI query: filter + group + aggregate.
-	res, err := eng.Query(`SELECT o_region, sum(o_total) as total, count(*) as n
+	ctx := context.Background()
+	res, err := eng.Query(ctx, `SELECT o_region, sum(o_total) as total, count(*) as n
 		FROM orders WHERE o_date < date '1995-01-01' GROUP BY o_region`)
 	if err != nil {
 		log.Fatal(err)
@@ -78,7 +80,7 @@ func main() {
 	printResult(res)
 
 	// LA query: sparse matrix squared, same engine, same storage.
-	res, err = eng.Query(`SELECT m1.i, m2.j, sum(m1.v * m2.v) as v
+	res, err = eng.Query(ctx, `SELECT m1.i, m2.j, sum(m1.v * m2.v) as v
 		FROM matrix AS m1, matrix AS m2 WHERE m1.j = m2.i GROUP BY m1.i, m2.j`)
 	if err != nil {
 		log.Fatal(err)

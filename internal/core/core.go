@@ -13,6 +13,7 @@ import (
 	"io"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/costopt"
@@ -28,7 +29,9 @@ import (
 )
 
 // Engine is a LevelHeaded instance: a catalog plus query machinery.
-// Methods are safe for concurrent use after Freeze.
+// Methods are safe for concurrent use after Freeze — including
+// Table.Append/AppendBatch, which land in per-table delta stores and
+// surface through epoch snapshots without an explicit compaction.
 type Engine struct {
 	mu      sync.Mutex
 	cat     *storage.Catalog
@@ -46,6 +49,17 @@ type Engine struct {
 	noBLAS     bool
 	noCache    bool
 	govCfg     governor.Config
+
+	// Compaction state: one compaction at a time, optionally kicked in
+	// the background when the delta debt crosses autoCompactRows.
+	compactMu       sync.Mutex
+	compactInFlight atomic.Bool
+	compactions     atomic.Int64
+	compactedRows   atomic.Int64
+	autoCompactRows int
+	bgCtx           context.Context
+	bgCancel        context.CancelFunc
+	bgWG            sync.WaitGroup
 }
 
 // Option configures an Engine.
@@ -120,6 +134,15 @@ func WithQueueDepth(n int) Option {
 	return func(e *Engine) { e.govCfg.QueueDepth = n }
 }
 
+// WithAutoCompact kicks a background Compact whenever the catalog-wide
+// delta debt (appended-but-uncompacted rows) reaches rows. 0 (the
+// default) disables automatic compaction; appends are still folded
+// incrementally by the snapshot builder, so auto-compaction only
+// bounds memory, never visibility.
+func WithAutoCompact(rows int) Option {
+	return func(e *Engine) { e.autoCompactRows = rows }
+}
+
 // New creates an empty engine.
 func New(opts ...Option) *Engine {
 	e := &Engine{cat: storage.NewCatalog(), cache: exec.NewTrieCache(), plans: map[string]*preparedPlan{}}
@@ -130,8 +153,10 @@ func New(opts ...Option) *Engine {
 		e.tel = telemetry.NewCollector()
 	}
 	e.gov = governor.New(e.govCfg)
+	e.bgCtx, e.bgCancel = context.WithCancel(context.Background())
 	e.tel.AddCounterSource(e.metrics.SnapshotCounters)
 	e.tel.AddCounterSource(e.gov.Counters)
+	e.tel.AddCounterSource(e.deltaCounters)
 	e.metrics.SetExtra(e.tel.Quantiles)
 	return e
 }
@@ -147,11 +172,165 @@ func (e *Engine) CreateTable(s storage.Schema) (*storage.Table, error) {
 }
 
 // Freeze builds dictionaries and encodings; it runs automatically on
-// the first query.
+// the first query. It is NOT a mutation barrier: rows appended after
+// Freeze land in per-table delta stores and stay queryable.
 func (e *Engine) Freeze() error {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	return e.cat.Freeze()
+}
+
+// Compact folds every table's appended delta rows into fresh,
+// right-sized base generations and truncates the delta logs — the
+// heavy merge the query hot path never runs. It is single-flight,
+// cancellable per table via ctx, charged against the engine governor
+// (an over-limit rebuild aborts with qerr.ResourceExhaustedError), and
+// panic-contained like a query. Dictionary codes are stable across
+// compaction, so results are byte-identical before and after. On a
+// never-frozen catalog it performs the initial freeze.
+func (e *Engine) Compact(ctx context.Context) (err error) {
+	if ferr := e.Freeze(); ferr != nil {
+		return ferr
+	}
+	e.compactMu.Lock()
+	defer e.compactMu.Unlock()
+	defer func() {
+		if r := recover(); r != nil {
+			ie := qerr.CapturePanic(r)
+			e.gov.RecordPanic()
+			err = ie
+		}
+	}()
+	mem := e.gov.NewAccountant("COMPACT", 0)
+	defer mem.Close()
+	n, _, cerr := e.cat.Compact(ctx, mem.Charge)
+	if n > 0 {
+		e.compactions.Add(1)
+		e.compactedRows.Add(int64(n))
+		e.purgeStaleTries()
+	}
+	return cerr
+}
+
+// purgeStaleTries drops cached tries built from superseded generations.
+func (e *Engine) purgeStaleTries() {
+	for _, name := range e.cat.Tables() {
+		if t := e.cat.Table(name); t != nil {
+			e.cache.PurgeTable(name, t.Live().Generation())
+		}
+	}
+}
+
+// maybeAutoCompact kicks a background compaction when the accumulated
+// delta debt crosses the configured threshold.
+func (e *Engine) maybeAutoCompact() {
+	if e.autoCompactRows <= 0 || e.compactInFlight.Load() {
+		return
+	}
+	if e.cat.DeltaRows() < e.autoCompactRows {
+		return
+	}
+	if !e.compactInFlight.CompareAndSwap(false, true) {
+		return
+	}
+	e.bgWG.Add(1)
+	go func() {
+		defer e.bgWG.Done()
+		defer e.compactInFlight.Store(false)
+		// Compact contains panics and honors bgCtx, which BeginShutdown
+		// cancels; a failed background compaction retries on the next
+		// threshold crossing.
+		_ = e.Compact(e.bgCtx)
+	}()
+}
+
+// IngestRows appends a batch of rows to the named table under governor
+// admission: an overloaded engine sheds the batch with
+// qerr.OverloadedError (lhserve maps it to HTTP 429) instead of letting
+// writers starve queries. Returns the number of rows appended.
+func (e *Engine) IngestRows(ctx context.Context, table string, rows [][]interface{}) (int, error) {
+	t := e.cat.Table(table)
+	if t == nil {
+		return 0, &qerr.UnknownTableError{Name: table}
+	}
+	release, err := e.gov.Acquire(ctx, 1)
+	if err != nil {
+		return 0, err
+	}
+	defer release()
+	if err := t.AppendBatch(rows); err != nil {
+		return 0, err
+	}
+	e.maybeAutoCompact()
+	return len(rows), nil
+}
+
+// IngestDelimited streams delimiter-separated rows into a table under
+// the same governor admission as IngestRows, returning the number of
+// rows appended. A mid-stream parse error or cancellation leaves the
+// fully committed chunks appended and reports their count alongside
+// the error.
+func (e *Engine) IngestDelimited(ctx context.Context, table string, r io.Reader, delim byte) (int, error) {
+	t := e.cat.Table(table)
+	if t == nil {
+		return 0, &qerr.UnknownTableError{Name: table}
+	}
+	release, err := e.gov.Acquire(ctx, 1)
+	if err != nil {
+		return 0, err
+	}
+	defer release()
+	before := t.TotalRows()
+	lerr := t.LoadDelimitedContext(ctx, r, delim)
+	n := t.TotalRows() - before
+	if n > 0 {
+		e.maybeAutoCompact()
+	}
+	return n, lerr
+}
+
+// TableStatus describes one table's live/delta state.
+type TableStatus struct {
+	Name             string `json:"name"`
+	Rows             int    `json:"rows"`       // rows visible to the next query
+	DeltaRows        int    `json:"delta_rows"` // appended rows not yet compacted
+	Generation       uint64 `json:"generation"`
+	LastCompactEpoch uint64 `json:"last_compact_epoch"`
+}
+
+// TablesStatus reports per-table delta debt and compaction epochs, in
+// catalog creation order.
+func (e *Engine) TablesStatus() []TableStatus {
+	var out []TableStatus
+	for _, name := range e.cat.Tables() {
+		t := e.cat.Table(name)
+		out = append(out, TableStatus{
+			Name:             name,
+			Rows:             t.TotalRows(),
+			DeltaRows:        t.DeltaRows(),
+			Generation:       t.Live().Generation(),
+			LastCompactEpoch: t.LastCompactEpoch(),
+		})
+	}
+	return out
+}
+
+// deltaCounters exports the live-data state on /metrics:
+// catalog-wide delta debt, per-table delta rows and compaction epochs,
+// and compaction totals.
+func (e *Engine) deltaCounters() map[string]int64 {
+	m := map[string]int64{
+		"compactions_total":    e.compactions.Load(),
+		"compacted_rows_total": e.compactedRows.Load(),
+		"snapshot_epoch":       int64(e.cat.Epoch()),
+		"delta_rows":           int64(e.cat.DeltaRows()),
+	}
+	for _, name := range e.cat.Tables() {
+		t := e.cat.Table(name)
+		m["delta_rows_"+name] = int64(t.DeltaRows())
+		m["last_compact_epoch_"+name] = int64(t.LastCompactEpoch())
+	}
+	return m
 }
 
 // QueryOptions override per-query behavior (experiments).
@@ -253,6 +432,10 @@ func (e *Engine) runQuery(ctx context.Context, sql string, qo QueryOptions, st *
 	opts := e.execOptions(qo)
 	opts.Ctx = ctx
 	opts.Stats = st
+	// Pin the epoch snapshot for the query's whole lifetime: appends and
+	// compactions that land while it runs cannot shift what it reads.
+	// Nil (the common static case) costs a nil-pointer branch per table.
+	opts.Snap = e.cat.Snapshot()
 	mem := e.gov.NewAccountant(sql, qo.MemoryBudget)
 	defer mem.Close()
 	opts.Mem = mem
@@ -272,8 +455,12 @@ func (e *Engine) runQuery(ctx context.Context, sql string, qo QueryOptions, st *
 
 // BeginShutdown stops admitting queries: every queued waiter and every
 // subsequent Acquire fails with qerr.OverloadedError. In-flight queries
-// are unaffected; pair with Drain for a graceful stop.
-func (e *Engine) BeginShutdown() { e.gov.BeginShutdown() }
+// are unaffected; a background compaction is cancelled. Pair with Drain
+// for a graceful stop.
+func (e *Engine) BeginShutdown() {
+	e.gov.BeginShutdown()
+	e.bgCancel()
+}
 
 // Drain waits until every in-flight query finishes or ctx expires; on
 // expiry the stragglers are cancelled through the live query registry
@@ -301,6 +488,9 @@ func (e *Engine) Drain(ctx context.Context) int {
 			time.Sleep(5 * time.Millisecond)
 		}
 	}
+	// A background compaction was cancelled by BeginShutdown; wait for
+	// it to unwind so no goroutine outlives the drain.
+	e.bgWG.Wait()
 	return cancelled
 }
 
@@ -433,7 +623,9 @@ func (e *Engine) Prepare(sql string, qo QueryOptions) (*planner.Plan, *costopt.C
 
 // Execute runs a previously prepared plan.
 func (e *Engine) Execute(p *planner.Plan, ch *costopt.Choice, qo QueryOptions) (*exec.Result, error) {
-	return exec.Run(p, ch, e.cat, e.execOptions(qo))
+	opts := e.execOptions(qo)
+	opts.Snap = e.cat.Snapshot()
+	return exec.Run(p, ch, e.cat, opts)
 }
 
 func (e *Engine) execOptions(qo QueryOptions) exec.Options {

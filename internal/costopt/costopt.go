@@ -130,7 +130,7 @@ type chooser struct {
 func (c *chooser) relScores() {
 	maxCard := 1
 	for i := range c.p.Rels {
-		if n := c.p.Rels[i].Table.NumRows; n > maxCard {
+		if n := c.p.Rels[i].Table.LiveRows(); n > maxCard {
 			maxCard = n
 		}
 	}
@@ -138,7 +138,7 @@ func (c *chooser) relScores() {
 	c.dense = make([]bool, len(c.p.Rels))
 	for i := range c.p.Rels {
 		r := &c.p.Rels[i]
-		c.scores[i] = int(math.Ceil(float64(r.Table.NumRows) / float64(maxCard) * 100))
+		c.scores[i] = int(math.Ceil(float64(r.Table.LiveRows()) / float64(maxCard) * 100))
 		if c.scores[i] < 1 {
 			c.scores[i] = 1
 		}
@@ -153,8 +153,9 @@ func relCompletelyDense(r *planner.RelInfo) bool {
 		return false
 	}
 	prod := 1.0
+	live := r.Table.Live()
 	for _, v := range r.Vertices {
-		col := r.Table.Col(r.VertexCol[v])
+		col := live.Col(r.VertexCol[v])
 		if col == nil || col.Dict() == nil {
 			return false
 		}
@@ -164,7 +165,7 @@ func relCompletelyDense(r *planner.RelInfo) bool {
 		}
 	}
 	// A filter can break density, so require unfiltered too.
-	return r.Filter == nil && prod == float64(r.Table.NumRows)
+	return r.Filter == nil && prod == float64(live.NumRows)
 }
 
 // nodeEdges assembles the edges visible to a node: its relations plus

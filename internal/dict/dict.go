@@ -38,7 +38,15 @@ func (k Kind) String() string {
 }
 
 // Dictionary maps values of one Kind to dense, order-preserving uint32
-// codes. A Dictionary is immutable after Build.
+// codes. A Dictionary is immutable after Build; post-freeze values are
+// admitted through ExtendInts/ExtendStrings, which return a NEW
+// dictionary sharing the ordered prefix and carrying the extra values
+// in an append-only, unsorted tail. Tail codes are dense continuations
+// of the prefix code space ([base, n)), so code equality still means
+// value equality across every extension — but code ORDER is only
+// meaningful within the ordered prefix. LowerBound* therefore operate
+// on the prefix alone; callers translating range predicates must not
+// assume tail codes are ordered.
 //
 // The identity form (NewIdentity) maps the integers [0, n) to
 // themselves with no storage; it is the natural encoding of matrix
@@ -55,11 +63,19 @@ type Dictionary struct {
 	// so it must be kept out of the binary-searched prefix: exactly one
 	// code represents all NaNs and it sorts after every ordered value.
 	hasNaN bool
+
+	// base is the size of the ordered prefix (== n until the first
+	// extension). Codes >= base live in the unsorted tail.
+	base     int
+	tailInts []int64
+	tailStrs []string
+	tailIdxI map[int64]uint32
+	tailIdxS map[string]uint32
 }
 
 // NewIdentity returns the identity dictionary over [0, n).
 func NewIdentity(n int) *Dictionary {
-	return &Dictionary{kind: Int, identity: true, n: n}
+	return &Dictionary{kind: Int, identity: true, n: n, base: n}
 }
 
 // Kind reports the logical type of the dictionary's values.
@@ -76,13 +92,16 @@ func (d *Dictionary) Identity() bool { return d.identity }
 func (d *Dictionary) HasNaN() bool { return d.hasNaN }
 
 // EncodeInt returns the code for v. ok is false if v is not in the
-// dictionary.
+// dictionary (prefix or tail).
 func (d *Dictionary) EncodeInt(v int64) (uint32, bool) {
 	if d.identity {
-		if v < 0 || v >= int64(d.n) {
-			return 0, false
+		if v >= 0 && v < int64(d.base) {
+			return uint32(v), true
 		}
-		return uint32(v), true
+		if c, ok := d.tailIdxI[v]; ok {
+			return c, true
+		}
+		return 0, false
 	}
 	if d.kind != Int {
 		return 0, false
@@ -90,6 +109,9 @@ func (d *Dictionary) EncodeInt(v int64) (uint32, bool) {
 	i := sort.Search(len(d.ints), func(i int) bool { return d.ints[i] >= v })
 	if i < len(d.ints) && d.ints[i] == v {
 		return uint32(i), true
+	}
+	if c, ok := d.tailIdxI[v]; ok {
+		return c, true
 	}
 	return 0, false
 }
@@ -135,19 +157,24 @@ func (d *Dictionary) EncodeString(v string) (uint32, bool) {
 	if i < len(d.strs) && d.strs[i] == v {
 		return uint32(i), true
 	}
+	if c, ok := d.tailIdxS[v]; ok {
+		return c, true
+	}
 	return 0, false
 }
 
-// LowerBoundInt returns the smallest code whose value is >= v. If every
-// value is < v, it returns Len(). Order preservation makes this the
-// translation of a range predicate into code space.
+// LowerBoundInt returns the smallest PREFIX code whose value is >= v.
+// If every prefix value is < v, it returns the prefix length. Order
+// preservation makes this the translation of a range predicate into
+// code space; tail codes (post-freeze extensions) are unsorted and
+// deliberately excluded.
 func (d *Dictionary) LowerBoundInt(v int64) uint32 {
 	if d.identity {
 		switch {
 		case v < 0:
 			return 0
-		case v > int64(d.n):
-			return uint32(d.n)
+		case v > int64(d.base):
+			return uint32(d.base)
 		default:
 			return uint32(v)
 		}
@@ -174,6 +201,9 @@ func (d *Dictionary) LowerBoundString(v string) uint32 {
 
 // DecodeInt returns the integer value for code c.
 func (d *Dictionary) DecodeInt(c uint32) int64 {
+	if int(c) >= d.base {
+		return d.tailInts[int(c)-d.base]
+	}
 	if d.identity {
 		return int64(c)
 	}
@@ -184,7 +214,81 @@ func (d *Dictionary) DecodeInt(c uint32) int64 {
 func (d *Dictionary) DecodeFloat(c uint32) float64 { return d.floats[c] }
 
 // DecodeString returns the string value for code c.
-func (d *Dictionary) DecodeString(c uint32) string { return d.strs[c] }
+func (d *Dictionary) DecodeString(c uint32) string {
+	if int(c) >= d.base {
+		return d.tailStrs[int(c)-d.base]
+	}
+	return d.strs[c]
+}
+
+// TailLen reports how many codes live in the unsorted tail (values
+// admitted after the dictionary was built).
+func (d *Dictionary) TailLen() int { return d.n - d.base }
+
+// extendClone copies the mutable tail state so extensions never alias
+// the tail of the dictionary they grew from (older snapshots keep
+// reading their own tail unperturbed).
+func (d *Dictionary) extendClone() *Dictionary {
+	nd := *d
+	nd.tailInts = append([]int64(nil), d.tailInts...)
+	nd.tailStrs = append([]string(nil), d.tailStrs...)
+	if d.tailIdxI != nil {
+		nd.tailIdxI = make(map[int64]uint32, len(d.tailIdxI))
+		for k, v := range d.tailIdxI {
+			nd.tailIdxI[k] = v
+		}
+	}
+	if d.tailIdxS != nil {
+		nd.tailIdxS = make(map[string]uint32, len(d.tailIdxS))
+		for k, v := range d.tailIdxS {
+			nd.tailIdxS[k] = v
+		}
+	}
+	return &nd
+}
+
+// ExtendInts returns a dictionary extended with any of vals not already
+// present, appended to the unsorted tail in first-seen order. d itself
+// is unchanged; prefix storage is shared. Existing codes (prefix and
+// tail) are stable across the extension.
+func (d *Dictionary) ExtendInts(vals []int64) *Dictionary {
+	if d.kind != Int {
+		panic(fmt.Sprintf("dict: ExtendInts on %v dictionary", d.kind))
+	}
+	nd := d.extendClone()
+	for _, v := range vals {
+		if _, ok := nd.EncodeInt(v); ok {
+			continue
+		}
+		if nd.tailIdxI == nil {
+			nd.tailIdxI = make(map[int64]uint32)
+		}
+		nd.tailIdxI[v] = uint32(nd.n)
+		nd.tailInts = append(nd.tailInts, v)
+		nd.n++
+	}
+	return nd
+}
+
+// ExtendStrings is ExtendInts for string dictionaries.
+func (d *Dictionary) ExtendStrings(vals []string) *Dictionary {
+	if d.kind != String {
+		panic(fmt.Sprintf("dict: ExtendStrings on %v dictionary", d.kind))
+	}
+	nd := d.extendClone()
+	for _, v := range vals {
+		if _, ok := nd.EncodeString(v); ok {
+			continue
+		}
+		if nd.tailIdxS == nil {
+			nd.tailIdxS = make(map[string]uint32)
+		}
+		nd.tailIdxS[v] = uint32(nd.n)
+		nd.tailStrs = append(nd.tailStrs, v)
+		nd.n++
+	}
+	return nd
+}
 
 // Builder accumulates values across one or more columns that share a
 // join domain and produces their common Dictionary.
@@ -271,5 +375,6 @@ func (b *Builder) Build() *Dictionary {
 		sort.Strings(d.strs)
 		d.n = len(d.strs)
 	}
+	d.base = d.n
 	return d
 }

@@ -61,6 +61,11 @@ type Case struct {
 	// Extra holds companion queries for metamorphic lanes (the variant
 	// set that must agree with SQL).
 	Extra []string `json:"extra,omitempty"`
+	// Split holds, for the ingest lane, the per-table prefix row count
+	// loaded before the first query; the rest is appended live. Values
+	// are clamped to each table's row count at run time (so row
+	// shrinking during Reduce stays sound).
+	Split []int `json:"split,omitempty"`
 }
 
 // Marshal renders the case as indented JSON.
@@ -225,7 +230,7 @@ func (c *Case) Relations() (map[string]*refeval.Relation, error) {
 // normRow is one output row in canonical form: exact key-cell strings
 // for group columns (used for pairing) and float64s for aggregates.
 type normRow struct {
-	key  string
+	key   string
 	cells []normCell
 }
 

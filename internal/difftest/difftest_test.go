@@ -67,6 +67,7 @@ func TestDifferentialShort(t *testing.T) {
 		"spmv":            45,
 		"spmm":            45,
 		"dict":            80,
+		"ingest":          60,
 	}
 	if *flagCount > 0 {
 		for k := range counts {
@@ -95,6 +96,9 @@ func TestDifferentialShort(t *testing.T) {
 	total += laneRun(t, "dict", seed+6e6, counts["dict"], func(g *Gen) (*Case, *QuerySpec) {
 		return g.GenDictCase(), nil
 	})
+	total += laneRun(t, "ingest", seed+7e6, counts["ingest"], func(g *Gen) (*Case, *QuerySpec) {
+		return g.GenIngestCase()
+	})
 	if total < 500 && *flagCount == 0 {
 		t.Fatalf("only %d query/dataset pairs ran; want >= 500", total)
 	}
@@ -121,6 +125,7 @@ func TestDifferentialLong(t *testing.T) {
 		{"spmv", func(g *Gen) (*Case, *QuerySpec) { return g.GenSpMVCase(), nil }},
 		{"spmm", func(g *Gen) (*Case, *QuerySpec) { return g.GenSpMMCase(), nil }},
 		{"dict", func(g *Gen) (*Case, *QuerySpec) { return g.GenDictCase(), nil }},
+		{"ingest", func(g *Gen) (*Case, *QuerySpec) { return g.GenIngestCase() }},
 	}
 	ran := 0
 	for i := 0; time.Now().Before(deadline); i++ {

@@ -88,7 +88,7 @@ func NewGen(seed int64) *Gen {
 // genCol tracks generation-time facts about one column.
 type genCol struct {
 	def     ColDef
-	hasNaN  bool  // float column that may contain NaN (excluded from min/max)
+	hasNaN  bool // float column that may contain NaN (excluded from min/max)
 	sampleI []int64
 	sampleF []float64
 	sampleS []string

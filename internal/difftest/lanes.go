@@ -30,6 +30,8 @@ func RunLane(c *Case) Outcome {
 		return RunSpMVLane(c)
 	case "spmm":
 		return RunSpMMLane(c)
+	case "ingest":
+		return RunIngestLane(c)
 	}
 	return Outcome{Verdict: Skip, Detail: "unknown lane " + c.Lane}
 }

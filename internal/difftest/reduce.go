@@ -40,6 +40,7 @@ func Reduce(c *Case, spec *QuerySpec, check Check) *Case {
 func cloneCase(c *Case) *Case {
 	n := &Case{Seed: c.Seed, Lane: c.Lane, Note: c.Note, SQL: c.SQL}
 	n.Extra = append([]string{}, c.Extra...)
+	n.Split = append([]int{}, c.Split...)
 	for _, t := range c.Tables {
 		nt := TableDef{Name: t.Name}
 		nt.Cols = append([]ColDef{}, t.Cols...)

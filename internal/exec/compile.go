@@ -150,6 +150,13 @@ func compile(p *planner.Plan, ch *costopt.Choice, cat *storage.Catalog, opts Opt
 	return c, nil
 }
 
+// tbl resolves a relation's table handle through the execution's
+// pinned epoch snapshot (a nil-pointer branch when the catalog has
+// never seen a post-freeze append).
+func (c *compiled) tbl(r *planner.RelInfo) *storage.Table {
+	return c.opts.Snap.Resolve(r.Table)
+}
+
 // compileNode compiles one GHD node and, recursively, its children.
 func (c *compiled) compileNode(n *ghd.Node, ch *costopt.Choice, isRoot bool) (*cNode, error) {
 	ord := ch.Orders[n]
@@ -366,7 +373,7 @@ func (c *compiled) vertexDomainSize(vertex string) int {
 	for i := range c.p.Rels {
 		r := &c.p.Rels[i]
 		if colName, ok := r.VertexCol[vertex]; ok {
-			col := r.Table.Col(colName)
+			col := c.tbl(r).Col(colName)
 			if col != nil {
 				if col.Def.Role == storage.Key && col.Dict() != nil {
 					return col.Dict().Len()
@@ -399,6 +406,7 @@ func (c *compiled) buildRel(relIdx int, order []string,
 	leafAST map[string]sqlparse.Expr, combines map[string]trie.CombineFunc) (*cRel, error) {
 
 	r := &c.p.Rels[relIdx]
+	tb := c.tbl(r)
 	attrs := sharedInOrder(order, r.Vertices)
 	if len(attrs) != len(r.Vertices) {
 		return nil, fmt.Errorf("exec: node order %v does not cover relation %s vertices %v", order, r.Alias, r.Vertices)
@@ -415,9 +423,11 @@ func (c *compiled) buildRel(relIdx int, order []string,
 	}
 
 	// Only unfiltered builds are cached: they are the reusable physical
-	// index whose creation the paper's measurements exclude.
+	// index whose creation the paper's measurements exclude. The key
+	// carries the generation sequence, so appends (which publish a new
+	// generation) never serve a stale trie.
 	cacheable := r.Filter == nil && !c.opts.NoAttrElim && c.opts.Cache != nil
-	cacheKey := fmt.Sprintf("%s|%v|%v", r.Table.Schema.Name, attrs, leafKeys)
+	cacheKey := fmt.Sprintf("%s@%d|%v|%v", tb.Schema.Name, tb.Generation(), attrs, leafKeys)
 	if cacheable {
 		if v, ok := c.opts.Cache.get(cacheKey); ok {
 			if c.opts.Stats != nil {
@@ -430,12 +440,12 @@ func (c *compiled) buildRel(relIdx int, order []string,
 		}
 	}
 
-	binding := &expr.Binding{Alias: r.Alias, Table: r.Table}
+	binding := &expr.Binding{Alias: r.Alias, Table: tb}
 	threads := c.opts.threads()
 
 	// Row selection (parallel: the compiled predicate closures only read
 	// immutable column buffers).
-	n := r.Table.NumRows
+	n := tb.NumRows
 	var rows []int32
 	if r.Filter != nil {
 		f, err := expr.CompileFilter(r.Filter, binding)
@@ -466,7 +476,7 @@ func (c *compiled) buildRel(relIdx int, order []string,
 	in := trie.BuildInput{Attrs: attrs, Threads: threads}
 	for _, v := range attrs {
 		colName := r.VertexCol[v]
-		col := r.Table.Col(colName)
+		col := tb.Col(colName)
 		if col == nil {
 			return nil, fmt.Errorf("exec: missing column %s.%s", r.Alias, colName)
 		}
@@ -509,11 +519,11 @@ func (c *compiled) buildRel(relIdx int, order []string,
 	// Attribute-elimination ablation: load every annotation column into
 	// the trie, as an engine without physical elimination would.
 	if c.opts.NoAttrElim {
-		for _, cd := range r.Table.Schema.Cols {
+		for _, cd := range tb.Schema.Cols {
 			if cd.Role != storage.Annotation {
 				continue
 			}
-			col := r.Table.Col(cd.Name)
+			col := tb.Col(cd.Name)
 			name := "all:" + cd.Name
 			if f := col.AnnFloats(); f != nil {
 				in.Anns = append(in.Anns, trie.AnnSpec{Name: name, Level: lastLvl, Kind: trie.F64, F64: gatherF64(f, rows)})
@@ -669,7 +679,7 @@ func (c *compiled) buildGroupDecoders() error {
 		gd := groupDecoder{item: g, pos: pos}
 		switch g.Kind {
 		case planner.GroupVertex:
-			col := c.p.Rels[g.Rel].Table.Col(g.Col)
+			col := c.tbl(&c.p.Rels[g.Rel]).Col(g.Col)
 			gd.domain = col.Dict()
 			if col.Def.Kind == storage.String {
 				gd.outKind = KindString
@@ -677,7 +687,7 @@ func (c *compiled) buildGroupDecoders() error {
 				gd.outKind = KindInt
 			}
 		case planner.GroupPseudo:
-			col := c.p.Rels[g.Rel].Table.Col(g.Col)
+			col := c.tbl(&c.p.Rels[g.Rel]).Col(g.Col)
 			if col.Def.Kind == storage.String {
 				gd.pseudo = &pseudoDecoder{strDict: col.Dict()}
 				gd.outKind = KindString
@@ -692,7 +702,8 @@ func (c *compiled) buildGroupDecoders() error {
 			}
 		case planner.GroupMeta:
 			r := &c.p.Rels[g.Rel]
-			pkCol := r.Table.Col(r.VertexCol[g.Vertex])
+			tb := c.tbl(r)
+			pkCol := tb.Col(r.VertexCol[g.Vertex])
 			metaRows := make([]int32, pkCol.Dict().Len())
 			for i := range metaRows {
 				metaRows[i] = -1
@@ -701,12 +712,12 @@ func (c *compiled) buildGroupDecoders() error {
 				metaRows[code] = int32(row)
 			}
 			gd.metaRows = metaRows
-			if col, isStr, isDate, ok := metaColRef(r, g.Expr); ok && isStr {
+			if col, isStr, isDate, ok := metaColRef(r, tb, g.Expr); ok && isStr {
 				gd.metaCodes = col.AnnCodes()
 				gd.metaDict = col.Dict()
 				gd.outKind = KindString
 			} else {
-				binding := &expr.Binding{Alias: r.Alias, Table: r.Table}
+				binding := &expr.Binding{Alias: r.Alias, Table: tb}
 				val, err := expr.CompileValue(g.Expr, binding)
 				if err != nil {
 					return err
@@ -743,8 +754,9 @@ func (c *compiled) buildGroupDecoders() error {
 }
 
 // metaColRef inspects a GroupMeta expression: when it is a plain column
-// reference it returns the column and its type flags.
-func metaColRef(r *planner.RelInfo, e sqlparse.Expr) (col *storage.Column, isStr, isDate, ok bool) {
+// reference it returns the column (from the snapshot-resolved table tb)
+// and its type flags.
+func metaColRef(r *planner.RelInfo, tb *storage.Table, e sqlparse.Expr) (col *storage.Column, isStr, isDate, ok bool) {
 	cr, isCR := e.(sqlparse.ColRef)
 	if !isCR {
 		return nil, false, false, false
@@ -752,7 +764,7 @@ func metaColRef(r *planner.RelInfo, e sqlparse.Expr) (col *storage.Column, isStr
 	if cr.Qualifier != "" && cr.Qualifier != r.Alias {
 		return nil, false, false, false
 	}
-	col = r.Table.Col(cr.Name)
+	col = tb.Col(cr.Name)
 	if col == nil {
 		return nil, false, false, false
 	}

@@ -10,6 +10,7 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"strings"
 	"sync"
 	"time"
 
@@ -60,7 +61,14 @@ type Options struct {
 	// aggregation tables, result assembly) charge it and abort with
 	// qerr.ResourceExhaustedError when the query is over budget.
 	Mem *governor.Accountant
+	// Snap pins the epoch snapshot this execution reads. Nil is the
+	// static-catalog fast path (no post-freeze appends anywhere): table
+	// handles are used directly, costing one nil-pointer branch.
+	Snap *storage.Snapshot
 }
+
+// table resolves a plan's table handle through the pinned snapshot.
+func (o *Options) table(t *storage.Table) *storage.Table { return o.Snap.Resolve(t) }
 
 // ctxErr reports the options context's cancellation state (nil-safe).
 func ctxErr(ctx context.Context) error {
@@ -150,6 +158,24 @@ func (c *TrieCache) put(key string, v interface{}) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.m[key] = v
+}
+
+// PurgeTable drops every cached trie of the named table built from a
+// generation other than keep. Cache keys are "<table>@<gen>|..." (see
+// compile.go), so staleness is a prefix test.
+func (c *TrieCache) PurgeTable(table string, keep uint64) {
+	if c == nil {
+		return
+	}
+	live := fmt.Sprintf("%s@%d|", table, keep)
+	prefix := table + "@"
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for k := range c.m {
+		if strings.HasPrefix(k, prefix) && !strings.HasPrefix(k, live) {
+			delete(c.m, k)
+		}
+	}
 }
 
 // Len reports the number of cached tries.

@@ -23,7 +23,8 @@ func runScalarScan(p *planner.Plan, opts Options, parent telemetry.SpanID) (*Res
 		return nil, fmt.Errorf("exec: scalar scan requires one relation")
 	}
 	r := &p.Rels[0]
-	binding := &expr.Binding{Alias: r.Alias, Table: r.Table}
+	tb := opts.table(r.Table)
+	binding := &expr.Binding{Alias: r.Alias, Table: tb}
 
 	var filter expr.Filter
 	if r.Filter != nil {
@@ -58,8 +59,8 @@ func runScalarScan(p *planner.Plan, opts Options, parent telemetry.SpanID) (*Res
 	// the query references (the paper's Q1/Q6 rows of Table III).
 	var allCols [][]float64
 	if opts.NoAttrElim {
-		for _, cd := range r.Table.Schema.Cols {
-			if col := r.Table.Col(cd.Name); col != nil {
+		for _, cd := range tb.Schema.Cols {
+			if col := tb.Col(cd.Name); col != nil {
 				if f := col.AnnFloats(); f != nil {
 					allCols = append(allCols, f)
 				}
@@ -67,7 +68,7 @@ func runScalarScan(p *planner.Plan, opts Options, parent telemetry.SpanID) (*Res
 		}
 	}
 
-	n := r.Table.NumRows
+	n := tb.NumRows
 	threads := opts.threads()
 	if threads > n {
 		threads = n

@@ -874,7 +874,7 @@ func (b *builder) finishHypergraph() error {
 		edges = append(edges, hypergraph.Edge{
 			Name:     r.Alias,
 			Vertices: append([]string(nil), r.Vertices...),
-			Card:     r.Table.NumRows,
+			Card:     r.Table.LiveRows(),
 		})
 		if r.HasEqualitySelection {
 			selEdges = append(selEdges, i)

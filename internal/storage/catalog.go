@@ -3,19 +3,35 @@ package storage
 import (
 	"fmt"
 	"sort"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/dict"
 	"repro/internal/qerr"
 )
 
 // Catalog owns the base tables, the per-join-domain key dictionaries,
-// and the encoded column caches. After Freeze the catalog is immutable
-// and safe for concurrent readers.
+// and the encoded column caches. After Freeze the base arrays are
+// immutable and safe for concurrent readers; live appends accumulate in
+// per-table delta stores and are published to queries through epoch
+// snapshots (see snapshot.go).
 type Catalog struct {
 	tables  map[string]*Table
 	order   []string
 	domains map[string]*dict.Dictionary
 	frozen  bool
+
+	// freezeMu serializes Freeze against concurrent appenders (writers
+	// hold the read side; Freeze holds the write side while it scans the
+	// base arrays and flips the frozen flags).
+	freezeMu sync.RWMutex
+	// snapMu serializes snapshot generation builds and compactions —
+	// the only code paths that extend domain dictionaries.
+	snapMu     sync.Mutex
+	snap       atomic.Pointer[Snapshot]
+	mutSeq     atomic.Uint64
+	epoch      atomic.Uint64
+	genCounter atomic.Uint64
 }
 
 // NewCatalog returns an empty catalog.
@@ -45,6 +61,7 @@ func (c *Catalog) Create(s Schema) (*Table, error) {
 		}
 	}
 	t := NewTable(s)
+	t.cat = c
 	c.tables[s.Name] = t
 	c.order = append(c.order, s.Name)
 	return t, nil
@@ -63,11 +80,16 @@ func (c *Catalog) Frozen() bool { return c.frozen }
 // column, encodes string annotation columns with per-column
 // dictionaries, and converts numeric annotations to float64 buffers.
 // It corresponds to the data-statistics / encoding phase that the
-// paper's measurements exclude.
+// paper's measurements exclude. Freeze is no longer a one-way door for
+// writes: rows appended after it land in per-table delta stores and
+// surface through epoch snapshots (snapshot.go); Compact folds them
+// back into right-sized base generations.
 func (c *Catalog) Freeze() error {
 	if c.frozen {
 		return nil
 	}
+	c.freezeMu.Lock()
+	defer c.freezeMu.Unlock()
 	// Collect domain value sets across tables.
 	type domainCols struct {
 		kind Kind

@@ -1,0 +1,164 @@
+package storage
+
+import (
+	"fmt"
+	"strconv"
+
+	"repro/internal/sqlparse"
+)
+
+// cell is one converted (schema-checked) value: exactly one field is
+// meaningful, selected by the column's Kind. Converting a whole row
+// before touching any storage keeps Append/AppendBatch atomic — a bad
+// value rejects the row (or batch) without a partial write.
+type cell struct {
+	i int64
+	f float64
+	s string
+}
+
+// convertCell type-checks one value against a column definition.
+func convertCell(table string, def *ColumnDef, v interface{}) (cell, error) {
+	switch def.Kind {
+	case Int64:
+		switch x := v.(type) {
+		case int64:
+			return cell{i: x}, nil
+		case int:
+			return cell{i: int64(x)}, nil
+		}
+		return cell{}, fmt.Errorf("storage: column %s.%s wants int64, got %T", table, def.Name, v)
+	case Float64:
+		if x, ok := v.(float64); ok {
+			return cell{f: x}, nil
+		}
+		return cell{}, fmt.Errorf("storage: column %s.%s wants float64, got %T", table, def.Name, v)
+	case String:
+		if x, ok := v.(string); ok {
+			return cell{s: x}, nil
+		}
+		return cell{}, fmt.Errorf("storage: column %s.%s wants string, got %T", table, def.Name, v)
+	case Date:
+		switch x := v.(type) {
+		case int64:
+			return cell{i: x}, nil
+		case string:
+			days, err := sqlparse.ParseDate(x)
+			if err != nil {
+				return cell{}, err
+			}
+			return cell{i: int64(days)}, nil
+		}
+		return cell{}, fmt.Errorf("storage: column %s.%s wants date, got %T", table, def.Name, v)
+	}
+	return cell{}, fmt.Errorf("storage: column %s.%s has unsupported kind", table, def.Name)
+}
+
+// parseCell parses one delimited text field against a column definition
+// (the LoadDelimited value syntax).
+func parseCell(def *ColumnDef, f string) (cell, error) {
+	switch def.Kind {
+	case Int64:
+		v, err := strconv.ParseInt(f, 10, 64)
+		if err != nil {
+			return cell{}, err
+		}
+		return cell{i: v}, nil
+	case Float64:
+		v, err := strconv.ParseFloat(f, 64)
+		if err != nil {
+			return cell{}, err
+		}
+		return cell{f: v}, nil
+	case String:
+		return cell{s: f}, nil
+	case Date:
+		days, err := sqlparse.ParseDate(f)
+		if err != nil {
+			return cell{}, err
+		}
+		return cell{i: int64(days)}, nil
+	}
+	return cell{}, fmt.Errorf("storage: unsupported kind")
+}
+
+// deltaCol is the typed append log for one column.
+type deltaCol struct {
+	ints   []int64
+	floats []float64
+	strs   []string
+}
+
+// deltaStore is a table's post-freeze append log: row-oriented in API,
+// column-typed in storage, guarded by the owning Table's mutex. It is
+// the mutable half of the mutable-on-top-of-immutable split — snapshot
+// builds fold a prefix of it into a new immutable generation, and
+// compaction truncates the folded prefix away.
+type deltaStore struct {
+	rows int
+	cols []deltaCol
+}
+
+func newDeltaStore(ncols int) *deltaStore {
+	return &deltaStore{cols: make([]deltaCol, ncols)}
+}
+
+// push appends one converted row. Caller holds the table mutex.
+func (d *deltaStore) push(defs []*Column, row []cell) {
+	for i, c := range defs {
+		dc := &d.cols[i]
+		switch c.Def.Kind {
+		case Int64, Date:
+			dc.ints = append(dc.ints, row[i].i)
+		case Float64:
+			dc.floats = append(dc.floats, row[i].f)
+		case String:
+			dc.strs = append(dc.strs, row[i].s)
+		}
+	}
+	d.rows++
+}
+
+// view captures immutable slice headers over the first n rows of every
+// column. Caller holds the table mutex for the capture; afterwards the
+// views are safe to read without it (appenders only write beyond n).
+func (d *deltaStore) view(n int) []deltaCol {
+	out := make([]deltaCol, len(d.cols))
+	for i := range d.cols {
+		dc := &d.cols[i]
+		if dc.ints != nil {
+			out[i].ints = dc.ints[:min(n, len(dc.ints))]
+		}
+		if dc.floats != nil {
+			out[i].floats = dc.floats[:min(n, len(dc.floats))]
+		}
+		if dc.strs != nil {
+			out[i].strs = dc.strs[:min(n, len(dc.strs))]
+		}
+	}
+	return out
+}
+
+// drop returns a fresh store holding the rows after the first n (the
+// compaction truncation). Caller holds the table mutex. Returns nil
+// when nothing remains.
+func (d *deltaStore) drop(n int) *deltaStore {
+	if d == nil || d.rows <= n {
+		return nil
+	}
+	nd := newDeltaStore(len(d.cols))
+	nd.rows = d.rows - n
+	for i := range d.cols {
+		dc := &d.cols[i]
+		if dc.ints != nil {
+			nd.cols[i].ints = append([]int64(nil), dc.ints[n:]...)
+		}
+		if dc.floats != nil {
+			nd.cols[i].floats = append([]float64(nil), dc.floats[n:]...)
+		}
+		if dc.strs != nil {
+			nd.cols[i].strs = append([]string(nil), dc.strs[n:]...)
+		}
+	}
+	return nd
+}

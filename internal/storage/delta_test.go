@@ -1,0 +1,232 @@
+package storage
+
+import (
+	"context"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func kvSchema() Schema {
+	return Schema{Name: "kv", Cols: []ColumnDef{
+		{Name: "k", Kind: Int64, Role: Key},
+		{Name: "s", Kind: String, Role: Annotation},
+		{Name: "v", Kind: Float64, Role: Annotation},
+	}}
+}
+
+func TestAppendAfterFreezeLandsInDelta(t *testing.T) {
+	c := NewCatalog()
+	tab, err := c.Create(kvSchema())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.Append(int64(1), "a", 1.5); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Freeze(); err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.Append(int64(2), "b", 2.5); err != nil {
+		t.Fatalf("post-freeze Append: %v", err)
+	}
+	if got := tab.DeltaRows(); got != 1 {
+		t.Fatalf("DeltaRows = %d, want 1", got)
+	}
+	if tab.NumRows != 1 {
+		t.Fatalf("base NumRows mutated: %d", tab.NumRows)
+	}
+	s := c.Snapshot()
+	if s == nil {
+		t.Fatal("Snapshot nil after mutation")
+	}
+	g := s.Resolve(tab)
+	if g == tab || g.NumRows != 2 {
+		t.Fatalf("generation NumRows = %d, want 2", g.NumRows)
+	}
+	kc := g.Col("k")
+	if len(kc.KeyCodes()) != 2 {
+		t.Fatalf("key codes = %v", kc.KeyCodes())
+	}
+	if got := kc.Dict().DecodeInt(kc.KeyCodes()[1]); got != 2 {
+		t.Fatalf("delta key decodes to %d, want 2", got)
+	}
+	if got := g.Col("v").AnnFloats(); len(got) != 2 || got[1] != 2.5 {
+		t.Fatalf("ann floats = %v", got)
+	}
+	sc := g.Col("s")
+	if got := sc.Dict().DecodeString(sc.AnnCodes()[1]); got != "b" {
+		t.Fatalf("string ann decodes to %q", got)
+	}
+	// Old codes are untouched in the handle's base arrays.
+	if len(tab.Col("k").KeyCodes()) != 1 {
+		t.Fatal("handle base codes grew")
+	}
+}
+
+func TestSnapshotPinsEpoch(t *testing.T) {
+	c := NewCatalog()
+	tab, _ := c.Create(kvSchema())
+	tab.Append(int64(1), "a", 1.0)
+	c.Freeze()
+	if s := c.Snapshot(); s != nil {
+		t.Fatal("static catalog should snapshot to nil")
+	}
+	tab.Append(int64(2), "b", 2.0)
+	s1 := c.Snapshot()
+	g1 := s1.Resolve(tab)
+	tab.Append(int64(3), "c", 3.0)
+	s2 := c.Snapshot()
+	g2 := s2.Resolve(tab)
+	if s1 == s2 || s1.Epoch >= s2.Epoch {
+		t.Fatalf("epochs not monotone: %d vs %d", s1.Epoch, s2.Epoch)
+	}
+	if g1.NumRows != 2 || g2.NumRows != 3 {
+		t.Fatalf("pinned rows %d/%d, want 2/3", g1.NumRows, g2.NumRows)
+	}
+	// Old snapshot still resolves to the old generation.
+	if s1.Resolve(tab).NumRows != 2 {
+		t.Fatal("snapshot lost its pin")
+	}
+	// No new mutations: snapshot is cached.
+	if c.Snapshot() != s2 {
+		t.Fatal("unchanged catalog rebuilt its snapshot")
+	}
+}
+
+func TestCompactTruncatesAndKeepsCodes(t *testing.T) {
+	c := NewCatalog()
+	tab, _ := c.Create(kvSchema())
+	tab.Append(int64(5), "x", 1.0)
+	tab.Append(int64(3), "y", 2.0)
+	c.Freeze()
+	tab.Append(int64(9), "z", 3.0) // new key value → dict tail
+	tab.Append(int64(5), "x", 4.0) // existing values
+	pre := c.Snapshot().Resolve(tab)
+	preCodes := append([]uint32(nil), pre.Col("k").KeyCodes()...)
+
+	n, epoch, err := c.Compact(context.Background(), nil)
+	if err != nil || n != 2 || epoch == 0 {
+		t.Fatalf("Compact = (%d, %d, %v)", n, epoch, err)
+	}
+	if got := tab.DeltaRows(); got != 0 {
+		t.Fatalf("delta rows after compact = %d", got)
+	}
+	if tab.LastCompactEpoch() != epoch {
+		t.Fatal("last-compact epoch not stamped")
+	}
+	post := c.Snapshot().Resolve(tab)
+	if post.NumRows != 4 {
+		t.Fatalf("post rows = %d", post.NumRows)
+	}
+	for i, pc := range post.Col("k").KeyCodes() {
+		if pc != preCodes[i] {
+			t.Fatalf("code %d changed across compaction: %d → %d", i, preCodes[i], pc)
+		}
+	}
+	// Idempotent when clean.
+	if n, _, _ := c.Compact(context.Background(), nil); n != 0 {
+		t.Fatalf("second compact folded %d rows", n)
+	}
+	// Appends keep working after compaction.
+	if err := tab.Append(int64(100), "w", 5.0); err != nil {
+		t.Fatal(err)
+	}
+	if g := c.Snapshot().Resolve(tab); g.NumRows != 5 {
+		t.Fatalf("post-compact append rows = %d", g.NumRows)
+	}
+}
+
+func TestSharedDomainDeltaCodesAgree(t *testing.T) {
+	c := NewCatalog()
+	a, _ := c.Create(Schema{Name: "a", Cols: []ColumnDef{{Name: "k", Kind: Int64, Role: Key, Domain: "d"}}})
+	b, _ := c.Create(Schema{Name: "b", Cols: []ColumnDef{{Name: "k", Kind: Int64, Role: Key, Domain: "d"}}})
+	a.Append(int64(1))
+	b.Append(int64(2))
+	c.Freeze()
+	a.Append(int64(77))
+	b.Append(int64(77))
+	s := c.Snapshot()
+	ga, gb := s.Resolve(a), s.Resolve(b)
+	ca := ga.Col("k").KeyCodes()[1]
+	cb := gb.Col("k").KeyCodes()[1]
+	if ca != cb {
+		t.Fatalf("shared-domain codes diverge: %d vs %d", ca, cb)
+	}
+}
+
+func TestLoadDelimitedContextCancel(t *testing.T) {
+	c := NewCatalog()
+	tab, _ := c.Create(Schema{Name: "t", Cols: []ColumnDef{
+		{Name: "k", Kind: Int64, Role: Key},
+		{Name: "v", Kind: Float64, Role: Annotation},
+	}})
+	var sb strings.Builder
+	for i := 0; i < 5000; i++ {
+		sb.WriteString("1|2.0\n")
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if err := tab.LoadDelimitedContext(ctx, strings.NewReader(sb.String()), '|'); err != context.Canceled {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	// Uncancelled load still works, pre and post freeze.
+	if err := tab.LoadDelimitedContext(context.Background(), strings.NewReader("1|2.0\n"), '|'); err != nil {
+		t.Fatal(err)
+	}
+	c.Freeze()
+	if err := tab.LoadDelimitedContext(context.Background(), strings.NewReader("7|3.0\n"), '|'); err != nil {
+		t.Fatal(err)
+	}
+	if g := c.Snapshot().Resolve(tab); g.NumRows != 2 {
+		t.Fatalf("rows = %d, want 2", g.NumRows)
+	}
+}
+
+func TestConcurrentAppendSnapshotCompact(t *testing.T) {
+	c := NewCatalog()
+	tab, _ := c.Create(kvSchema())
+	tab.Append(int64(0), "s", 0.0)
+	c.Freeze()
+	var wg sync.WaitGroup
+	const writers, perWriter = 4, 200
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < perWriter; i++ {
+				if err := tab.Append(int64(w*perWriter+i), "s", float64(i)); err != nil {
+					t.Error(err)
+					return
+				}
+				if i%17 == 0 {
+					if g := c.Snapshot().Resolve(tab); g.NumRows < 1 {
+						t.Error("empty generation")
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 20; i++ {
+			if _, _, err := c.Compact(context.Background(), nil); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	if _, _, err := c.Compact(context.Background(), nil); err != nil {
+		t.Fatal(err)
+	}
+	g := c.Snapshot().Resolve(tab)
+	if g == nil {
+		g = tab.Live()
+	}
+	if g.NumRows != 1+writers*perWriter {
+		t.Fatalf("rows = %d, want %d", g.NumRows, 1+writers*perWriter)
+	}
+}

@@ -8,14 +8,15 @@ package storage
 
 import (
 	"bufio"
+	"context"
 	"fmt"
 	"io"
-	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/dict"
 	"repro/internal/qerr"
-	"repro/internal/sqlparse"
 )
 
 // Kind is the logical type of a column.
@@ -111,6 +112,14 @@ type Column struct {
 }
 
 // Table is a base relation: schema plus columnar data.
+//
+// A Table value plays two roles. The HANDLE is the struct returned by
+// Catalog.Create: it owns the mutation state (delta log, published
+// generation pointer) and its Cols hold the frozen base arrays. A
+// GENERATION is an immutable Table built by a snapshot or compaction:
+// base arrays plus folded delta rows, published on the handle's live
+// pointer and pinned by epoch snapshots. Executors never see the
+// distinction — they receive whichever *Table the snapshot resolves.
 type Table struct {
 	Schema  Schema
 	NumRows int
@@ -118,11 +127,69 @@ type Table struct {
 
 	byName map[string]*Column
 	frozen bool
+
+	// Mutation state (meaningful on the handle only).
+	cat         *Catalog // owning catalog; nil for standalone tables
+	mu          sync.Mutex
+	delta       *deltaStore           // post-freeze append log
+	live        atomic.Pointer[Table] // latest generation; nil ⇒ no deltas ever folded
+	lastCompact atomic.Uint64         // epoch of the last compaction
+
+	// Generation metadata (meaningful on generations).
+	genSeq      uint64 // unique build sequence, 0 for the handle
+	deltaMerged int    // delta-log rows folded into this generation
 }
 
-// Frozen reports whether the owning catalog has been frozen, after
-// which the table is immutable.
+// Frozen reports whether the owning catalog has been frozen. A frozen
+// table's base arrays are immutable; appends land in its delta store.
 func (t *Table) Frozen() bool { return t.frozen }
+
+// Live returns the freshest published generation of t (t itself when no
+// delta rows have ever been folded). Safe to call concurrently.
+func (t *Table) Live() *Table {
+	if g := t.live.Load(); g != nil {
+		return g
+	}
+	return t
+}
+
+// LiveRows reports the row count of the freshest published generation —
+// what the planner should cost against, as opposed to NumRows, which on
+// a handle counts only base rows.
+func (t *Table) LiveRows() int { return t.Live().NumRows }
+
+// Generation returns this table struct's build sequence (0 for a
+// handle's base data). Trie caches key on it to separate generations.
+func (t *Table) Generation() uint64 { return t.genSeq }
+
+// DeltaRows reports how many appended rows sit in the delta log, i.e.
+// have not yet been folded away by Compact. (Rows already visible to
+// queries via a snapshot still count until compaction truncates them.)
+func (t *Table) DeltaRows() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.delta == nil {
+		return 0
+	}
+	return t.delta.rows
+}
+
+// LastCompactEpoch reports the catalog epoch of this table's most
+// recent compaction (0 = never compacted).
+func (t *Table) LastCompactEpoch() uint64 { return t.lastCompact.Load() }
+
+// TotalRows reports the rows a fresh snapshot would expose: the live
+// generation's rows plus any delta rows not yet folded into it.
+func (t *Table) TotalRows() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	live := t.Live()
+	n := 0
+	if t.delta != nil {
+		n = t.delta.rows
+	}
+	return live.NumRows + (n - live.deltaMerged)
+}
 
 // NewTable creates an empty table for the schema.
 func NewTable(s Schema) *Table {
@@ -138,69 +205,134 @@ func NewTable(s Schema) *Table {
 // Col returns the named column, or nil.
 func (t *Table) Col(name string) *Column { return t.byName[name] }
 
-// AppendRow appends one row. Values must match the schema's kinds:
-// int64 for Int64, float64 for Float64, string for String, and either
-// int64 (day count) or string ("YYYY-MM-DD") for Date.
-func (t *Table) AppendRow(vals ...interface{}) error {
-	if t.frozen {
-		return &qerr.FrozenTableError{Table: t.Schema.Name, Op: "AppendRow"}
+// Append appends one row, before or after freeze. Values must match the
+// schema's kinds: int64 for Int64, float64 for Float64, string for
+// String, and either int64 (day count) or string ("YYYY-MM-DD") for
+// Date. Before freeze the row lands in the base arrays; after freeze it
+// lands in the table's delta store and becomes visible to the next
+// query without an explicit compaction. Safe for concurrent use.
+func (t *Table) Append(vals ...interface{}) error {
+	row, err := t.convertRow(vals)
+	if err != nil {
+		return err
 	}
+	return t.appendCells([][]cell{row})
+}
+
+// AppendBatch appends many rows atomically: every row is type-checked
+// before any storage is touched, so a bad row rejects the whole batch.
+// Safe for concurrent use, before or after freeze.
+func (t *Table) AppendBatch(rows [][]interface{}) error {
+	conv := make([][]cell, len(rows))
+	for i, r := range rows {
+		row, err := t.convertRow(r)
+		if err != nil {
+			return fmt.Errorf("row %d: %w", i, err)
+		}
+		conv[i] = row
+	}
+	return t.appendCells(conv)
+}
+
+// AppendRow appends one row.
+//
+// Deprecated: use Append, which also accepts rows after freeze.
+func (t *Table) AppendRow(vals ...interface{}) error { return t.Append(vals...) }
+
+func (t *Table) convertRow(vals []interface{}) ([]cell, error) {
 	if len(vals) != len(t.Cols) {
-		return fmt.Errorf("storage: %d values for %d columns of %s", len(vals), len(t.Cols), t.Schema.Name)
+		return nil, fmt.Errorf("storage: %d values for %d columns of %s", len(vals), len(t.Cols), t.Schema.Name)
 	}
+	row := make([]cell, len(vals))
 	for i, c := range t.Cols {
-		switch c.Def.Kind {
-		case Int64:
-			v, ok := vals[i].(int64)
-			if !ok {
-				if vi, oki := vals[i].(int); oki {
-					v, ok = int64(vi), true
+		cv, err := convertCell(t.Schema.Name, &c.Def, vals[i])
+		if err != nil {
+			return nil, err
+		}
+		row[i] = cv
+	}
+	return row, nil
+}
+
+// appendCells commits converted rows: into the base arrays before
+// freeze, into the delta log after. It synchronizes against Freeze via
+// the catalog's freeze lock and against concurrent appenders and
+// snapshot builds via the table mutex.
+func (t *Table) appendCells(rows [][]cell) error {
+	if len(rows) == 0 {
+		return nil
+	}
+	if t.cat != nil {
+		t.cat.freezeMu.RLock()
+		defer t.cat.freezeMu.RUnlock()
+	}
+	t.mu.Lock()
+	frozen := t.frozen
+	if frozen {
+		if t.delta == nil {
+			t.delta = newDeltaStore(len(t.Cols))
+		}
+		for _, r := range rows {
+			t.delta.push(t.Cols, r)
+		}
+	} else {
+		for _, r := range rows {
+			for i, c := range t.Cols {
+				switch c.Def.Kind {
+				case Int64, Date:
+					c.Ints = append(c.Ints, r[i].i)
+				case Float64:
+					c.Floats = append(c.Floats, r[i].f)
+				case String:
+					c.Strs = append(c.Strs, r[i].s)
 				}
 			}
-			if !ok {
-				return fmt.Errorf("storage: column %s.%s wants int64, got %T", t.Schema.Name, c.Def.Name, vals[i])
-			}
-			c.Ints = append(c.Ints, v)
-		case Float64:
-			v, ok := vals[i].(float64)
-			if !ok {
-				return fmt.Errorf("storage: column %s.%s wants float64, got %T", t.Schema.Name, c.Def.Name, vals[i])
-			}
-			c.Floats = append(c.Floats, v)
-		case String:
-			v, ok := vals[i].(string)
-			if !ok {
-				return fmt.Errorf("storage: column %s.%s wants string, got %T", t.Schema.Name, c.Def.Name, vals[i])
-			}
-			c.Strs = append(c.Strs, v)
-		case Date:
-			switch v := vals[i].(type) {
-			case int64:
-				c.Ints = append(c.Ints, v)
-			case string:
-				days, err := sqlparse.ParseDate(v)
-				if err != nil {
-					return err
-				}
-				c.Ints = append(c.Ints, int64(days))
-			default:
-				return fmt.Errorf("storage: column %s.%s wants date, got %T", t.Schema.Name, c.Def.Name, vals[i])
-			}
+			t.NumRows++
 		}
 	}
-	t.NumRows++
+	t.mu.Unlock()
+	if frozen && t.cat != nil {
+		t.cat.noteMutation()
+	}
 	return nil
 }
 
-// LoadDelimited bulk-loads delimiter-separated rows (e.g. '|' for TPC-H
-// .tbl files, ',' for CSV). Trailing delimiters are tolerated. Fields
-// must match the schema order.
+// LoadDelimited bulk-loads delimiter-separated rows.
+//
+// Deprecated: use LoadDelimitedContext, which can be cancelled
+// mid-load.
 func (t *Table) LoadDelimited(r io.Reader, delim byte) error {
-	if t.frozen {
-		return &qerr.FrozenTableError{Table: t.Schema.Name, Op: "LoadDelimited"}
-	}
+	return t.LoadDelimitedContext(context.Background(), r, delim)
+}
+
+// loadChunkRows is how many parsed rows LoadDelimitedContext buffers
+// between context checks and storage commits.
+const loadChunkRows = 1024
+
+// LoadDelimitedContext bulk-loads delimiter-separated rows (e.g. '|'
+// for TPC-H .tbl files, ',' for CSV). Trailing delimiters are
+// tolerated; fields must match the schema order. The context is checked
+// at chunk boundaries (every loadChunkRows rows), so a cancelled load
+// returns ctx.Err() promptly; rows from fully committed chunks remain
+// appended. Works before and after freeze — post-freeze rows land in
+// the delta store like Append.
+func (t *Table) LoadDelimitedContext(ctx context.Context, r io.Reader, delim byte) error {
 	br := bufio.NewReaderSize(r, 1<<20)
 	line := 0
+	batch := make([][]cell, 0, loadChunkRows)
+	flush := func() error {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		if len(batch) == 0 {
+			return nil
+		}
+		if err := t.appendCells(batch); err != nil {
+			return err
+		}
+		batch = batch[:0]
+		return nil
+	}
 	for {
 		raw, err := br.ReadString('\n')
 		if raw != "" {
@@ -217,41 +349,29 @@ func (t *Table) LoadDelimited(r io.Reader, delim byte) error {
 			if len(fields) != len(t.Cols) {
 				return fmt.Errorf("storage: %s line %d: %d fields for %d columns", t.Schema.Name, line, len(fields), len(t.Cols))
 			}
+			row := make([]cell, len(t.Cols))
 			for i, c := range t.Cols {
-				f := fields[i]
-				switch c.Def.Kind {
-				case Int64:
-					v, perr := strconv.ParseInt(f, 10, 64)
-					if perr != nil {
-						return fmt.Errorf("storage: %s line %d col %s: %v", t.Schema.Name, line, c.Def.Name, perr)
-					}
-					c.Ints = append(c.Ints, v)
-				case Float64:
-					v, perr := strconv.ParseFloat(f, 64)
-					if perr != nil {
-						return fmt.Errorf("storage: %s line %d col %s: %v", t.Schema.Name, line, c.Def.Name, perr)
-					}
-					c.Floats = append(c.Floats, v)
-				case String:
-					c.Strs = append(c.Strs, f)
-				case Date:
-					days, perr := sqlparse.ParseDate(f)
-					if perr != nil {
-						return fmt.Errorf("storage: %s line %d col %s: %v", t.Schema.Name, line, c.Def.Name, perr)
-					}
-					c.Ints = append(c.Ints, int64(days))
+				cv, perr := parseCell(&c.Def, fields[i])
+				if perr != nil {
+					return fmt.Errorf("storage: %s line %d col %s: %v", t.Schema.Name, line, c.Def.Name, perr)
+				}
+				row[i] = cv
+			}
+			batch = append(batch, row)
+			if len(batch) >= loadChunkRows {
+				if ferr := flush(); ferr != nil {
+					return ferr
 				}
 			}
-			t.NumRows++
 		}
 		if err != nil {
 			if err == io.EOF {
-				return nil
+				return flush()
 			}
 			return err
 		}
 	}
-	return nil
+	return flush()
 }
 
 // SetColumnData installs pre-built columnar data, replacing the current

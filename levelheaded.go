@@ -16,9 +16,14 @@
 //			{Name: "v", Kind: levelheaded.Float64, Role: levelheaded.Annotation},
 //		},
 //	})
-//	tab.AppendRow(int64(0), int64(1), 0.5)
-//	res, _ := eng.Query(`SELECT m1.i, m2.j, sum(m1.v * m2.v) AS v
+//	tab.Append(int64(0), int64(1), 0.5)
+//	res, _ := eng.Query(ctx, `SELECT m1.i, m2.j, sum(m1.v * m2.v) AS v
 //		FROM matrix AS m1, matrix AS m2 WHERE m1.j = m2.i GROUP BY m1.i, m2.j`)
+//
+// Tables stay appendable after the first query: later Append calls land
+// in a per-table delta store that the next query folds in through an
+// epoch snapshot, and Compact merges deltas into base storage off the
+// hot path.
 //
 // Keys (the only joinable attributes) are dictionary-encoded into
 // tries; annotations live in flat columnar buffers reachable from any
@@ -29,6 +34,7 @@ package levelheaded
 import (
 	"context"
 	"io"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/exec"
@@ -53,6 +59,9 @@ type (
 	ResultColumn = exec.Column
 	// QueryOptions carries per-query experiment overrides.
 	QueryOptions = core.QueryOptions
+	// TableStatus reports one table's live-data state (rows, delta
+	// backlog, generation, last compaction epoch).
+	TableStatus = core.TableStatus
 	// Option configures an Engine at construction.
 	Option = core.Option
 	// QueryStats is the per-query observability record: phase timings,
@@ -92,7 +101,10 @@ type (
 	UnknownTableError = qerr.UnknownTableError
 	// UnknownColumnError reports a reference to a column not in a schema.
 	UnknownColumnError = qerr.UnknownColumnError
-	// FrozenTableError reports a mutation attempted after Freeze.
+	// FrozenTableError reports a bulk SetColumnData attempted after
+	// freeze. It is retired from the append path: Table.Append and
+	// LoadDelimitedContext now succeed on frozen tables by writing to
+	// the delta store.
 	FrozenTableError = qerr.FrozenTableError
 	// ResourceExhaustedError reports a query aborted for exceeding its
 	// memory budget (or the engine-wide soft limit).
@@ -160,6 +172,10 @@ var (
 	// WithQueueDepth bounds the admission wait queue used with
 	// WithMaxConcurrency.
 	WithQueueDepth = core.WithQueueDepth
+	// WithAutoCompact starts a background compaction whenever a table's
+	// delta backlog reaches the given row count (0 = manual Compact
+	// only).
+	WithAutoCompact = core.WithAutoCompact
 )
 
 // NewTelemetry creates a standalone telemetry collector to share across
@@ -184,8 +200,9 @@ func New(opts ...Option) *Engine {
 	return &Engine{inner: core.New(opts...)}
 }
 
-// CreateTable registers a base table; load rows with Table.AppendRow,
-// Table.SetColumnData, or Engine.LoadDelimited before the first query.
+// CreateTable registers a base table; load rows with Table.Append,
+// Table.SetColumnData, or Engine.LoadDelimitedContext. Appends keep
+// working after the first query (they land in a delta store).
 func (e *Engine) CreateTable(s Schema) (*Table, error) {
 	return e.inner.CreateTable(s)
 }
@@ -195,44 +212,162 @@ func (e *Engine) Table(name string) *Table {
 	return e.inner.Catalog().Table(name)
 }
 
-// LoadDelimited bulk-loads delimiter-separated rows into a table
-// ('|' for TPC-H .tbl files, ',' for CSV).
-func (e *Engine) LoadDelimited(table string, r io.Reader, delim byte) error {
+// LoadDelimitedContext bulk-loads delimiter-separated rows into a table
+// ('|' for TPC-H .tbl files, ',' for CSV). The context is checked at
+// chunk boundaries, so a cancelled load returns promptly. Works before
+// and after the first query: post-freeze rows land in the table's delta
+// store, exactly like Table.Append.
+func (e *Engine) LoadDelimitedContext(ctx context.Context, table string, r io.Reader, delim byte) error {
 	t := e.inner.Catalog().Table(table)
 	if t == nil {
 		return &UnknownTableError{Name: table}
 	}
-	return t.LoadDelimited(r, delim)
+	return t.LoadDelimitedContext(ctx, r, delim)
 }
 
-// Freeze seals the catalog: builds join-domain dictionaries and
-// encodings. It runs automatically on the first query; calling it
-// explicitly separates load time from query time.
+// LoadDelimited bulk-loads delimiter-separated rows into a table.
+//
+// Deprecated: use LoadDelimitedContext, which can be cancelled
+// mid-load.
+func (e *Engine) LoadDelimited(table string, r io.Reader, delim byte) error {
+	return e.LoadDelimitedContext(context.Background(), table, r, delim)
+}
+
+// Compact folds rows appended since the last compaction into fresh,
+// right-sized base storage and rebuilds cached tries off the hot path.
+// Appended rows are queryable WITHOUT calling Compact (the first query
+// after an append folds them into an epoch snapshot incrementally);
+// compaction reclaims the delta logs and re-rightsizes storage, and is
+// also kicked automatically when configured with WithAutoCompact.
+// Results are byte-identical before and after a compaction. It is
+// single-flight, cancellable, governor-accounted and panic-contained.
+// On a never-queried engine it performs the initial freeze.
+func (e *Engine) Compact(ctx context.Context) error { return e.inner.Compact(ctx) }
+
+// Freeze seals the catalog's base encodings; it runs automatically on
+// the first query.
+//
+// Deprecated: Freeze is no longer a one-way door — tables accept
+// Append before and after it. Use Compact, which performs the initial
+// freeze on a cold engine and folds delta rows on a live one.
 func (e *Engine) Freeze() error { return e.inner.Freeze() }
 
-// Query parses, plans, optimizes and executes one SQL query (the
-// supported subset is described in the README).
-func (e *Engine) Query(sql string) (*Result, error) { return e.inner.Query(sql) }
+// QueryOption configures one query (see Query). Options compose left
+// to right.
+type QueryOption func(*queryConfig)
 
-// QueryWith executes a query with per-query overrides (forced attribute
-// orders, worst-order selection, thread caps) — the knobs behind the
-// paper's Table III and Figure 5 experiments.
-func (e *Engine) QueryWith(sql string, qo QueryOptions) (*Result, error) {
-	return e.inner.QueryWith(sql, qo)
+type queryConfig struct {
+	qo       core.QueryOptions
+	deadline time.Duration
 }
 
-// QueryContext executes a query under a context: cancellation and
-// deadline are honored between lifecycle phases and at parfor chunk
-// boundaries inside the execution engine. A canceled query returns an
-// *ExecError wrapping ctx.Err().
+// WithDeadline bounds the query's wall-clock time: the query is
+// cancelled (returning an *ExecError wrapping context.DeadlineExceeded)
+// once d elapses. 0 means no deadline beyond the caller's context.
+func WithDeadline(d time.Duration) QueryOption {
+	return func(c *queryConfig) { c.deadline = d }
+}
+
+// WithMemBudget overrides the engine-level per-query memory budget for
+// this query; over-budget queries abort with *ResourceExhaustedError.
+func WithMemBudget(n int64) QueryOption {
+	return func(c *queryConfig) { c.qo.MemoryBudget = n }
+}
+
+// WithApproxOK declares the caller would accept an approximate answer.
+// Reserved: the engine currently always computes exact results, but
+// callers can already declare tolerance so future sketch-based plans
+// need no API change.
+func WithApproxOK() QueryOption {
+	return func(c *queryConfig) {}
+}
+
+// WithThreadCap overrides the engine thread setting for this query.
+func WithThreadCap(n int) QueryOption {
+	return func(c *queryConfig) { c.qo.Threads = n }
+}
+
+// WithOrder pins the root GHD node's attribute order (the paper's
+// Fig. 5b/5c experiments).
+func WithOrder(attrs ...string) QueryOption {
+	return func(c *queryConfig) { c.qo.ForcedOrder = attrs }
+}
+
+// WithRelaxedOrder pins the root order and marks it as a §V-A2 relaxed
+// order (last materialized attribute resolved by union).
+func WithRelaxedOrder(attrs ...string) QueryOption {
+	return func(c *queryConfig) { c.qo.ForcedOrder, c.qo.ForcedRelaxed = attrs, true }
+}
+
+// WithWorstCaseOrder selects the highest-cost attribute order for this
+// query (the "-Attr. Ord." ablation).
+func WithWorstCaseOrder() QueryOption {
+	return func(c *queryConfig) { c.qo.WorstOrder = true }
+}
+
+// WithOptions applies a full QueryOptions struct — the escape hatch
+// for callers migrating from the deprecated QueryWith signature.
+func WithOptions(qo QueryOptions) QueryOption {
+	return func(c *queryConfig) { c.qo = qo }
+}
+
+// Query parses, plans, optimizes and executes one SQL query (the
+// supported subset is described in the README). It is the canonical
+// entry point: cancellation and deadline from ctx are honored between
+// lifecycle phases and at parfor chunk boundaries (a cancelled query
+// returns an *ExecError wrapping ctx.Err()), and per-query behavior is
+// set with functional options:
+//
+//	res, err := eng.Query(ctx, sql, levelheaded.WithDeadline(2*time.Second))
+//
+// The first query freezes cold tables automatically; rows appended
+// after that (Table.Append) are visible to the next query through an
+// epoch snapshot, with no explicit Compact required.
+func (e *Engine) Query(ctx context.Context, sql string, opts ...QueryOption) (*Result, error) {
+	var cfg queryConfig
+	for _, o := range opts {
+		o(&cfg)
+	}
+	if cfg.deadline > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, cfg.deadline)
+		defer cancel()
+	}
+	return e.inner.QueryWithContext(ctx, sql, cfg.qo)
+}
+
+// QueryWith executes a query with per-query overrides.
+//
+// Deprecated: use Query with functional options (WithOptions accepts
+// an existing QueryOptions value).
+func (e *Engine) QueryWith(sql string, qo QueryOptions) (*Result, error) {
+	return e.inner.QueryWithContext(context.Background(), sql, qo)
+}
+
+// QueryContext executes a query under a context.
+//
+// Deprecated: use Query, whose first argument is the context.
 func (e *Engine) QueryContext(ctx context.Context, sql string) (*Result, error) {
-	return e.inner.QueryContext(ctx, sql)
+	return e.inner.QueryWithContext(ctx, sql, QueryOptions{})
 }
 
 // QueryWithContext combines QueryContext and QueryWith.
+//
+// Deprecated: use Query with functional options.
 func (e *Engine) QueryWithContext(ctx context.Context, sql string, qo QueryOptions) (*Result, error) {
 	return e.inner.QueryWithContext(ctx, sql, qo)
 }
+
+// IngestRows appends a batch of rows to the named table under governor
+// admission (an overloaded engine sheds the batch with
+// *OverloadedError). Rows are visible to the next query.
+func (e *Engine) IngestRows(ctx context.Context, table string, rows [][]interface{}) (int, error) {
+	return e.inner.IngestRows(ctx, table, rows)
+}
+
+// TablesStatus reports per-table live-data state: visible rows, delta
+// rows awaiting compaction, generation, and last-compaction epoch.
+func (e *Engine) TablesStatus() []TableStatus { return e.inner.TablesStatus() }
 
 // Explain renders the plan: hypergraph, GHD, attribute orders and their
 // §V cost terms.

@@ -41,7 +41,7 @@ const triangleSQL = `SELECT count(*) as c FROM edges e1, edges e2, edges e3
 
 func TestResultCarriesQueryStats(t *testing.T) {
 	eng := triangleEngine(t)
-	res, err := eng.Query(triangleSQL)
+	res, err := eng.Query(context.Background(), triangleSQL)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -75,7 +75,7 @@ func TestResultCarriesQueryStats(t *testing.T) {
 	}
 
 	// Hot run: plan cache hit, tries from the trie cache.
-	res2, err := eng.Query(triangleSQL)
+	res2, err := eng.Query(context.Background(), triangleSQL)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -185,13 +185,13 @@ func TestQueryContextMidQueryCancel(t *testing.T) {
 func TestTypedErrorsRoundTrip(t *testing.T) {
 	eng := triangleEngine(t)
 
-	_, err := eng.Query("SELEC nope")
+	_, err := eng.Query(context.Background(), "SELEC nope")
 	var pe *lh.ParseError
 	if !errors.As(err, &pe) || !strings.Contains(pe.SQL, "SELEC") {
 		t.Fatalf("parse error = %#v", err)
 	}
 
-	_, err = eng.Query("SELECT count(*) as c FROM nosuch")
+	_, err = eng.Query(context.Background(), "SELECT count(*) as c FROM nosuch")
 	var ple *lh.PlanError
 	if !errors.As(err, &ple) {
 		t.Fatalf("plan error = %#v", err)
@@ -216,13 +216,20 @@ func TestFrozenTableTypedErrors(t *testing.T) {
 	if err := eng.Freeze(); err != nil {
 		t.Fatal(err)
 	}
+	// Appends are no longer refused after freeze: they land in the
+	// table's delta store and the next query folds them in.
+	before := tab.TotalRows()
+	if err := tab.Append(int64(9), int64(9)); err != nil {
+		t.Fatalf("append-after-freeze should succeed, got %#v", err)
+	}
+	if err := tab.LoadDelimitedContext(context.Background(), strings.NewReader("7,8\n"), ','); err != nil {
+		t.Fatalf("load-after-freeze should succeed, got %#v", err)
+	}
+	if got := tab.TotalRows(); got != before+2 {
+		t.Fatalf("rows after post-freeze appends = %d, want %d", got, before+2)
+	}
+	// Bulk column replacement stays a pre-freeze-only operation.
 	var fte *lh.FrozenTableError
-	if err := tab.AppendRow(int64(9), int64(9)); !errors.As(err, &fte) {
-		t.Fatalf("append-after-freeze error = %#v", err)
-	}
-	if err := tab.LoadDelimited(strings.NewReader("1,2\n"), ','); !errors.As(err, &fte) {
-		t.Fatalf("load-after-freeze error = %#v", err)
-	}
 	if err := tab.SetColumnData(nil); !errors.As(err, &fte) {
 		t.Fatalf("set-after-freeze error = %#v", err)
 	}

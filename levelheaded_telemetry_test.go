@@ -3,6 +3,7 @@ package levelheaded_test
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
 	"io"
 	"net/http"
@@ -25,7 +26,7 @@ func TestTraceSpanTree(t *testing.T) {
 	if _, err := tpch.Populate(eng.Catalog(), 0.01, 2026); err != nil {
 		t.Fatal(err)
 	}
-	res, err := eng.Query(tpch.Queries["q5"])
+	res, err := eng.QueryContext(context.Background(), tpch.Queries["q5"])
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -126,7 +127,7 @@ func TestExplainAnalyzeShowsSpans(t *testing.T) {
 func TestMetricsQuantilesAndRegistry(t *testing.T) {
 	eng := triangleEngine(t)
 	for i := 0; i < 3; i++ {
-		if _, err := eng.Query(triangleSQL); err != nil {
+		if _, err := eng.Query(context.Background(), triangleSQL); err != nil {
 			t.Fatal(err)
 		}
 	}
@@ -156,7 +157,7 @@ func TestMetricsQuantilesAndRegistry(t *testing.T) {
 
 func TestServeDebugEndToEnd(t *testing.T) {
 	eng := triangleEngine(t)
-	if _, err := eng.Query(triangleSQL); err != nil {
+	if _, err := eng.Query(context.Background(), triangleSQL); err != nil {
 		t.Fatal(err)
 	}
 	srv, err := lh.ServeDebug("127.0.0.1:0", eng.Telemetry())
@@ -198,10 +199,10 @@ func TestSlowQueryLog(t *testing.T) {
 			t.Fatal(err)
 		}
 	}
-	if _, err := eng.Query(triangleSQL); err != nil {
+	if _, err := eng.Query(context.Background(), triangleSQL); err != nil {
 		t.Fatal(err)
 	}
-	if _, err := eng.Query("SELEC nope"); err == nil {
+	if _, err := eng.Query(context.Background(), "SELEC nope"); err == nil {
 		t.Fatal("bad SQL did not error")
 	}
 

@@ -1,8 +1,10 @@
 package levelheaded_test
 
 import (
+	"context"
 	"strings"
 	"testing"
+	"time"
 
 	lh "repro"
 )
@@ -35,7 +37,7 @@ func matrixEngine(t *testing.T) *lh.Engine {
 
 func TestPublicAPIMatMul(t *testing.T) {
 	eng := matrixEngine(t)
-	res, err := eng.Query(`SELECT m1.i, m2.j, sum(m1.v * m2.v) AS v
+	res, err := eng.Query(context.Background(), `SELECT m1.i, m2.j, sum(m1.v * m2.v) AS v
 		FROM matrix AS m1, matrix AS m2 WHERE m1.j = m2.i GROUP BY m1.i, m2.j`)
 	if err != nil {
 		t.Fatal(err)
@@ -71,7 +73,7 @@ func TestPublicAPILoadDelimited(t *testing.T) {
 	if err := eng.LoadDelimited("sales", strings.NewReader(csv), ','); err != nil {
 		t.Fatal(err)
 	}
-	res, err := eng.Query(`SELECT region, sum(amount) as total FROM sales
+	res, err := eng.Query(context.Background(), `SELECT region, sum(amount) as total FROM sales
 		WHERE day >= date '2020-01-15' GROUP BY region`)
 	if err != nil {
 		t.Fatal(err)
@@ -100,7 +102,7 @@ func TestPublicAPIExplainAndCache(t *testing.T) {
 	if !strings.Contains(plan, "hypergraph") || !strings.Contains(plan, "order=") {
 		t.Fatalf("explain = %q", plan)
 	}
-	if _, err := eng.Query(`SELECT m1.i, m2.j, sum(m1.v * m2.v) AS v
+	if _, err := eng.Query(context.Background(), `SELECT m1.i, m2.j, sum(m1.v * m2.v) AS v
 		FROM matrix AS m1, matrix AS m2 WHERE m1.j = m2.i GROUP BY m1.i, m2.j`); err != nil {
 		t.Fatal(err)
 	}
@@ -135,7 +137,7 @@ func TestPublicAPIOptions(t *testing.T) {
 		}
 		_ = m.AppendRow(int64(0), int64(1), 2.0)
 		_ = m.AppendRow(int64(1), int64(0), 3.0)
-		res, err := eng.Query(`SELECT m1.i, sum(m1.v * m2.v) AS v
+		res, err := eng.Query(context.Background(), `SELECT m1.i, sum(m1.v * m2.v) AS v
 			FROM m AS m1, m AS m2 WHERE m1.j = m2.i GROUP BY m1.i`)
 		if err != nil {
 			t.Fatal(err)
@@ -156,5 +158,72 @@ func TestPublicAPIQueryWith(t *testing.T) {
 	}
 	if res.NumRows != 3 {
 		t.Fatalf("worst-order rows = %d", res.NumRows)
+	}
+}
+
+func TestPublicAPIQueryOptions(t *testing.T) {
+	eng := matrixEngine(t)
+	ctx := context.Background()
+	sql := `SELECT m1.i, m2.j, sum(m1.v * m2.v) AS v
+		FROM matrix AS m1, matrix AS m2 WHERE m1.j = m2.i GROUP BY m1.i, m2.j`
+	for name, opts := range map[string][]lh.QueryOption{
+		"none":      nil,
+		"worst":     {lh.WithWorstCaseOrder()},
+		"deadline":  {lh.WithDeadline(time.Minute)},
+		"threads":   {lh.WithThreadCap(1)},
+		"budget":    {lh.WithMemBudget(1 << 30)},
+		"approx":    {lh.WithApproxOK()},
+		"escape":    {lh.WithOptions(lh.QueryOptions{WorstOrder: true})},
+		"composite": {lh.WithDeadline(time.Minute), lh.WithThreadCap(2)},
+	} {
+		res, err := eng.Query(ctx, sql, opts...)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if res.NumRows != 3 {
+			t.Fatalf("%s: rows = %d, want 3", name, res.NumRows)
+		}
+	}
+	if _, err := eng.Query(ctx, sql, lh.WithDeadline(time.Nanosecond)); err == nil {
+		t.Fatal("nanosecond deadline should cancel the query")
+	}
+}
+
+func TestPublicAPIAppendAfterQuery(t *testing.T) {
+	eng := matrixEngine(t)
+	ctx := context.Background()
+	const count = `SELECT count(*) as n FROM matrix`
+	res, err := eng.Query(ctx, count)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Col("n").F64[0]; got != 3 {
+		t.Fatalf("base count = %v", got)
+	}
+	// Append to the now-frozen table: the row must be visible to the
+	// next query without any explicit Compact.
+	if err := eng.Table("matrix").Append(int64(5), int64(5), 7.0); err != nil {
+		t.Fatal(err)
+	}
+	res, err = eng.Query(ctx, count)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Col("n").F64[0]; got != 4 {
+		t.Fatalf("count after append = %v, want 4", got)
+	}
+	if err := eng.Compact(ctx); err != nil {
+		t.Fatal(err)
+	}
+	res, err = eng.Query(ctx, count)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Col("n").F64[0]; got != 4 {
+		t.Fatalf("count after compact = %v, want 4", got)
+	}
+	st := eng.TablesStatus()
+	if len(st) != 1 || st[0].DeltaRows != 0 || st[0].Rows != 4 {
+		t.Fatalf("status after compact = %+v", st)
 	}
 }
