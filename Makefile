@@ -18,7 +18,7 @@ BENCH_MAX_RATIO ?= 1.02
 # randomized sweep (time-seeded; failures shrink to a JSON repro).
 DIFFTEST_BUDGET ?= 60s
 
-.PHONY: all build vet test race bench-smoke bench-save bench-compare telemetry-race telemetry-smoke chaos difftest difftest-long ci clean
+.PHONY: all build vet lint test race bench-smoke bench-save bench-compare telemetry-race telemetry-smoke chaos difftest difftest-long ci clean
 
 all: build
 
@@ -27,6 +27,16 @@ build:
 
 vet:
 	$(GO) vet ./...
+
+# Static analysis beyond vet. staticcheck is optional tooling: when it
+# is not on PATH the target (and ci) skips it rather than failing, so a
+# hermetic build environment stays green.
+lint:
+	@if command -v staticcheck >/dev/null 2>&1; then \
+		staticcheck ./...; \
+	else \
+		echo "lint: staticcheck not installed; skipping"; \
+	fi
 
 test:
 	$(GO) test ./...
@@ -89,7 +99,7 @@ difftest-long:
 	$(GO) test -count=1 -run TestDifferentialLong -timeout 0 \
 		./internal/difftest -difftest.duration $(DIFFTEST_BUDGET)
 
-ci: vet build race bench-smoke telemetry-race telemetry-smoke chaos difftest bench-compare
+ci: vet lint build race bench-smoke telemetry-race telemetry-smoke chaos difftest bench-compare
 
 clean:
 	$(GO) clean ./...

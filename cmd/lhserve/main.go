@@ -8,6 +8,7 @@
 //	lhserve -gen matrix -http 127.0.0.1:0 -smoke
 //
 //	curl localhost:8080/metrics                # Prometheus text format
+//	curl localhost:8080/debug/statements       # per-fingerprint statement stats
 //	curl localhost:8080/debug/queries          # in-flight queries (JSON)
 //	curl localhost:8080/debug/trace/           # retained trace IDs
 //	curl localhost:8080/debug/trace/3          # chrome://tracing JSON
@@ -509,9 +510,29 @@ func smoke(eng *core.Engine, addr string, mix []string) error {
 		`le="+Inf"`,
 		"levelheaded_delta_rows",
 		"levelheaded_compactions_total",
+		"# HELP levelheaded_queries",
+		"# HELP levelheaded_query_latency_seconds",
+		"levelheaded_statement_calls_total{fingerprint=",
+		"levelheaded_statements_tracked",
 	} {
 		if !strings.Contains(metrics, want) {
 			return fmt.Errorf("/metrics missing %q", want)
+		}
+	}
+	stmts, err := get("/debug/statements")
+	if err != nil {
+		return err
+	}
+	var snaps []map[string]interface{}
+	if err := json.Unmarshal([]byte(stmts), &snaps); err != nil {
+		return fmt.Errorf("/debug/statements is not JSON: %w", err)
+	}
+	if len(snaps) == 0 {
+		return fmt.Errorf("/debug/statements empty after %d queries", len(mix))
+	}
+	for _, k := range []string{"fingerprint", "query", "calls", "total_ns"} {
+		if _, ok := snaps[0][k]; !ok {
+			return fmt.Errorf("/debug/statements row missing %q: %v", k, snaps[0])
 		}
 	}
 	dbg, err := get("/debug/queries")

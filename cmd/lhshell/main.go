@@ -13,6 +13,9 @@
 //	\stats           show cumulative engine metrics
 //	\metrics         same as \stats (counters plus latency quantiles)
 //	\queries         show in-flight queries and recent trace IDs
+//	\statements [by] per-fingerprint statement statistics, sorted by
+//	                 time (default), calls, mean, rows, errors, alloc,
+//	                 drift or ratio
 //	\timing          toggle per-query timing
 //	\q               quit
 //
@@ -77,7 +80,7 @@ func main() {
 		log.Fatalf("unknown dataset %q", *gen)
 	}
 
-	fmt.Println("LevelHeaded shell — \\q to quit, \\d to list tables, \\explain <sql> for plans, \\metrics and \\queries for telemetry")
+	fmt.Println("LevelHeaded shell — \\q to quit, \\d to list tables, \\explain <sql> for plans, \\metrics, \\queries and \\statements for telemetry")
 	sc := bufio.NewScanner(os.Stdin)
 	sc.Buffer(make([]byte, 1<<20), 1<<20)
 	timing := true
@@ -127,6 +130,23 @@ func main() {
 			fmt.Print(s)
 		case line == `\stats` || line == `\metrics`:
 			fmt.Print(eng.Metrics().SnapshotString())
+		case line == `\statements` || strings.HasPrefix(line, `\statements `):
+			by := strings.TrimSpace(strings.TrimPrefix(line, `\statements`))
+			snaps := eng.Statements(by, 0)
+			if len(snaps) == 0 {
+				fmt.Println("no statements tracked (unknown sort key?)")
+				continue
+			}
+			fmt.Printf("%-16s %6s %4s %10s %10s %10s %6s %5s %6s  %s\n",
+				"fingerprint", "calls", "errs", "mean", "p95", "total", "rows", "drift", "ratio", "query")
+			for _, s := range snaps {
+				fmt.Printf("%-16s %6d %4d %10v %10v %10v %6d %5d %6.2f  %s\n",
+					s.FingerprintHex, s.Calls, s.Errors,
+					time.Duration(s.MeanNs).Round(time.Microsecond),
+					time.Duration(s.P95Ns).Round(time.Microsecond),
+					time.Duration(s.TotalNs).Round(time.Microsecond),
+					s.Rows, s.PlanChanges, s.CostRatio, s.Text)
+			}
 		case line == `\queries`:
 			reg := eng.Telemetry().Registry
 			infos := reg.List()

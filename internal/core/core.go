@@ -401,14 +401,47 @@ func (e *Engine) QueryWithContext(ctx context.Context, sql string, qo QueryOptio
 	e.observeLatency(st, err)
 	if err != nil {
 		e.metrics.RecordError()
+		e.recordStatement(st, err)
 		e.logSlow(st, err)
 		return nil, err
 	}
 	st.RowsOut = res.NumRows
 	res.Stats = st
 	e.metrics.Record(st)
+	e.recordStatement(st, nil)
 	e.logSlow(st, nil)
 	return res, nil
+}
+
+// recordStatement folds one finished query into the collector's
+// per-fingerprint statement store. Queries that never parsed
+// (fingerprint 0) are skipped inside Record.
+func (e *Engine) recordStatement(st *obs.QueryStats, err error) {
+	var est, actual float64
+	for _, nc := range st.NodeCosts {
+		est += nc.Est
+		actual += nc.Actual
+	}
+	e.tel.Statements.Record(telemetry.StatementObservation{
+		Fingerprint: st.Fingerprint,
+		Text:        st.FingerprintText,
+		DurNs:       int64(st.Phases.Total),
+		Err:         err != nil,
+		Rows:        st.RowsOut,
+		AllocBytes:  st.AllocBytes,
+		MemBytes:    st.MemHighWater,
+		DeltaRows:   st.DeltaRowsFolded,
+		Epoch:       st.SnapshotEpoch,
+		Order:       st.RootOrder,
+		EstCost:     est,
+		ActualCost:  actual,
+	})
+}
+
+// Statements exports the per-fingerprint statement statistics, sorted
+// by the given key (see telemetry.StatementSortKeys; "" = total time).
+func (e *Engine) Statements(by string, limit int) []telemetry.StatementSnapshot {
+	return e.tel.Statements.Snapshots(by, limit)
 }
 
 func (e *Engine) runQuery(ctx context.Context, sql string, qo QueryOptions, st *obs.QueryStats, aq *telemetry.ActiveQuery) (res *exec.Result, err error) {
@@ -436,10 +469,17 @@ func (e *Engine) runQuery(ctx context.Context, sql string, qo QueryOptions, st *
 	// compactions that land while it runs cannot shift what it reads.
 	// Nil (the common static case) costs a nil-pointer branch per table.
 	opts.Snap = e.cat.Snapshot()
+	if opts.Snap != nil {
+		st.SnapshotEpoch = opts.Snap.Epoch
+		st.DeltaRowsFolded = e.cat.DeltaRows()
+	}
 	mem := e.gov.NewAccountant(sql, qo.MemoryBudget)
 	defer mem.Close()
 	opts.Mem = mem
 	res, err = exec.Run(p, ch, e.cat, opts)
+	// Used is monotone until Close, so this is the query's memory
+	// high-water (0 when accounting is off).
+	st.MemHighWater = mem.Used()
 	if err != nil {
 		// Panics recovered inside parfor workers surface as an
 		// InternalError return value rather than unwinding to the barrier
@@ -536,19 +576,21 @@ type slowLog struct {
 
 // slowEntry is one slow-query log line.
 type slowEntry struct {
-	TS        string `json:"ts"`
-	QueryID   uint64 `json:"query_id"`
-	SQL       string `json:"sql"`
-	TotalNs   int64  `json:"total_ns"`
-	ParseNs   int64  `json:"parse_ns,omitempty"`
-	PlanNs    int64  `json:"plan_ns,omitempty"`
-	FreezeNs  int64  `json:"freeze_ns,omitempty"`
-	CompileNs int64  `json:"compile_ns,omitempty"`
-	ExecNs    int64  `json:"execute_ns,omitempty"`
-	OutputNs  int64  `json:"output_ns,omitempty"`
-	Dispatch  string `json:"dispatch,omitempty"`
-	Rows      int    `json:"rows"`
-	Error     string `json:"error,omitempty"`
+	TS          string `json:"ts"`
+	QueryID     uint64 `json:"query_id"`
+	SQL         string `json:"sql"`
+	Fingerprint string `json:"fingerprint,omitempty"`
+	Epoch       uint64 `json:"snapshot_epoch,omitempty"`
+	TotalNs     int64  `json:"total_ns"`
+	ParseNs     int64  `json:"parse_ns,omitempty"`
+	PlanNs      int64  `json:"plan_ns,omitempty"`
+	FreezeNs    int64  `json:"freeze_ns,omitempty"`
+	CompileNs   int64  `json:"compile_ns,omitempty"`
+	ExecNs      int64  `json:"execute_ns,omitempty"`
+	OutputNs    int64  `json:"output_ns,omitempty"`
+	Dispatch    string `json:"dispatch,omitempty"`
+	Rows        int    `json:"rows"`
+	Error       string `json:"error,omitempty"`
 }
 
 // logSlow emits a slow-query line when configured and over threshold.
@@ -560,6 +602,7 @@ func (e *Engine) logSlow(st *obs.QueryStats, err error) {
 		TS:        time.Now().UTC().Format(time.RFC3339Nano),
 		QueryID:   st.Trace.ID(),
 		SQL:       st.SQL,
+		Epoch:     st.SnapshotEpoch,
 		TotalNs:   int64(st.Phases.Total),
 		ParseNs:   int64(st.Phases.Parse),
 		PlanNs:    int64(st.Phases.Plan),
@@ -569,6 +612,9 @@ func (e *Engine) logSlow(st *obs.QueryStats, err error) {
 		OutputNs:  int64(st.Phases.Output),
 		Dispatch:  st.Dispatch,
 		Rows:      st.RowsOut,
+	}
+	if st.Fingerprint != 0 {
+		ent.Fingerprint = telemetry.FingerprintHex(st.Fingerprint)
 	}
 	if err != nil {
 		ent.Error = err.Error()
@@ -651,10 +697,13 @@ func (e *Engine) execOptions(qo QueryOptions) exec.Options {
 // preparedPlan caches one compiled (plan, orders) pair. Plans and
 // choices are immutable after construction, so hot-run re-execution
 // (the paper's measurement setup) skips parsing, GHD enumeration and
-// order scoring entirely.
+// order scoring entirely. The statement fingerprint rides along so
+// cache hits skip re-normalization too.
 type preparedPlan struct {
-	p  *planner.Plan
-	ch *costopt.Choice
+	p      *planner.Plan
+	ch     *costopt.Choice
+	fp     uint64
+	fpText string
 }
 
 func (e *Engine) prepare(sql string, qo QueryOptions) (*planner.Plan, *costopt.Choice, error) {
@@ -687,6 +736,7 @@ func (e *Engine) prepareStats(sql string, qo QueryOptions, st *obs.QueryStats) (
 		e.mu.Unlock()
 		if st != nil {
 			st.PlanCached = true
+			st.Fingerprint, st.FingerprintText = pp.fp, pp.fpText
 			recordPlanStats(st, pp.p, pp.ch)
 		}
 		return pp.p, pp.ch, nil
@@ -697,8 +747,10 @@ func (e *Engine) prepareStats(sql string, qo QueryOptions, st *obs.QueryStats) (
 	if err != nil {
 		return nil, nil, &qerr.ParseError{SQL: sql, Err: err}
 	}
+	fpText, fp := sqlparse.Fingerprint(q)
 	if st != nil {
 		st.Phases.Parse = time.Since(tp)
+		st.Fingerprint, st.FingerprintText = fp, fpText
 		tr.Add(tr.Root(), telemetry.SpanPhase, "parse", tp, time.Now())
 	}
 	tq := time.Now()
@@ -722,7 +774,7 @@ func (e *Engine) prepareStats(sql string, qo QueryOptions, st *obs.QueryStats) (
 		recordPlanStats(st, p, ch)
 	}
 	e.mu.Lock()
-	e.plans[key] = &preparedPlan{p: p, ch: ch}
+	e.plans[key] = &preparedPlan{p: p, ch: ch, fp: fp, fpText: fpText}
 	e.mu.Unlock()
 	return p, ch, nil
 }

@@ -22,6 +22,7 @@ import (
 
 	"repro/internal/ghd"
 	"repro/internal/planner"
+	"repro/internal/set"
 )
 
 // Intersection cost constants from Fig. 5a.
@@ -505,6 +506,21 @@ func intersectStrs(a, b []string) []string {
 		}
 	}
 	return out
+}
+
+// ObservedCost maps measured kernel counts onto the Fig. 5a icost
+// scale: each executed intersection weighted by its layout-pair
+// constant. This is the "actual" side of the estimate-vs-actual audit —
+// the model's Order.Cost predicts Σ icost×weight from cardinality
+// scores before running; ObservedCost reprices the intersections the
+// node really performed with the same icost constants, so their ratio
+// is a per-shape calibration signal (stable ≈ model tracks the data;
+// drifting across epochs ≈ appends/compaction changed the workload
+// under the plan).
+func ObservedCost(st *set.Stats) float64 {
+	return float64(st.BsBs)*costBsBs +
+		float64(st.BsUint)*costBsUint +
+		float64(st.UintUintMerge+st.UintUintGallop)*costUintUint
 }
 
 // RelaxedValid reports whether an order satisfies the §V-A2 execution

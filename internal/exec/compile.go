@@ -53,6 +53,7 @@ type cAgg struct {
 type cNode struct {
 	gnode      *ghd.Node
 	order      []string
+	est        *costopt.Order // the chosen order with its §V cost terms (est-vs-actual audit)
 	relaxed    bool
 	rels       []*cRel
 	parts      [][]part
@@ -163,7 +164,7 @@ func (c *compiled) compileNode(n *ghd.Node, ch *costopt.Choice, isRoot bool) (*c
 	if ord == nil {
 		return nil, fmt.Errorf("exec: no attribute order for node %v", n.Bag)
 	}
-	cn := &cNode{gnode: n, order: ord.Attrs, relaxed: ord.Relaxed, nLevels: len(ord.Attrs)}
+	cn := &cNode{gnode: n, order: ord.Attrs, est: ord, relaxed: ord.Relaxed, nLevels: len(ord.Attrs)}
 	mat := 0
 	for _, v := range ord.Attrs {
 		if ord.MatSet[v] {

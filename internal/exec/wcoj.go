@@ -8,8 +8,10 @@ import (
 	"strings"
 	"sync"
 
+	"repro/internal/costopt"
 	"repro/internal/faultinject"
 	"repro/internal/governor"
+	"repro/internal/obs"
 	"repro/internal/planner"
 	"repro/internal/qerr"
 	"repro/internal/set"
@@ -326,6 +328,23 @@ func runNode(n *cNode, opts Options, parent telemetry.SpanID) (*rowsBuf, *hashAc
 		tr.EndWithStats(sp, &nodeStats)
 		if opts.Stats != nil {
 			opts.Stats.Intersect.Add(&nodeStats)
+			// Estimate-vs-actual audit: the §V model's predicted cost for
+			// this node against the observed kernel counts repriced with the
+			// same icost constants. Node recursion is single-goroutine (the
+			// parfor is within a node), so the append is race-free.
+			nc := obs.NodeCost{
+				Order:  n.order,
+				Actual: costopt.ObservedCost(&nodeStats),
+				Isect:  nodeStats.Total(),
+				Bytes:  nodeStats.BytesOut,
+			}
+			if n.est != nil {
+				nc.Est = n.est.Cost
+			}
+			if nc.Est > 0 {
+				nc.Ratio = nc.Actual / nc.Est
+			}
+			opts.Stats.NodeCosts = append(opts.Stats.NodeCosts, nc)
 		}
 	}()
 	for _, cr := range n.rels {

@@ -46,10 +46,31 @@ type Phases struct {
 	Total   time.Duration
 }
 
+// NodeCost is the estimate-vs-actual cost audit for one GHD node: the
+// §V model's predicted cost (Σ icost×weight over the chosen order)
+// against the observed work (the node's measured kernel counts repriced
+// with the same icost constants). Ratio is Actual/Est — the optimizer's
+// calibration signal per node; 0 when the estimate was 0 (dense
+// relations, trivial nodes).
+type NodeCost struct {
+	Order  []string // the node's executed attribute order
+	Est    float64  // predicted §V cost
+	Actual float64  // icost-weighted observed intersections
+	Ratio  float64  // Actual/Est (0 when Est == 0)
+	Isect  uint64   // raw intersection count at this node
+	Bytes  uint64   // bytes materialized at this node
+}
+
 // QueryStats captures everything observable about one query run.
 type QueryStats struct {
 	SQL    string
 	Phases Phases
+
+	// Fingerprint identifies the statement's literal-free shape (see
+	// sqlparse.Fingerprint); 0 when the statement never parsed.
+	// FingerprintText is the canonical text the ID hashes.
+	Fingerprint     uint64
+	FingerprintText string
 
 	// Trace is the query's hierarchical span record (query → phase →
 	// GHD node → kernel); nil when the engine ran without telemetry
@@ -86,6 +107,22 @@ type QueryStats struct {
 	AllocBytes uint64
 	GCCycles   uint64
 
+	// MemHighWater is the query's governor-accounted memory peak in
+	// bytes (0 when accounting is off).
+	MemHighWater int64
+
+	// SnapshotEpoch is the epoch snapshot the query read (0 = static
+	// catalog, no post-freeze appends); DeltaRowsFolded counts the
+	// delta-store rows that snapshot folded in.
+	SnapshotEpoch   uint64
+	DeltaRowsFolded int
+
+	// NodeCosts is the per-GHD-node estimate-vs-actual cost audit,
+	// appended by the generic WCOJ engine as each node finishes (empty
+	// for scalar scans and specialized-kernel dispatches, which run no
+	// per-node intersections to audit).
+	NodeCosts []NodeCost
+
 	RowsOut int
 }
 
@@ -97,6 +134,9 @@ func (q *QueryStats) String() string {
 		plan = "cached"
 	}
 	fmt.Fprintf(&b, "dispatch: %s  threads: %d  plan: %s\n", q.Dispatch, q.Threads, plan)
+	if q.Fingerprint != 0 {
+		fmt.Fprintf(&b, "fingerprint: %016x  %s\n", q.Fingerprint, q.FingerprintText)
+	}
 	if len(q.RootOrder) > 0 {
 		relax := ""
 		if q.Relaxed {
@@ -110,8 +150,18 @@ func (q *QueryStats) String() string {
 	is := &q.Intersect
 	fmt.Fprintf(&b, "intersections: %d (uint∩uint merge=%d gallop=%d, bs∩uint=%d, bs∩bs=%d), %s materialized\n",
 		is.Total(), is.UintUintMerge, is.UintUintGallop, is.BsUint, is.BsBs, fmtBytes(is.BytesOut))
+	for _, nc := range q.NodeCosts {
+		fmt.Fprintf(&b, "cost audit [%s]: est=%.0f actual=%.0f ratio=%.2f (isect=%d, %s)\n",
+			strings.Join(nc.Order, " "), nc.Est, nc.Actual, nc.Ratio, nc.Isect, fmtBytes(nc.Bytes))
+	}
 	fmt.Fprintf(&b, "tries: built=%d cache hit=%d miss=%d\n", q.TriesBuilt, q.TrieCacheHits, q.TrieCacheMisses)
 	fmt.Fprintf(&b, "heap: %s allocated, %d gc cycles\n", fmtBytes(q.AllocBytes), q.GCCycles)
+	if q.MemHighWater > 0 {
+		fmt.Fprintf(&b, "mem high-water: %s\n", fmtBytes(uint64(q.MemHighWater)))
+	}
+	if q.SnapshotEpoch > 0 {
+		fmt.Fprintf(&b, "snapshot: epoch=%d delta rows folded=%d\n", q.SnapshotEpoch, q.DeltaRowsFolded)
+	}
 	fmt.Fprintf(&b, "rows: %d\n", q.RowsOut)
 	return b.String()
 }

@@ -20,6 +20,11 @@ var PhaseNames = []string{"total", "parse", "plan", "freeze", "compile", "execut
 type Collector struct {
 	Registry *Registry
 
+	// Statements is the per-fingerprint statement-statistics store
+	// (pg_stat_statements analog), shared by every engine bound to this
+	// collector and exported on /debug/statements and /metrics.
+	Statements *StatementStore
+
 	phase map[string]*Histogram // fixed keys (PhaseNames), immutable after New
 
 	mu       sync.RWMutex
@@ -30,13 +35,15 @@ type Collector struct {
 // NewCollector creates an empty collector with its own registry.
 func NewCollector() *Collector {
 	c := &Collector{
-		Registry: NewRegistry(0),
-		phase:    make(map[string]*Histogram, len(PhaseNames)),
-		class:    map[string]*Histogram{},
+		Registry:   NewRegistry(0),
+		Statements: NewStatementStore(0),
+		phase:      make(map[string]*Histogram, len(PhaseNames)),
+		class:      map[string]*Histogram{},
 	}
 	for _, p := range PhaseNames {
 		c.phase[p] = &Histogram{}
 	}
+	c.AddCounterSource(c.Statements.Counters)
 	return c
 }
 

@@ -15,6 +15,8 @@ import (
 // Handler builds the debug mux:
 //
 //	/metrics               Prometheus text exposition (counters + latency histograms)
+//	/debug/statements      per-fingerprint statement statistics as JSON,
+//	                       sorted by total time (?by=calls|mean|rows|errors|alloc|drift|ratio, ?limit=N)
 //	/debug/queries         live query registry as JSON
 //	/debug/queries/cancel  POST ?id=N — cancel an in-flight query
 //	/debug/trace/          IDs with a retrievable trace, as JSON
@@ -26,6 +28,28 @@ func Handler(c *Collector) http.Handler {
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		writePrometheus(w, c)
+	})
+	mux.HandleFunc("/debug/statements", func(w http.ResponseWriter, r *http.Request) {
+		by := r.URL.Query().Get("by")
+		if by != "" && !validSortKey(by) {
+			http.Error(w, fmt.Sprintf("unknown sort key %q (want one of %s)",
+				by, strings.Join(StatementSortKeys, "|")), http.StatusBadRequest)
+			return
+		}
+		limit := 0
+		if l := r.URL.Query().Get("limit"); l != "" {
+			n, err := strconv.Atoi(l)
+			if err != nil || n < 0 {
+				http.Error(w, "bad limit", http.StatusBadRequest)
+				return
+			}
+			limit = n
+		}
+		snaps := c.Statements.Snapshots(by, limit)
+		if snaps == nil {
+			snaps = []StatementSnapshot{}
+		}
+		writeJSON(w, snaps)
 	})
 	mux.HandleFunc("/debug/queries", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, c.Registry.List())
@@ -94,11 +118,32 @@ func writeJSON(w http.ResponseWriter, v interface{}) {
 	enc.Encode(v)
 }
 
+// counterHelp documents the well-known counter keys; anything not
+// listed gets a generic description (scrapers only need *a* HELP line
+// to stop warning, and engines register free-form counter sources).
+var counterHelp = map[string]string{
+	"queries":          "Queries executed successfully.",
+	"errors":           "Queries that returned an error.",
+	"rows_out":         "Result rows returned across all queries.",
+	"delta_rows":       "Appended rows not yet folded by compaction.",
+	"snapshot_epoch":   "Latest published snapshot/compaction epoch.",
+	"inflight_queries": "Queries currently executing or queued.",
+}
+
+func helpFor(k string) string {
+	if h, ok := counterHelp[k]; ok {
+		return h
+	}
+	return "Cumulative engine counter " + k + " (summed across engines on this collector)."
+}
+
 // writePrometheus renders counters and latency histograms in the
-// Prometheus text exposition format. Engine counters become
-// levelheaded_<key>; histograms become
-// levelheaded_query_latency_seconds{class=...} and
-// levelheaded_phase_latency_seconds{phase=...} with cumulative buckets.
+// Prometheus text exposition format (each family with its # HELP and
+// # TYPE header). Engine counters become levelheaded_<key>; histograms
+// become levelheaded_query_latency_seconds{class=...} and
+// levelheaded_phase_latency_seconds{phase=...} with cumulative buckets;
+// the statement store exports per-fingerprint series labeled
+// {fingerprint="..."}.
 func writePrometheus(w http.ResponseWriter, c *Collector) {
 	counters := c.Counters()
 	keys := make([]string, 0, len(counters))
@@ -108,10 +153,10 @@ func writePrometheus(w http.ResponseWriter, c *Collector) {
 	sort.Strings(keys)
 	for _, k := range keys {
 		name := "levelheaded_" + sanitizeMetricName(k)
-		fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", name, name, counters[k])
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, helpFor(k), name, name, counters[k])
 	}
-	fmt.Fprintf(w, "# TYPE levelheaded_inflight_queries gauge\nlevelheaded_inflight_queries %d\n",
-		c.Registry.NumActive())
+	fmt.Fprintf(w, "# HELP levelheaded_inflight_queries %s\n# TYPE levelheaded_inflight_queries gauge\nlevelheaded_inflight_queries %d\n",
+		helpFor("inflight_queries"), c.Registry.NumActive())
 
 	classes := c.ClassSnapshots()
 	classNames := make([]string, 0, len(classes))
@@ -119,11 +164,13 @@ func writePrometheus(w http.ResponseWriter, c *Collector) {
 		classNames = append(classNames, k)
 	}
 	sort.Strings(classNames)
+	fmt.Fprintf(w, "# HELP levelheaded_query_latency_seconds Whole-query latency by dispatch class.\n")
 	fmt.Fprintf(w, "# TYPE levelheaded_query_latency_seconds histogram\n")
 	for _, class := range classNames {
 		writePromHistogram(w, "levelheaded_query_latency_seconds",
 			fmt.Sprintf("class=%q", class), classes[class])
 	}
+	fmt.Fprintf(w, "# HELP levelheaded_phase_latency_seconds Per-lifecycle-phase latency.\n")
 	fmt.Fprintf(w, "# TYPE levelheaded_phase_latency_seconds histogram\n")
 	for _, phase := range PhaseNames {
 		s := c.PhaseSnapshot(phase)
@@ -133,6 +180,57 @@ func writePrometheus(w http.ResponseWriter, c *Collector) {
 		writePromHistogram(w, "levelheaded_phase_latency_seconds",
 			fmt.Sprintf("phase=%q", phase), s)
 	}
+	writePromStatements(w, c.Statements)
+}
+
+// writePromStatements emits the per-fingerprint counter series. The
+// store is LRU-bounded, so cardinality is capped by construction.
+func writePromStatements(w http.ResponseWriter, st *StatementStore) {
+	snaps := st.Snapshots("time", 0)
+	if len(snaps) == 0 {
+		return
+	}
+	families := []struct {
+		name, help string
+		val        func(*StatementSnapshot) string
+	}{
+		{"levelheaded_statement_calls_total", "Executions per statement fingerprint.",
+			func(s *StatementSnapshot) string { return strconv.FormatUint(s.Calls, 10) }},
+		{"levelheaded_statement_errors_total", "Failed executions per statement fingerprint.",
+			func(s *StatementSnapshot) string { return strconv.FormatUint(s.Errors, 10) }},
+		{"levelheaded_statement_rows_total", "Result rows per statement fingerprint.",
+			func(s *StatementSnapshot) string { return strconv.FormatUint(s.Rows, 10) }},
+		{"levelheaded_statement_seconds_total", "Total execution time per statement fingerprint.",
+			func(s *StatementSnapshot) string { return strconv.FormatFloat(float64(s.TotalNs)/1e9, 'g', -1, 64) }},
+		{"levelheaded_statement_plan_changes_total", "Optimizer attribute-order changes per statement fingerprint (plan drift).",
+			func(s *StatementSnapshot) string { return strconv.FormatUint(s.PlanChanges, 10) }},
+	}
+	for _, f := range families {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n", f.name, f.help, f.name)
+		for i := range snaps {
+			s := &snaps[i]
+			fmt.Fprintf(w, "%s{fingerprint=%q} %s\n", f.name, s.FingerprintHex, f.val(s))
+		}
+	}
+	fmt.Fprintf(w, "# HELP levelheaded_statement_cost_ratio Observed/estimated §V cost ratio per statement fingerprint.\n")
+	fmt.Fprintf(w, "# TYPE levelheaded_statement_cost_ratio gauge\n")
+	for i := range snaps {
+		s := &snaps[i]
+		if s.EstCost <= 0 {
+			continue
+		}
+		fmt.Fprintf(w, "levelheaded_statement_cost_ratio{fingerprint=%q} %s\n",
+			s.FingerprintHex, strconv.FormatFloat(s.CostRatio, 'g', -1, 64))
+	}
+}
+
+func validSortKey(by string) bool {
+	for _, k := range StatementSortKeys {
+		if by == k {
+			return true
+		}
+	}
+	return false
 }
 
 // writePromHistogram emits one labeled histogram series with cumulative

@@ -21,6 +21,10 @@ func testCollector() *Collector {
 	c.ObservePhase("execute", time.Millisecond)
 	c.ObserveClass("generic-wcoj", 2*time.Millisecond)
 	c.ObserveClass("spmv-gather", 300*time.Microsecond)
+	c.Statements.Record(StatementObservation{
+		Fingerprint: 0xabc, Text: "select count(*) as c from t",
+		DurNs: 1_000_000, Rows: 1, Order: []string{"a"}, EstCost: 4, ActualCost: 8,
+	})
 	return c
 }
 
@@ -46,12 +50,76 @@ func TestMetricsEndpoint(t *testing.T) {
 		`levelheaded_query_latency_seconds_count{class="generic-wcoj"} 1`,
 		`levelheaded_phase_latency_seconds_bucket{phase="execute"`,
 		`le="+Inf"`,
+		"# HELP levelheaded_queries Queries executed successfully.",
+		"# HELP levelheaded_query_latency_seconds ",
+		"# HELP levelheaded_statement_calls_total ",
+		`levelheaded_statement_calls_total{fingerprint="0000000000000abc"} 1`,
+		`levelheaded_statement_cost_ratio{fingerprint="0000000000000abc"} 2`,
+		"levelheaded_statements_tracked 1",
 	} {
 		if !strings.Contains(text, want) {
 			t.Fatalf("/metrics missing %q:\n%s", want, text)
 		}
 	}
+	// The # HELP satellite: every # TYPE family is preceded by a # HELP
+	// for the same metric name.
+	lines := strings.Split(text, "\n")
+	for i, line := range lines {
+		if !strings.HasPrefix(line, "# TYPE ") {
+			continue
+		}
+		name := strings.Fields(line)[2]
+		if i == 0 || !strings.HasPrefix(lines[i-1], "# HELP "+name+" ") {
+			t.Fatalf("# TYPE %s not preceded by its # HELP line (prev: %q)", name, lines[max(0, i-1)])
+		}
+	}
 	checkPrometheusParsable(t, text)
+}
+
+func TestStatementsEndpoint(t *testing.T) {
+	srv := httptest.NewServer(Handler(testCollector()))
+	defer srv.Close()
+	get := func(path string) (int, string) {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+	code, body := get("/debug/statements")
+	if code != 200 {
+		t.Fatalf("status %d: %s", code, body)
+	}
+	var snaps []StatementSnapshot
+	if err := json.Unmarshal([]byte(body), &snaps); err != nil {
+		t.Fatalf("not JSON: %v\n%s", err, body)
+	}
+	if len(snaps) != 1 || snaps[0].FingerprintHex != "0000000000000abc" || snaps[0].Calls != 1 {
+		t.Fatalf("snaps = %+v", snaps)
+	}
+	if code, _ := get("/debug/statements?by=calls&limit=5"); code != 200 {
+		t.Fatalf("by=calls status %d", code)
+	}
+	if code, _ := get("/debug/statements?by=bogus"); code != http.StatusBadRequest {
+		t.Fatalf("bad sort key status %d, want 400", code)
+	}
+	if code, _ := get("/debug/statements?limit=-1"); code != http.StatusBadRequest {
+		t.Fatalf("bad limit status %d, want 400", code)
+	}
+	// An empty store serves [] rather than null.
+	empty := httptest.NewServer(Handler(NewCollector()))
+	defer empty.Close()
+	resp, err := http.Get(empty.URL + "/debug/statements")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if strings.TrimSpace(string(b)) != "[]" {
+		t.Fatalf("empty store body = %q, want []", b)
+	}
 }
 
 // checkPrometheusParsable validates the exposition-format invariants a

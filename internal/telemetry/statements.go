@@ -1,0 +1,353 @@
+package telemetry
+
+import (
+	"container/list"
+	"sort"
+	"sync"
+	"time"
+)
+
+// DefaultStatementCap bounds the statement store when the collector
+// builds its own: enough for every distinct query shape of a dashboard
+// fleet, small enough that the per-entry histograms stay a few MiB.
+const DefaultStatementCap = 256
+
+// StatementObservation is one finished query folded into the statement
+// store. The engine builds it from the query's QueryStats; the struct is
+// defined here (not in internal/obs) because obs sits above telemetry
+// in the dependency order.
+type StatementObservation struct {
+	Fingerprint uint64
+	Text        string // canonical literal-free statement text
+	DurNs       int64
+	Err         bool
+	Rows        int
+	AllocBytes  uint64
+	MemBytes    int64 // query memory high-water (governor-accounted)
+	DeltaRows   int   // delta rows folded into the query's snapshot
+	Epoch       uint64
+	Order       []string // costopt root attribute order
+	EstCost     float64  // Σ per-node §V model cost
+	ActualCost  float64  // Σ per-node observed icost-weighted work
+}
+
+// StatementStats is one fingerprint's live accumulator.
+type stmtEntry struct {
+	elem *list.Element // position in the LRU list
+	s    StatementSnapshot
+	hist *Histogram
+}
+
+// StatementSnapshot is the exported, mergeable form of one
+// fingerprint's statistics (the pg_stat_statements row analog).
+type StatementSnapshot struct {
+	Fingerprint uint64 `json:"-"`
+	// FingerprintHex is the join key used everywhere fingerprints are
+	// rendered (slow log, /metrics labels, EXPLAIN ANALYZE).
+	FingerprintHex string `json:"fingerprint"`
+	Text           string `json:"query"`
+
+	Calls  uint64 `json:"calls"`
+	Errors uint64 `json:"errors"`
+	Rows   uint64 `json:"rows"`
+
+	TotalNs int64 `json:"total_ns"`
+	MeanNs  int64 `json:"mean_ns"`
+	P50Ns   int64 `json:"p50_ns"`
+	P95Ns   int64 `json:"p95_ns"`
+	P99Ns   int64 `json:"p99_ns"`
+	MaxNs   int64 `json:"max_ns"`
+
+	AllocBytes   uint64 `json:"alloc_bytes"`
+	MemHighWater int64  `json:"mem_high_water"` // max over calls
+	DeltaRows    uint64 `json:"delta_rows_folded"`
+
+	// Cost-model audit: cumulative estimated (§V icost×weight) and
+	// observed (icost-weighted kernel counts) work, and their ratio —
+	// the estimate-vs-actual calibration signal per statement shape.
+	EstCost    float64 `json:"est_cost"`
+	ActualCost float64 `json:"actual_cost"`
+	CostRatio  float64 `json:"cost_ratio"` // ActualCost/EstCost, 0 when unknown
+
+	// Plan drift: the optimizer's root attribute order last seen for
+	// this fingerprint, how many times it changed, and the snapshot
+	// epoch of the latest change (compaction re-sizing tables can
+	// legitimately flip the §V decision; drift says it happened).
+	LastOrder       []string `json:"last_order,omitempty"`
+	PlanChanges     uint64   `json:"plan_changes"`
+	LastChangeEpoch uint64   `json:"last_change_epoch,omitempty"`
+	LastEpoch       uint64   `json:"last_epoch"`
+
+	FirstSeen time.Time `json:"first_seen"`
+	LastSeen  time.Time `json:"last_seen"`
+
+	// Hist carries the full latency histogram for merging across
+	// engines/snapshots; omitted from JSON (the quantiles above are the
+	// wire form).
+	Hist *HistSnapshot `json:"-"`
+}
+
+// Merge folds another snapshot of the same fingerprint into s (fleet
+// aggregation across engines or across scrape intervals).
+func (s *StatementSnapshot) Merge(o *StatementSnapshot) {
+	s.Calls += o.Calls
+	s.Errors += o.Errors
+	s.Rows += o.Rows
+	s.TotalNs += o.TotalNs
+	s.AllocBytes += o.AllocBytes
+	s.DeltaRows += o.DeltaRows
+	s.EstCost += o.EstCost
+	s.ActualCost += o.ActualCost
+	s.PlanChanges += o.PlanChanges
+	if o.MemHighWater > s.MemHighWater {
+		s.MemHighWater = o.MemHighWater
+	}
+	if o.MaxNs > s.MaxNs {
+		s.MaxNs = o.MaxNs
+	}
+	if o.LastSeen.After(s.LastSeen) {
+		s.LastSeen = o.LastSeen
+		s.LastOrder = o.LastOrder
+		s.LastEpoch = o.LastEpoch
+	}
+	if o.LastChangeEpoch > s.LastChangeEpoch {
+		s.LastChangeEpoch = o.LastChangeEpoch
+	}
+	if !o.FirstSeen.IsZero() && (s.FirstSeen.IsZero() || o.FirstSeen.Before(s.FirstSeen)) {
+		s.FirstSeen = o.FirstSeen
+	}
+	if s.Hist != nil && o.Hist != nil {
+		s.Hist.Merge(o.Hist)
+	} else if s.Hist == nil {
+		s.Hist = o.Hist
+	}
+	s.finish()
+}
+
+// finish recomputes the derived fields from the accumulated state.
+func (s *StatementSnapshot) finish() {
+	if s.Calls > 0 {
+		s.MeanNs = s.TotalNs / int64(s.Calls)
+	}
+	if s.Hist != nil && s.Hist.Count > 0 {
+		s.P50Ns = s.Hist.Quantile(0.50)
+		s.P95Ns = s.Hist.Quantile(0.95)
+		s.P99Ns = s.Hist.Quantile(0.99)
+	}
+	if s.EstCost > 0 {
+		s.CostRatio = s.ActualCost / s.EstCost
+	} else {
+		s.CostRatio = 0
+	}
+}
+
+// StatementStore is the bounded per-fingerprint statement-statistics
+// table: an LRU keyed by fingerprint, updated once per finished query.
+// Recording is one short mutex hold (map lookup, ~10 integer adds, an
+// LRU splice) plus a lock-free histogram record — nothing per-tuple, so
+// it is safe on the query hot path.
+type StatementStore struct {
+	mu      sync.Mutex
+	cap     int
+	m       map[uint64]*stmtEntry
+	lru     *list.List // front = most recent
+	evicted uint64
+	drifts  uint64
+}
+
+// NewStatementStore creates a store bounded to cap fingerprints
+// (cap <= 0 uses DefaultStatementCap).
+func NewStatementStore(cap int) *StatementStore {
+	if cap <= 0 {
+		cap = DefaultStatementCap
+	}
+	return &StatementStore{cap: cap, m: make(map[uint64]*stmtEntry), lru: list.New()}
+}
+
+// Record folds one finished query into its fingerprint's entry,
+// creating (and, at capacity, evicting the least-recently-used) as
+// needed. Fingerprint 0 (unparseable statement) is ignored.
+func (st *StatementStore) Record(o StatementObservation) {
+	if st == nil || o.Fingerprint == 0 {
+		return
+	}
+	now := time.Now()
+	st.mu.Lock()
+	e := st.m[o.Fingerprint]
+	if e == nil {
+		if st.lru.Len() >= st.cap {
+			old := st.lru.Back()
+			st.lru.Remove(old)
+			delete(st.m, old.Value.(uint64))
+			st.evicted++
+		}
+		e = &stmtEntry{hist: &Histogram{}}
+		e.s.Fingerprint = o.Fingerprint
+		e.s.FingerprintHex = FingerprintHex(o.Fingerprint)
+		e.s.Text = o.Text
+		e.s.FirstSeen = now
+		e.elem = st.lru.PushFront(o.Fingerprint)
+		st.m[o.Fingerprint] = e
+	} else {
+		st.lru.MoveToFront(e.elem)
+	}
+	s := &e.s
+	s.Calls++
+	if o.Err {
+		s.Errors++
+	}
+	s.Rows += uint64(o.Rows)
+	s.TotalNs += o.DurNs
+	if o.DurNs > s.MaxNs {
+		s.MaxNs = o.DurNs
+	}
+	s.AllocBytes += o.AllocBytes
+	if o.MemBytes > s.MemHighWater {
+		s.MemHighWater = o.MemBytes
+	}
+	s.DeltaRows += uint64(o.DeltaRows)
+	s.EstCost += o.EstCost
+	s.ActualCost += o.ActualCost
+	if len(o.Order) > 0 {
+		if len(s.LastOrder) > 0 && !eqStrs(s.LastOrder, o.Order) {
+			s.PlanChanges++
+			s.LastChangeEpoch = o.Epoch
+			st.drifts++
+		}
+		s.LastOrder = append(s.LastOrder[:0], o.Order...)
+	}
+	s.LastEpoch = o.Epoch
+	s.LastSeen = now
+	st.mu.Unlock()
+	// Histogram recording is atomic; no need to hold the store lock.
+	e.hist.RecordNs(o.DurNs)
+}
+
+func eqStrs(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Len reports the number of tracked fingerprints.
+func (st *StatementStore) Len() int {
+	if st == nil {
+		return 0
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return len(st.m)
+}
+
+// Evicted reports how many fingerprints were pushed out by the LRU cap.
+func (st *StatementStore) Evicted() uint64 {
+	if st == nil {
+		return 0
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return st.evicted
+}
+
+// Reset clears every entry (tests and \statements reset).
+func (st *StatementStore) Reset() {
+	if st == nil {
+		return
+	}
+	st.mu.Lock()
+	st.m = make(map[uint64]*stmtEntry)
+	st.lru = list.New()
+	st.mu.Unlock()
+}
+
+// Statement sort keys accepted by Snapshots' by selector.
+var StatementSortKeys = []string{"time", "calls", "mean", "rows", "errors", "alloc", "drift", "ratio"}
+
+// Snapshots exports every tracked fingerprint sorted by the selector
+// (descending): "time" (default) = total latency, "calls", "mean",
+// "rows", "errors", "alloc", "drift" = plan changes, "ratio" =
+// estimate-vs-actual cost ratio. limit <= 0 returns all. Snapshots are
+// deep copies: safe to hold, merge and serialize while queries run.
+func (st *StatementStore) Snapshots(by string, limit int) []StatementSnapshot {
+	if st == nil {
+		return nil
+	}
+	st.mu.Lock()
+	out := make([]StatementSnapshot, 0, len(st.m))
+	hists := make([]*Histogram, 0, len(st.m))
+	for _, e := range st.m {
+		s := e.s
+		s.LastOrder = append([]string(nil), e.s.LastOrder...)
+		out = append(out, s)
+		hists = append(hists, e.hist)
+	}
+	st.mu.Unlock()
+	for i := range out {
+		out[i].Hist = hists[i].Snapshot()
+		out[i].finish()
+	}
+	less := func(i, j int) bool { return out[i].TotalNs > out[j].TotalNs }
+	switch by {
+	case "", "time":
+	case "calls":
+		less = func(i, j int) bool { return out[i].Calls > out[j].Calls }
+	case "mean":
+		less = func(i, j int) bool { return out[i].MeanNs > out[j].MeanNs }
+	case "rows":
+		less = func(i, j int) bool { return out[i].Rows > out[j].Rows }
+	case "errors":
+		less = func(i, j int) bool { return out[i].Errors > out[j].Errors }
+	case "alloc":
+		less = func(i, j int) bool { return out[i].AllocBytes > out[j].AllocBytes }
+	case "drift":
+		less = func(i, j int) bool { return out[i].PlanChanges > out[j].PlanChanges }
+	case "ratio":
+		less = func(i, j int) bool { return out[i].CostRatio > out[j].CostRatio }
+	}
+	// Fingerprint tie-break keeps the order deterministic for tests and
+	// stable pagination.
+	sort.Slice(out, func(i, j int) bool {
+		if less(i, j) != less(j, i) {
+			return less(i, j)
+		}
+		return out[i].Fingerprint < out[j].Fingerprint
+	})
+	if limit > 0 && len(out) > limit {
+		out = out[:limit]
+	}
+	return out
+}
+
+// Counters exports store-level totals for the /metrics counter sum
+// (per-fingerprint series are emitted separately by the exposition
+// layer).
+func (st *StatementStore) Counters() map[string]int64 {
+	if st == nil {
+		return nil
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return map[string]int64{
+		"statements_tracked":     int64(len(st.m)),
+		"statements_evicted":     int64(st.evicted),
+		"statement_plan_changes": int64(st.drifts),
+	}
+}
+
+// FingerprintHex renders a fingerprint ID the way every surface joins
+// on it (slow log, /metrics labels, /debug/statements).
+func FingerprintHex(fp uint64) string {
+	const hexdigits = "0123456789abcdef"
+	var buf [16]byte
+	for i := 15; i >= 0; i-- {
+		buf[i] = hexdigits[fp&0xf]
+		fp >>= 4
+	}
+	return string(buf[:])
+}

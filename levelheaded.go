@@ -82,6 +82,10 @@ type (
 	// QueryInfo describes one in-flight (or recently finished) query in
 	// the live registry.
 	QueryInfo = telemetry.QueryInfo
+	// StatementSnapshot is one fingerprint's cumulative statement
+	// statistics (the pg_stat_statements row analog), from
+	// Engine.Statements or /debug/statements.
+	StatementSnapshot = telemetry.StatementSnapshot
 	// DebugServer is a running telemetry HTTP server (see ServeDebug).
 	DebugServer = telemetry.Server
 )
@@ -398,6 +402,13 @@ func (e *Engine) CacheSize() int { return e.inner.CacheSize() }
 // histograms, live query registry, retained traces) — pass it to
 // ServeDebug to monitor the engine over HTTP.
 func (e *Engine) Telemetry() *Telemetry { return e.inner.Telemetry() }
+
+// Statements exports per-fingerprint statement statistics sorted
+// descending by the given key ("" or "time" = total latency; see
+// telemetry.StatementSortKeys for the rest); limit <= 0 returns all.
+func (e *Engine) Statements(by string, limit int) []StatementSnapshot {
+	return e.inner.Statements(by, limit)
+}
 
 // BeginShutdown stops admitting queries: queued and subsequent queries
 // fail with *OverloadedError while in-flight queries run to completion.
