@@ -13,12 +13,16 @@ BENCH_WARMUP ?= 2
 # nothing while deltas are empty — the hot path branches on one nil
 # snapshot pointer).
 BENCH_MAX_RATIO ?= 1.02
+# Per-query gate: no single query may regress past this ratio, so a
+# large aggregate win (e.g. the hybrid access path) cannot hide one
+# query that the classifier got wrong.
+BENCH_MAX_QUERY_RATIO ?= 1.05
 
 # difftest-long parameters: wall-clock budget for the nightly
 # randomized sweep (time-seeded; failures shrink to a JSON repro).
 DIFFTEST_BUDGET ?= 60s
 
-.PHONY: all build vet lint test race bench-smoke bench-save bench-compare telemetry-race telemetry-smoke chaos difftest difftest-long ci clean
+.PHONY: all build vet lint test race bench-smoke bench-save bench-compare hybrid-ab telemetry-race telemetry-smoke chaos difftest difftest-long ci clean
 
 all: build
 
@@ -61,7 +65,17 @@ bench-save:
 # geomean + per-query table, via the in-repo cmd/benchdiff).
 bench-compare:
 	$(GO) run ./cmd/lhbench -suite tpch -sf $(BENCH_SF) -count $(BENCH_COUNT) -warmup $(BENCH_WARMUP) -json /tmp/bench_current.json
-	$(GO) run ./cmd/benchdiff -max-ratio $(BENCH_MAX_RATIO) $(BENCH_BASELINE) /tmp/bench_current.json
+	$(GO) run ./cmd/benchdiff -max-ratio $(BENCH_MAX_RATIO) -max-query-ratio $(BENCH_MAX_QUERY_RATIO) $(BENCH_BASELINE) /tmp/bench_current.json
+
+# A/B the two access paths of the hybrid executor over the TPC-H suite:
+# one run with every GHD node forced onto the binary hash-join chain,
+# one forced onto pure WCOJ, diffed with benchdiff (no gate — this is a
+# measurement tool, not a regression check). LH_FORCE_PATH is the same
+# env override the chaos drills use.
+hybrid-ab:
+	LH_FORCE_PATH=wcoj $(GO) run ./cmd/lhbench -suite tpch -sf $(BENCH_SF) -count $(BENCH_COUNT) -warmup $(BENCH_WARMUP) -json /tmp/bench_wcoj.json
+	LH_FORCE_PATH=binary $(GO) run ./cmd/lhbench -suite tpch -sf $(BENCH_SF) -count $(BENCH_COUNT) -warmup $(BENCH_WARMUP) -json /tmp/bench_binary.json
+	$(GO) run ./cmd/benchdiff /tmp/bench_wcoj.json /tmp/bench_binary.json
 
 # Focused race check on the lock-free telemetry paths (histogram
 # recording, span buffers, registry) and their integration points.

@@ -7,7 +7,8 @@
 //
 // A ratio < 1.00x means the new run is faster. With -max-ratio set,
 // benchdiff exits nonzero when the geomean exceeds it (CI regression
-// gate).
+// gate); -max-query-ratio additionally gates every individual query, so
+// an aggregate win cannot smuggle in a single-query regression.
 package main
 
 import (
@@ -20,16 +21,22 @@ import (
 )
 
 type rec struct {
-	Name       string `json:"name"`
-	Runs       int    `json:"runs"`
-	MinNs      int64  `json:"min_ns"`
-	MeanNs     int64  `json:"mean_ns"`
-	Rows       int    `json:"rows"`
-	Dispatch   string `json:"dispatch"`
-	AllocPerOp int64  `json:"alloc_bytes_per_op"`
+	Name     string `json:"name"`
+	Runs     int    `json:"runs"`
+	MinNs    int64  `json:"min_ns"`
+	MeanNs   int64  `json:"mean_ns"`
+	Rows     int    `json:"rows"`
+	Dispatch string `json:"dispatch"`
+	// Paths lists the per-GHD-node access paths of the hybrid executor
+	// (pre-order), e.g. ["binary"] or ["wcoj","binary"].
+	Paths      []string `json:"paths,omitempty"`
+	AllocPerOp int64    `json:"alloc_bytes_per_op"`
 }
 
-var flagMaxRatio = flag.Float64("max-ratio", 0, "fail (exit 1) when the geomean time ratio new/old exceeds this (0 = report only)")
+var (
+	flagMaxRatio      = flag.Float64("max-ratio", 0, "fail (exit 1) when the geomean time ratio new/old exceeds this (0 = report only)")
+	flagMaxQueryRatio = flag.Float64("max-query-ratio", 0, "fail (exit 1) when ANY single query's time ratio new/old exceeds this (0 = report only)")
+)
 
 func load(path string) map[string]rec {
 	data, err := os.ReadFile(path)
@@ -92,6 +99,7 @@ func main() {
 		"name", "old time", "new time", "ratio", "old alloc", "new alloc", "ratio")
 	logSum, logN := 0.0, 0
 	var aOld, aNew int64
+	var worst []string
 	for _, name := range oldOrder {
 		o := oldM[name]
 		n, ok := newM[name]
@@ -102,6 +110,9 @@ func main() {
 		tRatio := float64(n.MinNs) / float64(o.MinNs)
 		logSum += math.Log(tRatio)
 		logN++
+		if *flagMaxQueryRatio > 0 && tRatio > *flagMaxQueryRatio {
+			worst = append(worst, fmt.Sprintf("%s %.3fx", name, tRatio))
+		}
 		aOld += o.AllocPerOp
 		aNew += n.AllocPerOp
 		aStr := "-"
@@ -129,8 +140,16 @@ func main() {
 	if aOld > 0 {
 		fmt.Printf("total alloc/op: %s -> %s (%.2fx)\n", fmtB(aOld), fmtB(aNew), float64(aNew)/float64(aOld))
 	}
+	fail := false
 	if *flagMaxRatio > 0 && geo > *flagMaxRatio {
 		fmt.Fprintf(os.Stderr, "FAIL: geomean %.3fx exceeds -max-ratio %.3fx\n", geo, *flagMaxRatio)
+		fail = true
+	}
+	for _, w := range worst {
+		fmt.Fprintf(os.Stderr, "FAIL: query %s exceeds -max-query-ratio %.3fx\n", w, *flagMaxQueryRatio)
+		fail = true
+	}
+	if fail {
 		os.Exit(1)
 	}
 }

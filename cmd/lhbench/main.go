@@ -77,6 +77,9 @@ type benchRec struct {
 	MeanNs   int64  `json:"mean_ns"`
 	Rows     int    `json:"rows"`
 	Dispatch string `json:"dispatch"`
+	// Paths is the hybrid executor's chosen access path per GHD node
+	// (pre-order) — the per-node refinement of the Dispatch class.
+	Paths []string `json:"paths,omitempty"`
 	// AllocPerOp is the mean heap bytes allocated per run (the
 	// QueryStats runtime/metrics delta).
 	AllocPerOp int64 `json:"alloc_bytes_per_op"`
@@ -334,6 +337,7 @@ func benchQ(eng *core.Engine, name, sql string) time.Duration {
 		rec.Rows = res.NumRows
 		if res.Stats != nil {
 			rec.Dispatch = res.Stats.Dispatch
+			rec.Paths = res.Stats.AccessPaths
 			allocSum += res.Stats.AllocBytes
 		}
 		if *flagStats && res.Stats != nil && !statsSeen[sql] {

@@ -11,6 +11,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"os"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -43,6 +44,7 @@ type Engine struct {
 	gov     *governor.Governor
 
 	threads    int
+	forcePath  string
 	noAttrElim bool
 	noCostOpt  bool
 	pickWorst  bool
@@ -146,6 +148,11 @@ func WithAutoCompact(rows int) Option {
 // New creates an empty engine.
 func New(opts ...Option) *Engine {
 	e := &Engine{cat: storage.NewCatalog(), cache: exec.NewTrieCache(), plans: map[string]*preparedPlan{}}
+	// LH_FORCE_PATH pins every GHD node to one access path ("wcoj" or
+	// "binary"), faultinject-style: an env knob for A/B runs and chaos
+	// drills that needs no code changes in the caller. Unknown values are
+	// rejected at query time by exec.Run.
+	e.forcePath = os.Getenv("LH_FORCE_PATH")
 	for _, o := range opts {
 		o(e)
 	}
@@ -343,6 +350,10 @@ type QueryOptions struct {
 	WorstOrder bool
 	// Threads overrides the engine thread setting for this query.
 	Threads int
+	// ForcePath forces every GHD node onto one access path —
+	// costopt.PathWCOJ or costopt.PathBinary — instead of the cost-based
+	// choice. Empty defers to the engine-level LH_FORCE_PATH override.
+	ForcePath string
 	// MemoryBudget overrides the engine-level per-query memory budget
 	// for this query (0 keeps the engine setting).
 	MemoryBudget int64
@@ -433,6 +444,7 @@ func (e *Engine) recordStatement(st *obs.QueryStats, err error) {
 		DeltaRows:   st.DeltaRowsFolded,
 		Epoch:       st.SnapshotEpoch,
 		Order:       st.RootOrder,
+		Paths:       st.AccessPaths,
 		EstCost:     est,
 		ActualCost:  actual,
 	})
@@ -687,6 +699,10 @@ func (e *Engine) execOptions(qo QueryOptions) exec.Options {
 		// optimizer's chosen plan; ablations that force other orders must
 		// measure the generic interpreter instead.
 		NoFastPath: e.noCostOpt || e.pickWorst || qo.WorstOrder || len(qo.ForcedOrder) > 0,
+		ForcePath:  qo.ForcePath,
+	}
+	if opts.ForcePath == "" {
+		opts.ForcePath = e.forcePath
 	}
 	if !e.noCache {
 		opts.Cache = e.cache
@@ -739,7 +755,7 @@ func (e *Engine) prepareStats(sql string, qo QueryOptions, st *obs.QueryStats) (
 			st.Fingerprint, st.FingerprintText = pp.fp, pp.fpText
 			recordPlanStats(st, pp.p, pp.ch)
 		}
-		return pp.p, pp.ch, nil
+		return pp.p, e.classifyPaths(pp.p, pp.ch, pp.fp, qo), nil
 	}
 	e.mu.Unlock()
 	tp := time.Now()
@@ -776,7 +792,26 @@ func (e *Engine) prepareStats(sql string, qo QueryOptions, st *obs.QueryStats) (
 	e.mu.Lock()
 	e.plans[key] = &preparedPlan{p: p, ch: ch, fp: fp, fpText: fpText}
 	e.mu.Unlock()
-	return p, ch, nil
+	return p, e.classifyPaths(p, ch, fp, qo), nil
+}
+
+// classifyPaths augments a chosen plan with per-node access-path
+// decisions (tentpole of the hybrid executor). It runs per query — not
+// once at plan-cache fill — because the drift correction folds in the
+// statement's live cost_ratio, which sharpens as executions accumulate.
+// The cached Choice is never mutated: paths land on a per-query shallow
+// copy, so concurrent queries racing on one cached plan stay safe.
+// Ablation and forced-order modes skip classification — their cost
+// numbers deliberately mismeasure, and Table III rows must keep
+// measuring the pure WCOJ interpreter.
+func (e *Engine) classifyPaths(p *planner.Plan, ch *costopt.Choice, fp uint64, qo QueryOptions) *costopt.Choice {
+	if e.noCostOpt || e.pickWorst || qo.WorstOrder || len(qo.ForcedOrder) > 0 || p.GHD == nil {
+		return ch
+	}
+	drift := e.tel.Statements.CostRatio(fp)
+	out := *ch
+	out.Paths = costopt.ClassifyPaths(p, ch, drift)
+	return &out
 }
 
 // recordPlanStats copies the optimizer's decision into the stats.
@@ -807,6 +842,9 @@ func (e *Engine) Explain(sql string) (string, error) {
 	fmt.Fprintf(&b, "%s", p.GHD)
 	for node, ord := range ch.Orders {
 		fmt.Fprintf(&b, "node %v: %s\n", node.Bag, ord)
+		if pi := ch.Paths[node]; pi != nil {
+			fmt.Fprintf(&b, "  %s\n", pi)
+		}
 		for _, pv := range ord.Per {
 			fmt.Fprintf(&b, "  %-14s icost=%-4d weight=%d\n", pv.Vertex, pv.ICost, pv.Weight)
 		}

@@ -63,9 +63,12 @@ func (o *Order) String() string {
 	return s
 }
 
-// Choice holds the per-node orders of a plan.
+// Choice holds the per-node orders of a plan, plus the access-path
+// decisions of the hybrid executor (populated by ClassifyPaths; nil
+// or missing entries mean the WCOJ path).
 type Choice struct {
 	Orders map[*ghd.Node]*Order
+	Paths  map[*ghd.Node]*PathInfo
 }
 
 // Options configures order selection.
@@ -520,7 +523,8 @@ func intersectStrs(a, b []string) []string {
 func ObservedCost(st *set.Stats) float64 {
 	return float64(st.BsBs)*costBsBs +
 		float64(st.BsUint)*costBsUint +
-		float64(st.UintUintMerge+st.UintUintGallop)*costUintUint
+		float64(st.UintUintMerge+st.UintUintGallop)*costUintUint +
+		float64(st.Probes)*costLazyProbe
 }
 
 // RelaxedValid reports whether an order satisfies the §V-A2 execution

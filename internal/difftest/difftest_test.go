@@ -68,6 +68,7 @@ func TestDifferentialShort(t *testing.T) {
 		"spmm":            45,
 		"dict":            80,
 		"ingest":          60,
+		"hybrid":          600,
 	}
 	if *flagCount > 0 {
 		for k := range counts {
@@ -99,6 +100,11 @@ func TestDifferentialShort(t *testing.T) {
 	total += laneRun(t, "ingest", seed+7e6, counts["ingest"], func(g *Gen) (*Case, *QuerySpec) {
 		return g.GenIngestCase()
 	})
+	// Access-path equivalence: forced-WCOJ vs forced-binary vs the
+	// cost-based hybrid, bit-identical on every generated pair.
+	total += laneRun(t, "hybrid", seed+8e6, counts["hybrid"], func(g *Gen) (*Case, *QuerySpec) {
+		return g.GenHybridCase()
+	})
 	if total < 500 && *flagCount == 0 {
 		t.Fatalf("only %d query/dataset pairs ran; want >= 500", total)
 	}
@@ -126,6 +132,7 @@ func TestDifferentialLong(t *testing.T) {
 		{"spmm", func(g *Gen) (*Case, *QuerySpec) { return g.GenSpMMCase(), nil }},
 		{"dict", func(g *Gen) (*Case, *QuerySpec) { return g.GenDictCase(), nil }},
 		{"ingest", func(g *Gen) (*Case, *QuerySpec) { return g.GenIngestCase() }},
+		{"hybrid", func(g *Gen) (*Case, *QuerySpec) { return g.GenHybridCase() }},
 	}
 	ran := 0
 	for i := 0; time.Now().Before(deadline); i++ {

@@ -32,6 +32,8 @@ func RunLane(c *Case) Outcome {
 		return RunSpMMLane(c)
 	case "ingest":
 		return RunIngestLane(c)
+	case "hybrid":
+		return RunHybridLane(c)
 	}
 	return Outcome{Verdict: Skip, Detail: "unknown lane " + c.Lane}
 }

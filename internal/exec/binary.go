@@ -1,0 +1,293 @@
+// Binary hash-join navigation over lazily-built generalized hash
+// tries: the second access path of the hybrid executor. Instead of
+// materializing per-level set intersections, one driver relation's
+// sorted value run is scanned and the other participants are membership
+// -probed in batches (vectorized probing). Because the driver run is
+// ascending and probing preserves exactly the survivors an intersection
+// would produce, the navigator visits the same value sequence as the
+// WCOJ recursion — it shares the worker's emit machinery verbatim, so
+// hybrid and forced-WCOJ plans are bit-identical on every shape.
+package exec
+
+import (
+	"fmt"
+
+	"repro/internal/faultinject"
+)
+
+// probeBlock is the batched-probe width: per non-driver relation, one
+// tight loop fills a rank buffer for probeBlock driver values before
+// the survivor scan, keeping probe loops branch-predictable and free of
+// per-element call overhead.
+const probeBlock = 512
+
+// binBufs is the per-level probe scratch of one worker: the batched
+// rank buffers (one per participating relation) and a value buffer for
+// materializing bitset-layout trie sets. Pooled with the worker, so the
+// steady-state probe loop performs zero allocations.
+type binBufs struct {
+	ranks [][]int32
+	vals  []uint32
+}
+
+// prepareBinary materializes everything a binary node needs before the
+// parfor fan-out: all lazy-trie levels and annotation buffers (the
+// "first probe" of this node — skipped entirely when the level-0 join
+// came up empty), the dense level-0 probe index, and the deferred
+// aggregate-leaf and multiplicity bindings.
+func prepareBinary(n *cNode) {
+	for _, cr := range n.rels {
+		if cr.lz == nil {
+			continue
+		}
+		cr.lz.EnsureLevels(len(cr.attrs) - 1)
+		cr.lz.EnsureAnns()
+		cr.lz.EnsureProbe0()
+		if a := cr.lz.Ann(multAnn); a != nil {
+			cr.mult = a.F64
+		}
+	}
+	for _, b := range n.lazyBinds {
+		n.aggs[b.agg].leafBufs[b.leaf] = b.ann.F64
+	}
+}
+
+// lazyLevelsSum counts materialized lazy-trie levels across the node's
+// relations; runNode diffs it around execution for the EXPLAIN ANALYZE
+// lazy-build counter.
+func lazyLevelsSum(n *cNode) int {
+	s := 0
+	for _, cr := range n.rels {
+		if cr.lz != nil {
+			s += cr.lz.BuiltLevels()
+		}
+	}
+	return s
+}
+
+// probeRank locates v in a relation's set under parent, or -1.
+func probeRank(cr *cRel, lvl int, parent int32, v uint32) int32 {
+	if cr.lz != nil {
+		if lvl == 0 {
+			return cr.lz.Probe0(v)
+		}
+		return cr.lz.RankOf(lvl, parent, v)
+	}
+	return cr.tr.RankOf(lvl, parent, v)
+}
+
+// lvlCard reports the cardinality of a relation's set under parent.
+func lvlCard(cr *cRel, lvl int, parent int32) int {
+	if cr.lz != nil {
+		return cr.lz.Card(lvl, parent)
+	}
+	return cr.tr.Set(lvl, parent).Card()
+}
+
+// lvlSlice returns a relation's sorted value run under parent and the
+// global rank of its first element, materializing bitset layouts into
+// scratch. The returned slice aliases the trie or scratch; callers only
+// read it.
+func lvlSlice(cr *cRel, lvl int, parent int32, scratch []uint32) (vals []uint32, base int32, sc []uint32) {
+	if cr.lz != nil {
+		return cr.lz.Values(lvl, parent), cr.lz.Start(lvl, parent), scratch
+	}
+	s := cr.tr.Set(lvl, parent)
+	base = cr.tr.Levels[lvl].Starts[parent]
+	if u, ok := s.Uints(); ok {
+		return u, base, scratch
+	}
+	scratch = scratch[:0]
+	s.ForEach(func(v uint32) {
+		scratch = append(scratch, v)
+	})
+	return scratch, base, scratch
+}
+
+// binBuf returns (lazily creating) the worker's level-d probe scratch.
+func (w *worker) binBuf(d int) *binBufs {
+	if w.bbufs[d] == nil {
+		w.bbufs[d] = &binBufs{}
+	}
+	return w.bbufs[d]
+}
+
+// runChunkBinary processes the assigned level-0 survivors (already
+// probed by levelZeroValues' binary branch), binding each relation's
+// rank and descending. Mirrors runChunk: same context-check cadence,
+// same group boundaries, same emit calls — only navigation differs.
+func (w *worker) runChunkBinary(vals []uint32) error {
+	faultinject.Fire(faultinject.PointExecWorker)
+	n := w.n
+	ps := n.parts[0]
+	boundary := n.matCount - 1
+	for vi, v := range vals {
+		if vi%ctxCheckStride == 0 {
+			if w.ctx != nil {
+				if err := w.ctx.Err(); err != nil {
+					return err
+				}
+			}
+			if err := w.chargeRetained(); err != nil {
+				return err
+			}
+		}
+		for _, p := range ps {
+			rk := probeRank(n.rels[p.rel], p.lvl, 0, v)
+			if rk < 0 {
+				return fmt.Errorf("exec: value %d missing from %s level %d", v, n.rels[p.rel].alias, p.lvl)
+			}
+			w.ranks[p.rel][p.lvl] = rk
+		}
+		w.iStats.Probes += uint64(len(ps))
+		if 0 < n.matCount {
+			w.curKey[0] = v
+		}
+		if w.curVals != nil {
+			w.curVals[0] = v
+		}
+		if boundary == 0 {
+			w.beginGroup()
+		}
+		if n.nLevels == 1 {
+			w.addTuple(v)
+		} else {
+			if err := w.descendBinary(1); err != nil {
+				return err
+			}
+		}
+		if boundary == 0 {
+			w.endGroup()
+		}
+	}
+	return nil
+}
+
+// visitBinary is the per-value emit step of the binary navigator — the
+// exact body of the WCOJ recursion's visit closure, as a method so the
+// probe loops stay closure-free (and allocation-free).
+func (w *worker) visitBinary(d int, v uint32, boundary, last bool) error {
+	n := w.n
+	w.steps++
+	if w.steps&stepCheckMask == 0 {
+		if err := w.tick(); err != nil {
+			return err
+		}
+	}
+	if d < n.matCount {
+		w.curKey[d] = v
+	}
+	if w.curVals != nil {
+		w.curVals[d] = v
+	}
+	if boundary {
+		w.beginGroup()
+	}
+	if last {
+		w.addTuple(v)
+	} else if err := w.descendBinary(d + 1); err != nil {
+		return err
+	}
+	if boundary {
+		w.endGroup()
+	}
+	return nil
+}
+
+// descendBinary iterates level d by scanning the smallest participating
+// set (the driver) in ascending order and batch-probing the others.
+// The survivor sequence equals the level's set intersection, so the
+// visit order — and therefore every downstream fold — matches WCOJ.
+func (w *worker) descendBinary(d int) error {
+	n := w.n
+	ps := n.parts[d]
+	boundary := d == n.matCount-1
+	last := d == n.nLevels-1
+
+	if len(ps) == 1 {
+		p := ps[0]
+		cr := n.rels[p.rel]
+		parent := w.parentRank(p.rel, p.lvl)
+		bb := w.binBuf(d)
+		vals, base, sc := lvlSlice(cr, p.lvl, parent, bb.vals)
+		bb.vals = sc
+		for idx, v := range vals {
+			w.ranks[p.rel][p.lvl] = base + int32(idx)
+			if err := w.visitBinary(d, v, boundary, last); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+
+	// Driver: the smallest set (ties to the lowest part index, so the
+	// choice — and the visit sequence — is deterministic).
+	drv := 0
+	minCard := lvlCard(n.rels[ps[0].rel], ps[0].lvl, w.parentRank(ps[0].rel, ps[0].lvl))
+	for i := 1; i < len(ps); i++ {
+		if c := lvlCard(n.rels[ps[i].rel], ps[i].lvl, w.parentRank(ps[i].rel, ps[i].lvl)); c < minCard {
+			minCard, drv = c, i
+		}
+	}
+	bb := w.binBuf(d)
+	if cap(bb.ranks) < len(ps) {
+		bb.ranks = append(bb.ranks[:cap(bb.ranks)], make([][]int32, len(ps)-cap(bb.ranks))...)
+	}
+	bb.ranks = bb.ranks[:len(ps)]
+	dp := ps[drv]
+	dvals, dbase, sc := lvlSlice(n.rels[dp.rel], dp.lvl, w.parentRank(dp.rel, dp.lvl), bb.vals)
+	bb.vals = sc
+
+	for lo := 0; lo < len(dvals); lo += probeBlock {
+		hi := lo + probeBlock
+		if hi > len(dvals) {
+			hi = len(dvals)
+		}
+		block := dvals[lo:hi]
+		// Vectorized probe: one tight loop per non-driver relation fills
+		// its rank buffer for the whole block.
+		for j, p := range ps {
+			if j == drv {
+				continue
+			}
+			cr := n.rels[p.rel]
+			parent := w.parentRank(p.rel, p.lvl)
+			rj := resizeI32(bb.ranks[j], len(block))
+			bb.ranks[j] = rj
+			if cr.lz != nil && p.lvl == 0 {
+				for i, v := range block {
+					rj[i] = cr.lz.Probe0(v)
+				}
+			} else if cr.lz != nil {
+				for i, v := range block {
+					rj[i] = cr.lz.RankOf(p.lvl, parent, v)
+				}
+			} else {
+				for i, v := range block {
+					rj[i] = cr.tr.RankOf(p.lvl, parent, v)
+				}
+			}
+			w.iStats.Probes += uint64(len(block))
+		}
+		// Survivor scan: values present in every relation bind their
+		// ranks and descend.
+	survivors:
+		for i, v := range block {
+			for j := range ps {
+				if j != drv && bb.ranks[j][i] < 0 {
+					continue survivors
+				}
+			}
+			w.ranks[dp.rel][dp.lvl] = dbase + int32(lo+i)
+			for j, p := range ps {
+				if j != drv {
+					w.ranks[p.rel][p.lvl] = bb.ranks[j][i]
+				}
+			}
+			if err := w.visitBinary(d, v, boundary, last); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

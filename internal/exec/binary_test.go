@@ -1,0 +1,189 @@
+package exec
+
+import (
+	"testing"
+
+	"repro/internal/costopt"
+	"repro/internal/planner"
+	"repro/internal/set"
+	"repro/internal/sqlparse"
+	"repro/internal/storage"
+)
+
+// binaryCatalog builds a two-attribute join pair so the compiled trie
+// has two levels with two participating relations at each — the shape
+// that exercises descendBinary's batched probe loop, not just the
+// single-part slice scan.
+func binaryCatalog(t *testing.T, rows int) *storage.Catalog {
+	t.Helper()
+	cat := storage.NewCatalog()
+	fact, err := cat.Create(storage.Schema{Name: "fact", Cols: []storage.ColumnDef{
+		{Name: "a", Kind: storage.Int64, Role: storage.Key, Domain: "da"},
+		{Name: "b", Kind: storage.Int64, Role: storage.Key, Domain: "db"},
+		{Name: "x", Kind: storage.Float64, Role: storage.Annotation},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	dim, err := cat.Create(storage.Schema{Name: "dim", Cols: []storage.ColumnDef{
+		{Name: "a1", Kind: storage.Int64, Role: storage.Key, Domain: "da"},
+		{Name: "b1", Kind: storage.Int64, Role: storage.Key, Domain: "db"},
+		{Name: "w", Kind: storage.Float64, Role: storage.Annotation},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Deterministic, overlapping but not identical key sets: some fact
+	// keys miss dim (probe misses) and values repeat (duplicate handling).
+	x := uint64(0x9e3779b97f4a7c15)
+	next := func(m uint64) int64 {
+		x ^= x << 13
+		x ^= x >> 7
+		x ^= x << 17
+		return int64(x % m)
+	}
+	for i := 0; i < rows; i++ {
+		if err := fact.AppendRow(next(64), next(32), float64(i%7)+0.5); err != nil {
+			t.Fatal(err)
+		}
+		if err := dim.AppendRow(next(48), next(32), float64(i%5)-2); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := cat.Freeze(); err != nil {
+		t.Fatal(err)
+	}
+	return cat
+}
+
+// TestForcedPathsAgree runs the same queries under ForcePath=wcoj and
+// ForcePath=binary and requires bit-identical results: the binary
+// navigator must visit exactly the survivor sequence the WCOJ
+// intersections produce, on grouped and grand-aggregate shapes alike.
+func TestForcedPathsAgree(t *testing.T) {
+	cat := binaryCatalog(t, 500)
+	queries := []string{
+		`SELECT sum(x * w) as v, count(*) as c FROM fact, dim WHERE fact.a = dim.a1 AND fact.b = dim.b1`,
+		`SELECT a, sum(x * w) as v FROM fact, dim WHERE fact.a = dim.a1 AND fact.b = dim.b1 GROUP BY a`,
+		`SELECT a, b, sum(x) as v, min(w) as lo, max(w) as hi FROM fact, dim WHERE fact.a = dim.a1 AND fact.b = dim.b1 GROUP BY a, b`,
+		`SELECT sum(x) as v FROM fact, dim WHERE fact.a = dim.a1 AND fact.b = dim.b1 AND x > 2`,
+	}
+	for _, threads := range []int{1, 4} {
+		for _, sql := range queries {
+			// One plan + order choice shared by both executions: order
+			// selection may break cost ties either way run-to-run, and this
+			// test isolates the access path, not the tie-break.
+			q, err := sqlparse.Parse(sql)
+			if err != nil {
+				t.Fatal(err)
+			}
+			p, err := planner.Build(q, cat)
+			if err != nil {
+				t.Fatal(err)
+			}
+			ch, err := costopt.Choose(p, costopt.Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			rw, err := Run(p, ch, cat, Options{Threads: threads, ForcePath: costopt.PathWCOJ})
+			if err != nil {
+				t.Fatalf("wcoj %q: %v", sql, err)
+			}
+			rb, err := Run(p, ch, cat, Options{Threads: threads, ForcePath: costopt.PathBinary})
+			if err != nil {
+				t.Fatalf("binary %q: %v", sql, err)
+			}
+			assertResultsEqual(t, sql, rw, rb)
+		}
+	}
+}
+
+// assertResultsEqual requires bitwise-equal columns in identical order.
+func assertResultsEqual(t *testing.T, sql string, a, b *Result) {
+	t.Helper()
+	if a.NumRows != b.NumRows || len(a.Cols) != len(b.Cols) {
+		t.Fatalf("%q: shape mismatch %dx%d vs %dx%d", sql, a.NumRows, len(a.Cols), b.NumRows, len(b.Cols))
+	}
+	for ci := range a.Cols {
+		ca, cb := a.Cols[ci], b.Cols[ci]
+		if ca.Name != cb.Name || ca.Kind != cb.Kind {
+			t.Fatalf("%q: column %d header mismatch", sql, ci)
+		}
+		for ri := 0; ri < a.NumRows; ri++ {
+			same := true
+			switch ca.Kind {
+			case KindInt:
+				same = ca.I64[ri] == cb.I64[ri]
+			case KindFloat:
+				same = ca.F64[ri] == cb.F64[ri]
+			case KindString:
+				same = ca.Str[ri] == cb.Str[ri]
+			}
+			if !same {
+				t.Fatalf("%q: col %s row %d differs between wcoj and binary", sql, ca.Name, ri)
+			}
+		}
+	}
+}
+
+// TestForcePathRejected checks the ForcePath validation in Run.
+func TestForcePathRejected(t *testing.T) {
+	cat := binaryCatalog(t, 10)
+	_, err := runErr(cat, `SELECT sum(x) as v FROM fact, dim WHERE fact.a = dim.a1 AND fact.b = dim.b1`,
+		Options{ForcePath: "hash"}, costopt.Options{})
+	if err == nil {
+		t.Fatal("unknown ForcePath accepted")
+	}
+}
+
+// TestBinaryProbeZeroAllocs guards the binary navigator's steady state:
+// with lazy levels materialized and worker scratch warm, a full chunk —
+// level-0 rank binding, batched descendBinary probing, grand-aggregate
+// folds — must not allocate. (bench-smoke runs this alongside the
+// intersection and aggregation-table guards.)
+func TestBinaryProbeZeroAllocs(t *testing.T) {
+	cat := binaryCatalog(t, 2000)
+	sql := `SELECT sum(x * w) as v FROM fact, dim WHERE fact.a = dim.a1 AND fact.b = dim.b1`
+	q, err := sqlparse.Parse(sql)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := planner.Build(q, cat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ch, err := costopt.Choose(p, costopt.Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := compile(p, ch, cat, Options{ForcePath: costopt.PathBinary})
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := c.root
+	var st set.Stats
+	vals, err := levelZeroValues(n, &st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(vals) == 0 {
+		t.Fatal("empty level-0 join; test needs survivors to probe")
+	}
+	prepareBinary(n)
+	w := newWorker(n, nil, nil)
+	defer w.release()
+	// Warm: first chunk sizes the per-level probe buffers.
+	if err := w.runChunkBinary(vals); err != nil {
+		t.Fatal(err)
+	}
+	if allocs := testing.AllocsPerRun(50, func() {
+		if err := w.runChunkBinary(vals); err != nil {
+			t.Fatal(err)
+		}
+	}); allocs != 0 {
+		t.Errorf("binary probe loop: %v allocs/chunk on warm path, want 0", allocs)
+	}
+	if w.iStats.Probes == 0 {
+		t.Error("no probes counted; the binary path did not run")
+	}
+}

@@ -29,11 +29,15 @@ type part struct {
 // leafRef addresses one aggregate leaf: (aggregate index, leaf index).
 type leafRef struct{ agg, leaf int }
 
-// cRel is a compiled relation: a query trie plus bookkeeping.
+// cRel is a compiled relation: a query trie plus bookkeeping. Exactly
+// one of tr / lz backs it: binary-path nodes build their base relations
+// as lazy generalized hash tries (lz), everything else is a fully-built
+// trie (tr).
 type cRel struct {
 	relIdx  int // index into plan.Rels; -1 for a child result
 	alias   string
 	tr      *trie.Trie
+	lz      *trie.Lazy
 	attrs   []string // vertex per trie level, in node order
 	hasDups bool
 	mult    []float64 // the __mult buffer (nil when dup-free)
@@ -70,6 +74,22 @@ type cNode struct {
 	// aggKinds mirrors aggs[i].kind so the aggregation table can combine
 	// without reaching back into the node.
 	aggKinds []planner.AggKind
+	// path is the access path this node executes (costopt.PathWCOJ or
+	// costopt.PathBinary); pinfo carries the priced alternatives when the
+	// classifier ran (nil under ablations/forced orders).
+	path  string
+	pinfo *costopt.PathInfo
+	// lazyBinds defers aggregate-leaf buffer binding for lazy relations:
+	// annotation buffers only exist after EnsureAnns, which runNode calls
+	// right before the parfor fan-out.
+	lazyBinds []lazyBind
+}
+
+// lazyBind rebinds aggs[agg].leafBufs[leaf] to ann.F64 at run time,
+// once the lazy trie's annotation buffers are materialized.
+type lazyBind struct {
+	agg, leaf int
+	ann       *trie.Annotation
 }
 
 // hashGroup computes the emit-time group token of one GROUP BY item.
@@ -165,6 +185,18 @@ func (c *compiled) compileNode(n *ghd.Node, ch *costopt.Choice, isRoot bool) (*c
 		return nil, fmt.Errorf("exec: no attribute order for node %v", n.Bag)
 	}
 	cn := &cNode{gnode: n, order: ord.Attrs, est: ord, relaxed: ord.Relaxed, nLevels: len(ord.Attrs)}
+	// Access-path decision: the classifier's per-node choice, overridden
+	// uniformly by ForcePath (the A/B and difftest lever). Binary
+	// navigation is value-identical to WCOJ on any node shape, so forcing
+	// either path can only change speed, never results.
+	cn.path = costopt.PathWCOJ
+	if pi := ch.Paths[n]; pi != nil {
+		cn.pinfo = pi
+		cn.path = pi.Path
+	}
+	if fp := c.opts.ForcePath; fp != "" {
+		cn.path = fp
+	}
 	mat := 0
 	for _, v := range ord.Attrs {
 		if ord.MatSet[v] {
@@ -214,8 +246,11 @@ func (c *compiled) compileNode(n *ghd.Node, ch *costopt.Choice, isRoot bool) (*c
 		}
 	}
 
-	// Build relation tries; bind leaf buffers.
+	// Build relation tries; bind leaf buffers. Lazy relations (binary
+	// path) bind through the annotation pointer instead: the F64 buffer
+	// only exists after runNode's EnsureAnns.
 	leafBufs := map[leafRef][]float64{}
+	leafAnns := map[leafRef]*trie.Annotation{}
 	leafBound := map[leafRef]bool{}
 	for _, ei := range n.Edges {
 		combines := map[string]trie.CombineFunc{}
@@ -229,12 +264,23 @@ func (c *compiled) compileNode(n *ghd.Node, ch *costopt.Choice, isRoot bool) (*c
 				}
 			}
 		}
-		cr, err := c.buildRel(ei, ord.Attrs, leafAST[ei], combines)
+		cr, err := c.buildRel(ei, ord.Attrs, leafAST[ei], combines, cn.path == costopt.PathBinary)
 		if err != nil {
 			return nil, err
 		}
 		cn.rels = append(cn.rels, cr)
 		for key, refs := range leafRefs[ei] {
+			if cr.lz != nil {
+				ann := cr.lz.Ann("leaf:" + key)
+				if ann == nil {
+					return nil, fmt.Errorf("exec: missing leaf annotation %q on %s", key, cr.alias)
+				}
+				for _, ref := range refs {
+					leafAnns[ref] = ann
+					leafBound[ref] = true
+				}
+				continue
+			}
 			ann := cr.tr.Ann("leaf:" + key)
 			if ann == nil {
 				return nil, fmt.Errorf("exec: missing leaf annotation %q on %s", key, cr.alias)
@@ -279,6 +325,9 @@ func (c *compiled) compileNode(n *ghd.Node, ch *costopt.Choice, isRoot bool) (*c
 			ca.leafBufs = append(ca.leafBufs, buf)
 			ca.leafRels = append(ca.leafRels, relPos)
 			leafRelSet[relPos] = true
+			if ann := leafAnns[leafRef{ai, li}]; ann != nil {
+				cn.lazyBinds = append(cn.lazyBinds, lazyBind{agg: ai, leaf: li, ann: ann})
+			}
 		}
 		// Multiplicity factors: duplicated relations not consumed by a
 		// leaf, plus all child results — except under min/max, which
@@ -402,9 +451,12 @@ func (c *compiled) vertexDomainSize(vertex string) int {
 // relation: key levels in node order (attribute elimination: only the
 // vertices this query touches enter the trie), filters applied per row,
 // leaf and multiplicity annotations pre-aggregated over duplicate key
-// tuples.
+// tuples. When lazy is set (binary access path) the relation becomes a
+// lazy generalized hash trie: only level 0 is materialized here, the
+// rest on first probe — the per-query build cost the binary path
+// exists to avoid.
 func (c *compiled) buildRel(relIdx int, order []string,
-	leafAST map[string]sqlparse.Expr, combines map[string]trie.CombineFunc) (*cRel, error) {
+	leafAST map[string]sqlparse.Expr, combines map[string]trie.CombineFunc, lazy bool) (*cRel, error) {
 
 	r := &c.p.Rels[relIdx]
 	tb := c.tbl(r)
@@ -429,10 +481,19 @@ func (c *compiled) buildRel(relIdx int, order []string,
 	// generation) never serve a stale trie.
 	cacheable := r.Filter == nil && !c.opts.NoAttrElim && c.opts.Cache != nil
 	cacheKey := fmt.Sprintf("%s@%d|%v|%v", tb.Schema.Name, tb.Generation(), attrs, leafKeys)
+	if lazy {
+		// Lazy entries are level-granular: the cached value is a *trie.Lazy
+		// whose deeper levels materialize across queries (single-flight),
+		// so the same key must never alias a fully-built trie.
+		cacheKey += "|lazy"
+	}
 	if cacheable {
 		if v, ok := c.opts.Cache.get(cacheKey); ok {
 			if c.opts.Stats != nil {
 				c.opts.Stats.TrieCacheHits++
+			}
+			if lazy {
+				return newCRelLazy(relIdx, r.Alias, v.(*trie.Lazy), attrs), nil
 			}
 			return newCRel(relIdx, r.Alias, v.(*trie.Trie), attrs), nil
 		}
@@ -543,6 +604,19 @@ func (c *compiled) buildRel(relIdx int, order []string,
 			return nil, err
 		}
 	}
+	if lazy {
+		lz, err := trie.NewLazy(in)
+		if err != nil {
+			return nil, fmt.Errorf("exec: building lazy trie for %s: %v", r.Alias, err)
+		}
+		if c.opts.Stats != nil {
+			c.opts.Stats.TriesBuilt++
+		}
+		if cacheable {
+			c.opts.Cache.put(cacheKey, lz)
+		}
+		return newCRelLazy(relIdx, r.Alias, lz, attrs), nil
+	}
 	tr, err := trie.Build(in)
 	if err != nil {
 		return nil, fmt.Errorf("exec: building trie for %s: %v", r.Alias, err)
@@ -554,6 +628,15 @@ func (c *compiled) buildRel(relIdx int, order []string,
 		c.opts.Cache.put(cacheKey, tr)
 	}
 	return newCRel(relIdx, r.Alias, tr, attrs), nil
+}
+
+// newCRelLazy wraps a lazy trie. Duplicate state is unknown until the
+// leaf level materializes, so it stays conservative: hasDups=true keeps
+// the relation in every sum/count aggregate's multiplicity set, and the
+// __mult buffer bound at run time is an exact identity (all ones) when
+// the input turns out duplicate-free.
+func newCRelLazy(relIdx int, alias string, lz *trie.Lazy, attrs []string) *cRel {
+	return &cRel{relIdx: relIdx, alias: alias, lz: lz, attrs: attrs, hasDups: true}
 }
 
 func newCRel(relIdx int, alias string, tr *trie.Trie, attrs []string) *cRel {

@@ -35,8 +35,13 @@ func tryDenseDispatch(c *compiled) (*Result, bool, error) {
 	if len(ca.multRels) != 0 {
 		return nil, false, nil // duplicate keys: not a plain matrix
 	}
-	// All trie levels completely dense.
+	// All trie levels completely dense. A lazily-backed relation (the
+	// classifier chose the binary path for this node) never qualifies:
+	// the dense kernels read fully-built tries.
 	for _, cr := range n.rels {
+		if cr.tr == nil {
+			return nil, false, nil
+		}
 		for _, l := range cr.tr.Levels {
 			if !l.Dense || l.NumElems() == 0 {
 				return nil, false, nil

@@ -49,6 +49,11 @@ type Options struct {
 	// WCOJ interpreter (used with forced/worst attribute orders so
 	// ablations measure the interpreter).
 	NoFastPath bool
+	// ForcePath overrides the per-node access-path classification:
+	// costopt.PathWCOJ or costopt.PathBinary. Either value also skips
+	// the dense/SpMV fast paths so A/B runs compare the two generic
+	// navigators symmetrically. Empty means cost-based selection.
+	ForcePath string
 	// Ctx, when non-nil, cancels the execution: it is checked between
 	// phases and at parfor chunk boundaries, and its Err is returned.
 	Ctx context.Context
@@ -188,10 +193,22 @@ func (c *TrieCache) Len() int {
 	return len(c.m)
 }
 
+// collectPaths lists the compiled tree's access paths in pre-order.
+func collectPaths(n *cNode, out []string) []string {
+	out = append(out, n.path)
+	for _, ch := range n.children {
+		out = collectPaths(ch, out)
+	}
+	return out
+}
+
 // Run executes the plan with the chosen attribute orders.
 func Run(p *planner.Plan, ch *costopt.Choice, cat *storage.Catalog, opts Options) (*Result, error) {
 	if !cat.Frozen() {
 		return nil, fmt.Errorf("exec: catalog must be frozen before querying")
+	}
+	if fp := opts.ForcePath; fp != "" && fp != costopt.PathWCOJ && fp != costopt.PathBinary {
+		return nil, fmt.Errorf("exec: unknown forced access path %q", fp)
 	}
 	if err := ctxErr(opts.Ctx); err != nil {
 		return nil, err
@@ -231,7 +248,9 @@ func Run(p *planner.Plan, ch *costopt.Choice, cat *storage.Catalog, opts Options
 	c.execSpan = es
 	// Dense LA dispatch (§III-D): attribute elimination leaves dense
 	// annotation buffers BLAS-compatible; call the kernel opaquely.
-	if !opts.NoAttrElim && !opts.NoBLAS {
+	// A forced access path bypasses the specialized kernels so both
+	// forced modes exercise (and can be compared on) the generic engine.
+	if !opts.NoAttrElim && !opts.NoBLAS && opts.ForcePath == "" {
 		t1 := time.Now()
 		if res, ok, err := tryDenseDispatch(c); err != nil {
 			tr.End(es)
@@ -247,7 +266,7 @@ func Run(p *planner.Plan, ch *costopt.Choice, cat *storage.Catalog, opts Options
 	// Specialized sparse matrix–vector kernel (the interpreter's
 	// code-generation stand-in); falls back to the generic engine when
 	// the plan shape does not match exactly.
-	if !opts.NoFastPath {
+	if !opts.NoFastPath && opts.ForcePath == "" {
 		t1 := time.Now()
 		if res, ok, err := trySpMVFastPath(c, opts); err != nil {
 			tr.End(es)
@@ -262,6 +281,13 @@ func Run(p *planner.Plan, ch *costopt.Choice, cat *storage.Catalog, opts Options
 	}
 	if st != nil {
 		st.Dispatch = obs.DispatchWCOJ
+		st.AccessPaths = collectPaths(c.root, nil)
+		for _, p := range st.AccessPaths {
+			if p == costopt.PathBinary {
+				st.Dispatch = obs.DispatchHybrid
+				break
+			}
+		}
 	}
 	t1 := time.Now()
 	rows, hacc, err := runNode(c.root, opts, es)

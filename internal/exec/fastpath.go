@@ -38,6 +38,13 @@ func trySpMVFastPath(c *compiled, opts Options) (*Result, bool, error) {
 	if len(ca.leafRels) != 2 || ca.leafRels[0] == ca.leafRels[1] {
 		return nil, false, nil
 	}
+	// Lazily-backed relations (binary-path node) stay on the generic
+	// navigator; this kernel walks fully-built tries.
+	for _, cr := range n.rels {
+		if cr.tr == nil {
+			return nil, false, nil
+		}
+	}
 	// Identify matrix (2 levels) and vector (1 level).
 	var mRel, vRel *cRel
 	var mBuf, vBuf []float64

@@ -324,6 +324,7 @@ func runNode(n *cNode, opts Options, parent telemetry.SpanID) (*rowsBuf, *hashAc
 	// the sum over node spans. Child nodes fold separately, so counts are
 	// attributed exactly once.
 	var nodeStats set.Stats
+	lazyBefore := lazyLevelsSum(n)
 	defer func() {
 		tr.EndWithStats(sp, &nodeStats)
 		if opts.Stats != nil {
@@ -331,14 +332,20 @@ func runNode(n *cNode, opts Options, parent telemetry.SpanID) (*rowsBuf, *hashAc
 			// Estimate-vs-actual audit: the §V model's predicted cost for
 			// this node against the observed kernel counts repriced with the
 			// same icost constants. Node recursion is single-goroutine (the
-			// parfor is within a node), so the append is race-free.
+			// parfor is within a node), so the append is race-free. Binary
+			// nodes audit against the probe-side estimate so the ratio
+			// calibrates the model of the path that actually ran.
 			nc := obs.NodeCost{
-				Order:  n.order,
-				Actual: costopt.ObservedCost(&nodeStats),
-				Isect:  nodeStats.Total(),
-				Bytes:  nodeStats.BytesOut,
+				Order:      n.order,
+				Actual:     costopt.ObservedCost(&nodeStats),
+				Isect:      nodeStats.Total(),
+				Bytes:      nodeStats.BytesOut,
+				Path:       n.path,
+				LazyLevels: lazyLevelsSum(n) - lazyBefore,
 			}
-			if n.est != nil {
+			if n.path == costopt.PathBinary && n.pinfo != nil {
+				nc.Est = n.pinfo.ProbeCost
+			} else if n.est != nil {
 				nc.Est = n.est.Cost
 			}
 			if nc.Est > 0 {
@@ -400,6 +407,13 @@ func runNode(n *cNode, opts Options, parent telemetry.SpanID) (*rowsBuf, *hashAc
 		}
 		return out, nil, nil
 	}
+	binary := n.path == costopt.PathBinary
+	if binary {
+		// The node's first probe found a non-empty join: materialize the
+		// deeper lazy levels and annotation buffers now (an empty level-0
+		// join returned above without ever building them).
+		prepareBinary(n)
+	}
 
 	threads := opts.threads()
 	if threads > len(vals) {
@@ -437,7 +451,11 @@ func runNode(n *cNode, opts Options, parent telemetry.SpanID) (*rowsBuf, *hashAc
 					errs[w.id] = qerr.CapturePanic(r)
 				}
 			}()
-			errs[w.id] = w.runChunk(vs)
+			if binary {
+				errs[w.id] = w.runChunkBinary(vs)
+			} else {
+				errs[w.id] = w.runChunk(vs)
+			}
 		}(w, vals[lo:hi])
 	}
 	wg.Wait()
@@ -520,18 +538,28 @@ func releaseWorkers(ws []*worker) {
 	}
 }
 
-// levelZeroValues materializes the level-0 intersection, counting its
-// kernels against stat when non-nil. For uint layouts the returned
-// slice aliases the trie (or the intersection buffer) — callers only
-// read it, so no defensive copy is taken.
+// levelZeroValues materializes the level-0 iteration set, counting its
+// kernels against stat when non-nil. WCOJ nodes intersect the
+// participating sets; binary nodes scan the smallest participant and
+// membership-probe the rest — the survivor sequence is the same
+// ascending intersection either way. For uint layouts the returned
+// slice aliases the trie (or the intersection/survivor buffer) —
+// callers only read it, so no defensive copy is taken.
 func levelZeroValues(n *cNode, stat *set.Stats) ([]uint32, error) {
 	ps := n.parts[0]
 	if len(ps) == 1 {
-		s := n.rels[ps[0].rel].tr.Set(ps[0].lvl, 0)
+		cr := n.rels[ps[0].rel]
+		if cr.lz != nil {
+			return cr.lz.Values(0, 0), nil
+		}
+		s := cr.tr.Set(ps[0].lvl, 0)
 		if vals, ok := s.Uints(); ok {
 			return vals, nil
 		}
 		return s.Values(), nil
+	}
+	if n.path == costopt.PathBinary {
+		return levelZeroBinary(n, stat)
 	}
 	sets := make([]*set.Set, len(ps))
 	for i, p := range ps {
@@ -546,6 +574,47 @@ func levelZeroValues(n *cNode, stat *set.Stats) ([]uint32, error) {
 	return isect.Values(), nil
 }
 
+// levelZeroBinary computes the level-0 survivors of a binary node by
+// probing. Lazy participants get their dense probe index built here —
+// level 0 always exists (it is built eagerly) — so a selective filter
+// that empties the join never materializes a deeper level.
+func levelZeroBinary(n *cNode, stat *set.Stats) ([]uint32, error) {
+	ps := n.parts[0]
+	for _, p := range ps {
+		if cr := n.rels[p.rel]; cr.lz != nil {
+			cr.lz.EnsureProbe0()
+		}
+	}
+	drv := 0
+	minCard := lvlCard(n.rels[ps[0].rel], ps[0].lvl, 0)
+	for i := 1; i < len(ps); i++ {
+		if c := lvlCard(n.rels[ps[i].rel], ps[i].lvl, 0); c < minCard {
+			minCard, drv = c, i
+		}
+	}
+	dvals, _, _ := lvlSlice(n.rels[ps[drv].rel], ps[drv].lvl, 0, nil)
+	out := make([]uint32, 0, len(dvals))
+	probes := uint64(0)
+scan:
+	for _, v := range dvals {
+		for j, p := range ps {
+			if j == drv {
+				continue
+			}
+			probes++
+			if probeRank(n.rels[p.rel], p.lvl, 0, v) < 0 {
+				continue scan
+			}
+		}
+		out = append(out, v)
+	}
+	if stat != nil {
+		stat.Probes += probes
+		stat.BytesOut += uint64(len(out)) * 4
+	}
+	return out, nil
+}
+
 // worker executes a chunk of the outermost loop.
 type worker struct {
 	id      int
@@ -556,6 +625,7 @@ type worker struct {
 	touched bool
 	out     *rowsBuf
 	bufs    []*levelBufs
+	bbufs   []*binBufs // per level: binary-path probe scratch
 	uAcc    *unionAcc
 	scratch []float64
 	curVals []uint32 // per-level bound values (hash-emit mode)
@@ -656,6 +726,10 @@ func newWorker(n *cNode, ctx context.Context, mem *governor.Accountant) *worker 
 		w.bufs = append(w.bufs[:cap(w.bufs)], make([]*levelBufs, n.nLevels-cap(w.bufs))...)
 	}
 	w.bufs = w.bufs[:n.nLevels]
+	if cap(w.bbufs) < n.nLevels {
+		w.bbufs = append(w.bbufs[:cap(w.bbufs)], make([]*binBufs, n.nLevels-cap(w.bbufs))...)
+	}
+	w.bbufs = w.bbufs[:n.nLevels]
 	for d := range w.bufs {
 		if w.bufs[d] == nil {
 			w.bufs[d] = &levelBufs{}

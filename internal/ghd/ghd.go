@@ -457,3 +457,80 @@ func (g *GHD) String() string {
 	})
 	return b.String()
 }
+
+// AcyclicHyper reports whether the hypergraph formed by the given edges
+// (each a list of vertex names) is α-acyclic, via GYO ear removal: an
+// edge e is an ear when every vertex it shares with the rest of the
+// hypergraph is contained in one single other edge w (its witness), or
+// when it shares nothing at all. Repeatedly removing ears reduces an
+// α-acyclic hypergraph to at most one edge. This is the per-GHD-node
+// classification used by the hybrid executor: acyclic bags admit a
+// binary hash-join chain, cyclic cores need the WCOJ path.
+func AcyclicHyper(edges [][]string) bool {
+	live := make([][]string, 0, len(edges))
+	for _, e := range edges {
+		if len(e) > 0 {
+			live = append(live, e)
+		}
+	}
+	for len(live) > 1 {
+		removed := false
+		for i := 0; i < len(live) && !removed; i++ {
+			if gyoEar(live, i) {
+				live[i] = live[len(live)-1]
+				live = live[:len(live)-1]
+				removed = true
+			}
+		}
+		if !removed {
+			return false
+		}
+	}
+	return true
+}
+
+// gyoEar reports whether live[i] is an ear of the hypergraph.
+func gyoEar(live [][]string, i int) bool {
+	e := live[i]
+	// shared: vertices of e appearing in at least one other edge.
+	var shared []string
+	for _, v := range e {
+		for j, f := range live {
+			if j == i {
+				continue
+			}
+			if containsVert(f, v) {
+				shared = append(shared, v)
+				break
+			}
+		}
+	}
+	if len(shared) == 0 {
+		return true
+	}
+	for j, f := range live {
+		if j == i {
+			continue
+		}
+		all := true
+		for _, v := range shared {
+			if !containsVert(f, v) {
+				all = false
+				break
+			}
+		}
+		if all {
+			return true
+		}
+	}
+	return false
+}
+
+func containsVert(xs []string, v string) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}

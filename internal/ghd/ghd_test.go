@@ -350,3 +350,28 @@ func TestRandomHypergraphProperties(t *testing.T) {
 		checkRunningIntersection(t, g)
 	}
 }
+
+func TestAcyclicHyper(t *testing.T) {
+	cases := []struct {
+		name  string
+		edges [][]string
+		want  bool
+	}{
+		{"empty", nil, true},
+		{"single", [][]string{{"a", "b"}}, true},
+		{"chain", [][]string{{"a", "b"}, {"b", "c"}, {"c", "d"}}, true},
+		{"star", [][]string{{"a", "b"}, {"a", "c"}, {"a", "d"}}, true},
+		{"triangle", [][]string{{"a", "b"}, {"b", "c"}, {"a", "c"}}, false},
+		{"triangle-covered", [][]string{{"a", "b"}, {"b", "c"}, {"a", "c"}, {"a", "b", "c"}}, true},
+		{"q3-shape", [][]string{{"ck"}, {"ok", "ck"}, {"ok"}}, true},
+		{"q10-shape", [][]string{{"ck", "nk"}, {"ck", "ok"}, {"ok"}, {"nk"}}, true},
+		{"4-cycle", [][]string{{"a", "b"}, {"b", "c"}, {"c", "d"}, {"d", "a"}}, false},
+		{"disconnected", [][]string{{"a", "b"}, {"c", "d"}}, true},
+		{"superedge", [][]string{{"a", "b", "c"}, {"a"}, {"b"}, {"a", "c"}}, true},
+	}
+	for _, tc := range cases {
+		if got := AcyclicHyper(tc.edges); got != tc.want {
+			t.Errorf("%s: AcyclicHyper=%v want %v", tc.name, got, tc.want)
+		}
+	}
+}

@@ -30,6 +30,7 @@ const (
 	DispatchSpMVGather  = "spmv-gather"  // specialized CSR-style SpMV kernel
 	DispatchSpMVScatter = "spmv-scatter" // specialized relaxed-order SpMV kernel
 	DispatchWCOJ        = "generic-wcoj" // generic worst-case optimal join interpreter
+	DispatchHybrid      = "hybrid"       // mixed binary/WCOJ access paths across GHD nodes
 )
 
 // Phases holds one duration per query-lifecycle phase. Freeze is only
@@ -54,11 +55,17 @@ type Phases struct {
 // relations, trivial nodes).
 type NodeCost struct {
 	Order  []string // the node's executed attribute order
-	Est    float64  // predicted §V cost
-	Actual float64  // icost-weighted observed intersections
+	Est    float64  // predicted §V cost of the chosen access path
+	Actual float64  // icost-weighted observed intersections/probes
 	Ratio  float64  // Actual/Est (0 when Est == 0)
-	Isect  uint64   // raw intersection count at this node
+	Isect  uint64   // raw intersection+probe count at this node
 	Bytes  uint64   // bytes materialized at this node
+	// Path is the access path the node executed (costopt.PathWCOJ or
+	// costopt.PathBinary); LazyLevels counts the lazy-trie levels this
+	// node materialized during execution (0 on the WCOJ path and on
+	// cache hits whose levels were already built).
+	Path       string
+	LazyLevels int
 }
 
 // QueryStats captures everything observable about one query run.
@@ -84,6 +91,10 @@ type QueryStats struct {
 	PlanCached bool
 	// Dispatch is the execution strategy taken (Dispatch* constants).
 	Dispatch string
+	// AccessPaths lists the per-GHD-node access path in pre-order
+	// (costopt.PathWCOJ / costopt.PathBinary); empty for scalar scans
+	// and specialized-kernel dispatches.
+	AccessPaths []string
 	// Threads is the parfor worker bound the query ran with.
 	Threads int
 
@@ -147,12 +158,19 @@ func (q *QueryStats) String() string {
 	fmt.Fprintf(&b, "phases: parse=%v plan=%v freeze=%v compile=%v execute=%v output=%v total=%v\n",
 		rd(q.Phases.Parse), rd(q.Phases.Plan), rd(q.Phases.Freeze), rd(q.Phases.Compile),
 		rd(q.Phases.Execute), rd(q.Phases.Output), rd(q.Phases.Total))
+	if len(q.AccessPaths) > 0 {
+		fmt.Fprintf(&b, "access paths: %s\n", strings.Join(q.AccessPaths, " "))
+	}
 	is := &q.Intersect
-	fmt.Fprintf(&b, "intersections: %d (uint∩uint merge=%d gallop=%d, bs∩uint=%d, bs∩bs=%d), %s materialized\n",
-		is.Total(), is.UintUintMerge, is.UintUintGallop, is.BsUint, is.BsBs, fmtBytes(is.BytesOut))
+	fmt.Fprintf(&b, "intersections: %d (uint∩uint merge=%d gallop=%d, bs∩uint=%d, bs∩bs=%d, probes=%d), %s materialized\n",
+		is.Total(), is.UintUintMerge, is.UintUintGallop, is.BsUint, is.BsBs, is.Probes, fmtBytes(is.BytesOut))
 	for _, nc := range q.NodeCosts {
-		fmt.Fprintf(&b, "cost audit [%s]: est=%.0f actual=%.0f ratio=%.2f (isect=%d, %s)\n",
-			strings.Join(nc.Order, " "), nc.Est, nc.Actual, nc.Ratio, nc.Isect, fmtBytes(nc.Bytes))
+		path := ""
+		if nc.Path != "" {
+			path = fmt.Sprintf(" path=%s lazy-levels=%d", nc.Path, nc.LazyLevels)
+		}
+		fmt.Fprintf(&b, "cost audit [%s]:%s est=%.0f actual=%.0f ratio=%.2f (isect=%d, %s)\n",
+			strings.Join(nc.Order, " "), path, nc.Est, nc.Actual, nc.Ratio, nc.Isect, fmtBytes(nc.Bytes))
 	}
 	fmt.Fprintf(&b, "tries: built=%d cache hit=%d miss=%d\n", q.TriesBuilt, q.TrieCacheHits, q.TrieCacheMisses)
 	fmt.Fprintf(&b, "heap: %s allocated, %d gc cycles\n", fmtBytes(q.AllocBytes), q.GCCycles)

@@ -54,6 +54,7 @@ type Stats struct {
 	UintUintGallop uint64 // uint∩uint galloping search
 	BsUint         uint64 // bs∩uint membership probes
 	BsBs           uint64 // bs∩bs word AND
+	Probes         uint64 // binary hash-join membership probes (lazy-trie path)
 	BytesOut       uint64 // bytes materialized into result buffers
 
 	// SampleNs accumulates sampled kernel wall time (every
@@ -70,6 +71,7 @@ func (s *Stats) Add(o *Stats) {
 	s.UintUintGallop += o.UintUintGallop
 	s.BsUint += o.BsUint
 	s.BsBs += o.BsBs
+	s.Probes += o.Probes
 	s.BytesOut += o.BytesOut
 	for k := 0; k < NumKernels; k++ {
 		s.SampleNs[k] += o.SampleNs[k]
@@ -77,9 +79,10 @@ func (s *Stats) Add(o *Stats) {
 	}
 }
 
-// Total reports the total number of kernel invocations.
+// Total reports the total number of kernel invocations (set
+// intersections plus binary hash-join probes).
 func (s *Stats) Total() uint64 {
-	return s.UintUintMerge + s.UintUintGallop + s.BsUint + s.BsBs
+	return s.UintUintMerge + s.UintUintGallop + s.BsUint + s.BsBs + s.Probes
 }
 
 // SampledMeanNs estimates the mean wall time of kernel k from the

@@ -27,6 +27,7 @@ type StatementObservation struct {
 	DeltaRows   int   // delta rows folded into the query's snapshot
 	Epoch       uint64
 	Order       []string // costopt root attribute order
+	Paths       []string // per-GHD-node access paths (pre-order)
 	EstCost     float64  // Σ per-node §V model cost
 	ActualCost  float64  // Σ per-node observed icost-weighted work
 }
@@ -73,7 +74,10 @@ type StatementSnapshot struct {
 	// this fingerprint, how many times it changed, and the snapshot
 	// epoch of the latest change (compaction re-sizing tables can
 	// legitimately flip the §V decision; drift says it happened).
-	LastOrder       []string `json:"last_order,omitempty"`
+	LastOrder []string `json:"last_order,omitempty"`
+	// LastPaths is the per-GHD-node access-path labels of the latest run
+	// (wcoj/binary, pre-order) — the hybrid executor's decision record.
+	LastPaths       []string `json:"last_paths,omitempty"`
 	PlanChanges     uint64   `json:"plan_changes"`
 	LastChangeEpoch uint64   `json:"last_change_epoch,omitempty"`
 	LastEpoch       uint64   `json:"last_epoch"`
@@ -108,6 +112,7 @@ func (s *StatementSnapshot) Merge(o *StatementSnapshot) {
 	if o.LastSeen.After(s.LastSeen) {
 		s.LastSeen = o.LastSeen
 		s.LastOrder = o.LastOrder
+		s.LastPaths = o.LastPaths
 		s.LastEpoch = o.LastEpoch
 	}
 	if o.LastChangeEpoch > s.LastChangeEpoch {
@@ -216,6 +221,9 @@ func (st *StatementStore) Record(o StatementObservation) {
 		}
 		s.LastOrder = append(s.LastOrder[:0], o.Order...)
 	}
+	if len(o.Paths) > 0 {
+		s.LastPaths = append(s.LastPaths[:0], o.Paths...)
+	}
 	s.LastEpoch = o.Epoch
 	s.LastSeen = now
 	st.mu.Unlock()
@@ -243,6 +251,47 @@ func (st *StatementStore) Len() int {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	return len(st.m)
+}
+
+// Lookup returns a deep-copied snapshot of one fingerprint's statistics
+// (derived fields recomputed), or ok=false when untracked. The hybrid
+// path classifier reads the statement's cost_ratio through this — the
+// estimate-vs-actual drift signal feeding back into access-path
+// pricing. Lookups do not touch the LRU order.
+func (st *StatementStore) Lookup(fp uint64) (StatementSnapshot, bool) {
+	if st == nil {
+		return StatementSnapshot{}, false
+	}
+	st.mu.Lock()
+	e := st.m[fp]
+	if e == nil {
+		st.mu.Unlock()
+		return StatementSnapshot{}, false
+	}
+	s := e.s
+	s.LastOrder = append([]string(nil), e.s.LastOrder...)
+	s.LastPaths = append([]string(nil), e.s.LastPaths...)
+	hist := e.hist
+	st.mu.Unlock()
+	s.Hist = hist.Snapshot()
+	s.finish()
+	return s, true
+}
+
+// CostRatio returns the fingerprint's cumulative actual/estimated cost
+// ratio, or 0 when the statement is untracked or has no cost estimate
+// yet. This is the allocation-free fast path of Lookup for the per-query
+// access-path classifier.
+func (st *StatementStore) CostRatio(fp uint64) float64 {
+	if st == nil {
+		return 0
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if e := st.m[fp]; e != nil && e.s.EstCost > 0 {
+		return e.s.ActualCost / e.s.EstCost
+	}
+	return 0
 }
 
 // Evicted reports how many fingerprints were pushed out by the LRU cap.
@@ -284,6 +333,7 @@ func (st *StatementStore) Snapshots(by string, limit int) []StatementSnapshot {
 	for _, e := range st.m {
 		s := e.s
 		s.LastOrder = append([]string(nil), e.s.LastOrder...)
+		s.LastPaths = append([]string(nil), e.s.LastPaths...)
 		out = append(out, s)
 		hists = append(hists, e.hist)
 	}

@@ -1,0 +1,465 @@
+package trie
+
+import (
+	"fmt"
+	"slices"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/faultinject"
+)
+
+// Lazy is a COLT-style lazily-built generalized hash trie (Free Join,
+// arXiv 2301.10841): level 0 is materialized eagerly at construction,
+// deeper levels and annotation buffers materialize on first probe, one
+// whole level at a time, under a per-trie single-flight lock so
+// concurrent workers (and queries sharing a cached instance) never
+// duplicate or race a build.
+//
+// Materialization uses a stable counting-bucket pass per level instead
+// of the full LSD radix sort of Build: rows are partitioned by the next
+// key column within each current leaf group, preserving original row
+// order inside equal-key runs. Because the radix sort is also stable,
+// the resulting element sequence, grouping, and duplicate-fold order
+// are exactly those of Build — Full() on a Lazy yields a Trie
+// bit-identical to Build on the same input.
+//
+// Readers must call EnsureLevels / EnsureAnns before touching a level
+// or annotation buffer; the atomic built counters give the
+// happens-before edge, so already-materialized levels are read without
+// locking.
+type Lazy struct {
+	Attrs []string
+
+	in BuildInput
+	k  int // number of key levels
+	n  int // source rows
+
+	mu       sync.Mutex
+	built    atomic.Int32 // number of fully materialized levels
+	annsDone atomic.Bool
+	fullDone atomic.Bool
+
+	levels []*lazyLevel
+
+	// rows is the frontier permutation: source rows bucketed through the
+	// deepest built level. rowOff boundaries recorded per level stay
+	// valid forever because deeper bucketing only permutes within groups.
+	rows []int32
+
+	anns    map[string]*Annotation
+	annSpec []AnnSpec
+
+	// cnt is the shared counting scratch, sized to the largest key code
+	// seen so far; gvbuf collects per-group distinct values. cntDirty
+	// guards against a panic mid-pass leaving stale counts behind.
+	cnt      []int32
+	gvbuf    []uint32
+	cntDirty bool
+
+	// probe0 is an optional dense code->rank+1 index over level 0,
+	// built on demand for the binary hash-join probe loop.
+	probe0      []int32
+	probe0Ready atomic.Bool
+
+	full *Trie
+}
+
+// lazyLevel mirrors one trie level in flattened form: distinct values
+// concatenated per parent set, parent boundaries, and the row-range
+// boundary of every element within the frontier permutation.
+type lazyLevel struct {
+	vals   []uint32
+	starts []int32 // len = numParents+1; element-rank bounds per parent set
+	rowOff []int32 // len = numElems+1; row-range bounds into Lazy.rows
+}
+
+// NewLazy validates the input exactly like Build and materializes
+// level 0. All deeper work is deferred.
+func NewLazy(in BuildInput) (*Lazy, error) {
+	faultinject.Fire(faultinject.PointTrieBuild)
+	k := len(in.Keys)
+	if k == 0 {
+		return nil, fmt.Errorf("trie: no key columns")
+	}
+	if len(in.Attrs) != k {
+		return nil, fmt.Errorf("trie: %d attrs for %d key columns", len(in.Attrs), k)
+	}
+	n := len(in.Keys[0])
+	for i, col := range in.Keys {
+		if len(col) != n {
+			return nil, fmt.Errorf("trie: key column %d has %d rows, want %d", i, len(col), n)
+		}
+	}
+	l := &Lazy{
+		Attrs:   append([]string(nil), in.Attrs...),
+		in:      in,
+		k:       k,
+		n:       n,
+		levels:  make([]*lazyLevel, k),
+		anns:    make(map[string]*Annotation, len(in.Anns)),
+		annSpec: in.Anns,
+	}
+	for _, a := range in.Anns {
+		if a.Level < 0 || a.Level >= k {
+			return nil, fmt.Errorf("trie: annotation %q at level %d of %d", a.Name, a.Level, k)
+		}
+		if a.Kind == F64 && len(a.F64) != n {
+			return nil, fmt.Errorf("trie: annotation %q has %d values, want %d", a.Name, len(a.F64), n)
+		}
+		if a.Kind == Code && len(a.Codes) != n {
+			return nil, fmt.Errorf("trie: annotation %q has %d codes, want %d", a.Name, len(a.Codes), n)
+		}
+		if _, dup := l.anns[a.Name]; dup {
+			return nil, fmt.Errorf("trie: duplicate annotation %q", a.Name)
+		}
+		l.anns[a.Name] = &Annotation{Name: a.Name, Level: a.Level, Kind: a.Kind}
+	}
+	l.mu.Lock()
+	l.materializeLocked(0)
+	l.built.Store(1)
+	l.mu.Unlock()
+	return l, nil
+}
+
+// NumLevels reports the number of key attributes.
+func (l *Lazy) NumLevels() int { return l.k }
+
+// SourceRows reports the number of input rows before deduplication.
+func (l *Lazy) SourceRows() int { return l.n }
+
+// BuiltLevels reports how many levels are currently materialized.
+func (l *Lazy) BuiltLevels() int { return int(l.built.Load()) }
+
+// AnnsBuilt reports whether annotation buffers are materialized.
+func (l *Lazy) AnnsBuilt() bool { return l.annsDone.Load() }
+
+// NumTuples reports the number of distinct key tuples. It requires the
+// last level to be materialized.
+func (l *Lazy) NumTuples() int {
+	lv := l.levels[l.k-1]
+	return int(lv.starts[len(lv.starts)-1])
+}
+
+// EnsureLevels materializes levels [0, upto] if not already built.
+func (l *Lazy) EnsureLevels(upto int) {
+	if upto >= l.k {
+		upto = l.k - 1
+	}
+	if int(l.built.Load()) > upto {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.ensureLevelsLocked(upto)
+}
+
+func (l *Lazy) ensureLevelsLocked(upto int) {
+	for d := int(l.built.Load()); d <= upto; d++ {
+		faultinject.Fire(faultinject.PointTrieBuild)
+		l.materializeLocked(d)
+		l.built.Store(int32(d + 1))
+	}
+}
+
+// EnsureAnns materializes every annotation buffer (building all key
+// levels first if needed).
+func (l *Lazy) EnsureAnns() {
+	if l.annsDone.Load() {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.ensureAnnsLocked()
+}
+
+func (l *Lazy) ensureAnnsLocked() {
+	if l.annsDone.Load() {
+		return
+	}
+	l.ensureLevelsLocked(l.k - 1)
+	for ai := range l.annSpec {
+		a := &l.annSpec[ai]
+		out := l.anns[a.Name]
+		lv := l.levels[a.Level]
+		elems := len(lv.rowOff) - 1
+		switch a.Kind {
+		case Code:
+			// The key prefix functionally determines the value; keep the
+			// first row of the element in frontier (= lex) order, exactly
+			// what the sorted-scan build emits.
+			codes := make([]uint32, elems)
+			for e := 0; e < elems; e++ {
+				codes[e] = a.Codes[l.rows[lv.rowOff[e]]]
+			}
+			out.Codes = codes
+		case F64:
+			vals := make([]float64, elems)
+			if a.Level == l.k-1 {
+				// Leaf level: fold duplicate key tuples in row order —
+				// the same left-fold the stable sorted scan performs.
+				src := a.F64
+				if a.Combine == nil {
+					for e := 0; e < elems; e++ {
+						s := src[l.rows[lv.rowOff[e]]]
+						for _, r := range l.rows[lv.rowOff[e]+1 : lv.rowOff[e+1]] {
+							s += src[r]
+						}
+						vals[e] = s
+					}
+				} else {
+					comb := a.Combine
+					for e := 0; e < elems; e++ {
+						s := src[l.rows[lv.rowOff[e]]]
+						for _, r := range l.rows[lv.rowOff[e]+1 : lv.rowOff[e+1]] {
+							s = comb(s, src[r])
+						}
+						vals[e] = s
+					}
+				}
+			} else {
+				for e := 0; e < elems; e++ {
+					vals[e] = a.F64[l.rows[lv.rowOff[e]]]
+				}
+			}
+			out.F64 = vals
+		}
+	}
+	l.annsDone.Store(true)
+}
+
+// materializeLocked buckets the frontier by key column d, appending one
+// refined group per distinct (prefix, value) pair. Stability: rows keep
+// their relative order inside each new group.
+func (l *Lazy) materializeLocked(d int) {
+	col := l.in.Keys[d]
+	// Size the counting scratch to the column's code domain.
+	var maxV uint32
+	for _, v := range col {
+		if v > maxV {
+			maxV = v
+		}
+	}
+	if need := int(maxV) + 1; l.n > 0 && len(l.cnt) < need {
+		l.cnt = make([]int32, need)
+	}
+	if l.cntDirty {
+		clear(l.cnt)
+	}
+	l.cntDirty = true
+
+	lv := &lazyLevel{}
+	var prevOff []int32
+	if d == 0 {
+		prevOff = []int32{0, int32(l.n)}
+	} else {
+		prevOff = l.levels[d-1].rowOff
+	}
+	nGroups := len(prevOff) - 1
+	lv.starts = make([]int32, 1, nGroups+1)
+	// Distinct-count upper bound is the frontier row count.
+	lv.vals = make([]uint32, 0, minInt(l.n, 1024))
+	lv.rowOff = make([]int32, 0, minInt(l.n, 1024)+1)
+	newRows := make([]int32, l.n)
+
+	cnt, rows := l.cnt, l.rows
+	for g := 0; g < nGroups; g++ {
+		lo, hi := prevOff[g], prevOff[g+1]
+		gv := l.gvbuf[:0]
+		if d == 0 {
+			// Implicit identity frontier at level 0.
+			for r := lo; r < hi; r++ {
+				c := col[r]
+				if cnt[c] == 0 {
+					gv = append(gv, c)
+				}
+				cnt[c]++
+			}
+		} else {
+			for _, r := range rows[lo:hi] {
+				c := col[r]
+				if cnt[c] == 0 {
+					gv = append(gv, c)
+				}
+				cnt[c]++
+			}
+		}
+		slices.Sort(gv)
+		// Turn counts into scatter offsets; rowOff[e] records element
+		// e's row-range start (the next entry, or the final n, is its
+		// end).
+		off := lo
+		for _, v := range gv {
+			lv.rowOff = append(lv.rowOff, off)
+			c := cnt[v]
+			cnt[v] = off
+			off += c
+		}
+		// Stable scatter.
+		if d == 0 {
+			for r := lo; r < hi; r++ {
+				c := col[r]
+				newRows[cnt[c]] = r
+				cnt[c]++
+			}
+		} else {
+			for _, r := range rows[lo:hi] {
+				c := col[r]
+				newRows[cnt[c]] = r
+				cnt[c]++
+			}
+		}
+		for _, v := range gv {
+			cnt[v] = 0
+		}
+		lv.vals = append(lv.vals, gv...)
+		lv.starts = append(lv.starts, int32(len(lv.vals)))
+		if cap(l.gvbuf) < cap(gv) {
+			l.gvbuf = gv
+		}
+	}
+	lv.rowOff = append(lv.rowOff, int32(l.n))
+	l.cntDirty = false
+	l.levels[d] = lv
+	l.rows = newRows
+}
+
+// Values returns the distinct sorted child values under the parent with
+// the given global rank (0 for level 0). The level must be built.
+func (l *Lazy) Values(level int, parentRank int32) []uint32 {
+	lv := l.levels[level]
+	return lv.vals[lv.starts[parentRank]:lv.starts[parentRank+1]]
+}
+
+// Start returns the global rank of the first element of the set under
+// parentRank at the given level.
+func (l *Lazy) Start(level int, parentRank int32) int32 {
+	return l.levels[level].starts[parentRank]
+}
+
+// Card returns the cardinality of the set under parentRank.
+func (l *Lazy) Card(level int, parentRank int32) int {
+	lv := l.levels[level]
+	return int(lv.starts[parentRank+1] - lv.starts[parentRank])
+}
+
+// RankOf locates v in the set under parentRank and returns its global
+// rank, or -1 if absent. Binary search over the flattened value run.
+func (l *Lazy) RankOf(level int, parentRank int32, v uint32) int32 {
+	lv := l.levels[level]
+	lo, hi := lv.starts[parentRank], lv.starts[parentRank+1]
+	for lo < hi {
+		mid := (lo + hi) >> 1
+		if lv.vals[mid] < v {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	if lo < lv.starts[parentRank+1] && lv.vals[lo] == v {
+		return lo
+	}
+	return -1
+}
+
+// EnsureProbe0 builds the dense code->rank+1 probe index over level 0.
+func (l *Lazy) EnsureProbe0() {
+	if l.probe0Ready.Load() {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.probe0Ready.Load() {
+		return
+	}
+	vals := l.Values(0, 0)
+	var maxV uint32
+	if len(vals) > 0 {
+		maxV = vals[len(vals)-1]
+	}
+	idx := make([]int32, int(maxV)+1)
+	for i, v := range vals {
+		idx[v] = int32(i) + 1
+	}
+	l.probe0 = idx
+	l.probe0Ready.Store(true)
+}
+
+// Probe0 returns the global rank of v on level 0 via the dense index,
+// or -1 if absent. EnsureProbe0 must have been called.
+func (l *Lazy) Probe0(v uint32) int32 {
+	if int(v) >= len(l.probe0) {
+		return -1
+	}
+	return l.probe0[v] - 1
+}
+
+// Ann returns the named annotation buffer or nil. Buffers are populated
+// only after EnsureAnns.
+func (l *Lazy) Ann(name string) *Annotation { return l.anns[name] }
+
+// Full materializes everything and converts to an immutable Trie,
+// bit-identical to Build on the same input. The result is cached.
+func (l *Lazy) Full(threads int) *Trie {
+	if l.fullDone.Load() {
+		return l.full
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.fullDone.Load() {
+		return l.full
+	}
+	l.ensureLevelsLocked(l.k - 1)
+	l.ensureAnnsLocked()
+	t := &Trie{
+		Attrs:      append([]string(nil), l.Attrs...),
+		Levels:     make([]*Level, l.k),
+		Anns:       make(map[string]*Annotation, len(l.anns)),
+		SourceRows: l.n,
+	}
+	for name, a := range l.anns {
+		t.Anns[name] = a
+	}
+	if threads <= 0 {
+		threads = l.in.Threads
+	}
+	for d := 0; d < l.k; d++ {
+		lv := l.levels[d]
+		var ends []int32
+		if l.n == 0 {
+			ends = []int32{0}
+		} else {
+			ends = lv.starts[1:]
+		}
+		t.Levels[d] = buildLevel(lv.vals, ends, threads)
+	}
+	t.NumTuples = t.Levels[l.k-1].NumElems()
+	l.full = t
+	l.fullDone.Store(true)
+	return t
+}
+
+// MemBytes estimates the heap footprint of the materialized state.
+func (l *Lazy) MemBytes() int {
+	n := len(l.rows)*4 + len(l.cnt)*4 + len(l.probe0)*4
+	for _, lv := range l.levels {
+		if lv == nil {
+			continue
+		}
+		n += len(lv.vals)*4 + len(lv.starts)*4 + len(lv.rowOff)*4
+	}
+	for _, a := range l.anns {
+		n += len(a.F64)*8 + len(a.Codes)*4
+	}
+	return n
+}
+
+// String summarizes the lazy trie shape and build progress.
+func (l *Lazy) String() string {
+	s := fmt.Sprintf("lazytrie(%v) rows=%d built=%d/%d", l.Attrs, l.n, l.BuiltLevels(), l.k)
+	for d := 0; d < l.BuiltLevels(); d++ {
+		lv := l.levels[d]
+		s += fmt.Sprintf(" | L%d sets=%d elems=%d", d, len(lv.starts)-1, len(lv.vals))
+	}
+	return s
+}

@@ -1,0 +1,202 @@
+package trie
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// randBuildInput generates a duplicate-heavy input with F64 annotations
+// (including NaN and signed zeros) and a Code annotation per level.
+func randBuildInput(rng *rand.Rand, k, n int) BuildInput {
+	in := BuildInput{Threads: 1 + rng.Intn(4)}
+	for d := 0; d < k; d++ {
+		in.Attrs = append(in.Attrs, string(rune('a'+d)))
+		dom := 1 + rng.Intn(8)
+		col := make([]uint32, n)
+		for i := range col {
+			col[i] = uint32(rng.Intn(dom))
+		}
+		in.Keys = append(in.Keys, col)
+	}
+	specials := []float64{math.NaN(), math.Copysign(0, -1), 0, math.Inf(1), -3.5}
+	for d := 0; d < k; d++ {
+		f := make([]float64, n)
+		for i := range f {
+			if rng.Intn(4) == 0 {
+				f[i] = specials[rng.Intn(len(specials))]
+			} else {
+				f[i] = float64(rng.Intn(100)) / 4
+			}
+		}
+		var comb CombineFunc
+		if d == k-1 && rng.Intn(2) == 0 {
+			comb = func(a, b float64) float64 { return math.Min(a, b) }
+		}
+		in.Anns = append(in.Anns, AnnSpec{Name: "f" + string(rune('0'+d)), Level: d, Kind: F64, F64: f, Combine: comb})
+		c := make([]uint32, n)
+		for i := range c {
+			c[i] = uint32(rng.Intn(50))
+		}
+		in.Anns = append(in.Anns, AnnSpec{Name: "c" + string(rune('0'+d)), Level: d, Kind: Code, Codes: c})
+	}
+	return in
+}
+
+// requireTrieEqual asserts two tries are bit-identical: shape, sets,
+// ranks, density, and annotation buffers (float comparisons by bits).
+func requireTrieEqual(t *testing.T, want, got *Trie) {
+	t.Helper()
+	if got.NumTuples != want.NumTuples || got.SourceRows != want.SourceRows {
+		t.Fatalf("tuples/rows: got %d/%d want %d/%d", got.NumTuples, got.SourceRows, want.NumTuples, want.SourceRows)
+	}
+	if len(got.Levels) != len(want.Levels) {
+		t.Fatalf("levels: got %d want %d", len(got.Levels), len(want.Levels))
+	}
+	for d := range want.Levels {
+		wl, gl := want.Levels[d], got.Levels[d]
+		if len(gl.Sets) != len(wl.Sets) || gl.Dense != wl.Dense {
+			t.Fatalf("level %d: sets=%d dense=%v, want sets=%d dense=%v", d, len(gl.Sets), gl.Dense, len(wl.Sets), wl.Dense)
+		}
+		if len(gl.Starts) != len(wl.Starts) {
+			t.Fatalf("level %d starts len: got %d want %d", d, len(gl.Starts), len(wl.Starts))
+		}
+		for i := range wl.Starts {
+			if gl.Starts[i] != wl.Starts[i] {
+				t.Fatalf("level %d Starts[%d]: got %d want %d", d, i, gl.Starts[i], wl.Starts[i])
+			}
+		}
+		for p := range wl.Sets {
+			wv := wl.Sets[p].Values()
+			gv := gl.Sets[p].Values()
+			if len(wv) != len(gv) {
+				t.Fatalf("level %d set %d card: got %d want %d", d, p, len(gv), len(wv))
+			}
+			for i := range wv {
+				if wv[i] != gv[i] {
+					t.Fatalf("level %d set %d elem %d: got %d want %d", d, p, i, gv[i], wv[i])
+				}
+			}
+		}
+	}
+	if len(got.Anns) != len(want.Anns) {
+		t.Fatalf("anns: got %d want %d", len(got.Anns), len(want.Anns))
+	}
+	for name, wa := range want.Anns {
+		ga := got.Anns[name]
+		if ga == nil || ga.Level != wa.Level || ga.Kind != wa.Kind {
+			t.Fatalf("ann %q mismatch: %+v vs %+v", name, ga, wa)
+		}
+		if len(ga.F64) != len(wa.F64) || len(ga.Codes) != len(wa.Codes) {
+			t.Fatalf("ann %q buffers: got %d/%d want %d/%d", name, len(ga.F64), len(ga.Codes), len(wa.F64), len(wa.Codes))
+		}
+		for i := range wa.F64 {
+			if math.Float64bits(ga.F64[i]) != math.Float64bits(wa.F64[i]) {
+				t.Fatalf("ann %q F64[%d]: got %v want %v (bits differ)", name, i, ga.F64[i], wa.F64[i])
+			}
+		}
+		for i := range wa.Codes {
+			if ga.Codes[i] != wa.Codes[i] {
+				t.Fatalf("ann %q Codes[%d]: got %d want %d", name, i, ga.Codes[i], wa.Codes[i])
+			}
+		}
+	}
+}
+
+// TestLazyEquivalence: Full() on a Lazy must be bit-identical to Build
+// on the same input, across shapes, duplicates, and special floats.
+func TestLazyEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	for iter := 0; iter < 200; iter++ {
+		k := 1 + rng.Intn(3)
+		n := rng.Intn(200)
+		in := randBuildInput(rng, k, n)
+		want, err := Build(in)
+		if err != nil {
+			t.Fatalf("Build: %v", err)
+		}
+		lz, err := NewLazy(in)
+		if err != nil {
+			t.Fatalf("NewLazy: %v", err)
+		}
+		// Exercise the incremental path before converting.
+		for d := 0; d < k; d++ {
+			lz.EnsureLevels(d)
+			if lz.BuiltLevels() != d+1 {
+				t.Fatalf("BuiltLevels=%d after EnsureLevels(%d)", lz.BuiltLevels(), d)
+			}
+		}
+		lz.EnsureAnns()
+		got := lz.Full(0)
+		requireTrieEqual(t, want, got)
+
+		// Lazy accessors must agree with the converted trie.
+		for d := 0; d < k; d++ {
+			numParents := 1
+			if d > 0 {
+				numParents = want.Levels[d-1].NumElems()
+			}
+			for p := 0; p < numParents; p++ {
+				vals := lz.Values(d, int32(p))
+				wvals := want.Levels[d].Sets[p].Values()
+				if len(vals) != len(wvals) {
+					t.Fatalf("Values(%d,%d) card %d want %d", d, p, len(vals), len(wvals))
+				}
+				if lz.Start(d, int32(p)) != want.Levels[d].Starts[p] {
+					t.Fatalf("Start(%d,%d)=%d want %d", d, p, lz.Start(d, int32(p)), want.Levels[d].Starts[p])
+				}
+				for i, v := range vals {
+					if v != wvals[i] {
+						t.Fatalf("Values(%d,%d)[%d]=%d want %d", d, p, i, v, wvals[i])
+					}
+					if rk := lz.RankOf(d, int32(p), v); rk != want.RankOf(d, int32(p), v) {
+						t.Fatalf("RankOf(%d,%d,%d)=%d want %d", d, p, v, rk, want.RankOf(d, int32(p), v))
+					}
+				}
+				if rk := lz.RankOf(d, int32(p), 999999); rk != -1 {
+					t.Fatalf("RankOf absent = %d, want -1", rk)
+				}
+			}
+		}
+		lz.EnsureProbe0()
+		for _, v := range lz.Values(0, 0) {
+			if lz.Probe0(v) != want.RankOf(0, 0, v) {
+				t.Fatalf("Probe0(%d)=%d want %d", v, lz.Probe0(v), want.RankOf(0, 0, v))
+			}
+		}
+		if lz.Probe0(1<<31) != -1 {
+			t.Fatal("Probe0 out-of-domain should be -1")
+		}
+		if n > 0 && lz.NumTuples() != want.NumTuples {
+			t.Fatalf("NumTuples=%d want %d", lz.NumTuples(), want.NumTuples)
+		}
+	}
+}
+
+// TestLazyConcurrentEnsure hammers EnsureLevels/EnsureAnns from many
+// goroutines to exercise the single-flight path under -race.
+func TestLazyConcurrentEnsure(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	in := randBuildInput(rng, 3, 5000)
+	want, err := Build(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lz, err := NewLazy(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan *Trie, 8)
+	for g := 0; g < 8; g++ {
+		go func(g int) {
+			lz.EnsureLevels(g % 3)
+			lz.EnsureProbe0()
+			lz.EnsureAnns()
+			done <- lz.Full(0)
+		}(g)
+	}
+	for g := 0; g < 8; g++ {
+		got := <-done
+		requireTrieEqual(t, want, got)
+	}
+}
