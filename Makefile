@@ -22,7 +22,11 @@ BENCH_MAX_QUERY_RATIO ?= 1.05
 # randomized sweep (time-seeded; failures shrink to a JSON repro).
 DIFFTEST_BUDGET ?= 60s
 
-.PHONY: all build vet lint test race bench-smoke bench-save bench-compare hybrid-ab telemetry-race telemetry-smoke chaos difftest difftest-long ci clean
+# crash target parameters: SIGKILL iterations for the subprocess
+# crash-recovery harness (acceptance: 50/50 green).
+CRASH_ITERS ?= 50
+
+.PHONY: all build vet lint test race bench-smoke bench-save bench-compare bench-durable hybrid-ab ingest-ab telemetry-race telemetry-smoke chaos crash iocheck difftest difftest-long ci clean
 
 all: build
 
@@ -77,6 +81,21 @@ hybrid-ab:
 	LH_FORCE_PATH=binary $(GO) run ./cmd/lhbench -suite tpch -sf $(BENCH_SF) -count $(BENCH_COUNT) -warmup $(BENCH_WARMUP) -json /tmp/bench_binary.json
 	$(GO) run ./cmd/benchdiff /tmp/bench_wcoj.json /tmp/bench_binary.json
 
+# A/B the WAL sync policies on TPC-H lineitem ingest (in-memory vs
+# no-fsync vs group commit vs fsync-per-batch). A measurement tool, not
+# a gate; the results annotate $(BENCH_BASELINE) as "_ingest/<policy>"
+# records, which benchdiff skips.
+ingest-ab:
+	$(GO) run ./cmd/lhbench -suite ingest-ab -count $(BENCH_COUNT) -warmup $(BENCH_WARMUP) -json /tmp/bench_ingest_ab.json
+
+# Durable read-path gate: the full TPC-H suite with every engine running
+# on a WAL + snapshot directory at the lhserve default sync policy
+# (group commit), diffed against the in-memory baseline under the same
+# ratio gates — durability must not tax the query path.
+bench-durable:
+	$(GO) run ./cmd/lhbench -suite tpch -sync group -sf $(BENCH_SF) -count $(BENCH_COUNT) -warmup $(BENCH_WARMUP) -json /tmp/bench_durable.json
+	$(GO) run ./cmd/benchdiff -max-ratio $(BENCH_MAX_RATIO) -max-query-ratio $(BENCH_MAX_QUERY_RATIO) $(BENCH_BASELINE) /tmp/bench_durable.json
+
 # Focused race check on the lock-free telemetry paths (histogram
 # recording, span buffers, registry) and their integration points.
 telemetry-race:
@@ -96,6 +115,23 @@ chaos:
 	$(GO) test -race -count=1 -run 'TestChaos|TestOverload|TestGovernorStress|TestEngineShutdown|TestSkewed' ./internal/core
 	$(GO) test -race -count=1 ./internal/governor ./internal/faultinject
 	$(GO) test -run '^$$' -fuzz FuzzParse -fuzztime 5s ./internal/sqlparse
+	$(GO) test -race -count=1 -run 'TestDurable|TestIngestBatch|TestCrashRecoverySIGKILL' ./internal/core
+	$(GO) test -race -count=1 ./internal/wal ./internal/snapshot
+	$(GO) test -count=1 -run TestDifferentialShort ./internal/difftest -difftest.lane recovery
+
+# SIGKILL crash-recovery gauntlet: the test binary re-execs itself as
+# an ingesting child, kills it mid-ingest (including mid-compaction and
+# with faultinject-widened WAL write/sync windows), recovers the data
+# directory and checks that every acked row survived as an exact
+# prefix. CRASH_ITERS=50 by default.
+crash:
+	LH_CRASH_ITERS=$(CRASH_ITERS) $(GO) test -count=1 -run TestCrashRecoverySIGKILL ./internal/core
+
+# errcheck-style audit of the durability code: every error-returning
+# io/os call in internal/wal and internal/snapshot must be consumed
+# (an ignored short write or fsync error is a durability hole).
+iocheck:
+	$(GO) run ./cmd/iocheck ./internal/wal ./internal/snapshot
 
 # Differential & metamorphic correctness harness (internal/difftest):
 # a short, seeded, deterministic run of >=500 generated query/dataset
@@ -113,7 +149,7 @@ difftest-long:
 	$(GO) test -count=1 -run TestDifferentialLong -timeout 0 \
 		./internal/difftest -difftest.duration $(DIFFTEST_BUDGET)
 
-ci: vet lint build race bench-smoke telemetry-race telemetry-smoke chaos difftest bench-compare
+ci: vet lint build race iocheck bench-smoke telemetry-race telemetry-smoke chaos crash difftest bench-compare
 
 clean:
 	$(GO) clean ./...

@@ -31,6 +31,10 @@ type rec struct {
 	// (pre-order), e.g. ["binary"] or ["wcoj","binary"].
 	Paths      []string `json:"paths,omitempty"`
 	AllocPerOp int64    `json:"alloc_bytes_per_op"`
+	// Note marks annotation rows (e.g. lhbench -suite ingest-ab sync
+	// policy measurements); pseudo-records are named with a leading "_"
+	// and excluded from the diff and the regression gates.
+	Note string `json:"note,omitempty"`
 }
 
 var (
@@ -49,11 +53,21 @@ func load(path string) map[string]rec {
 	}
 	m := make(map[string]rec, len(rs))
 	order = order[:0]
+	skipped := 0
 	for _, r := range rs {
+		// "_" names are annotations (ingest-ab sync measurements etc.),
+		// not comparable query timings — keep them out of the gate.
+		if len(r.Name) > 0 && r.Name[0] == '_' {
+			skipped++
+			continue
+		}
 		if _, dup := m[r.Name]; !dup {
 			order = append(order, r.Name)
 		}
 		m[r.Name] = r
+	}
+	if skipped > 0 {
+		fmt.Printf("%s: skipped %d annotation record(s) (_-prefixed)\n", path, skipped)
 	}
 	return m
 }

@@ -1,0 +1,177 @@
+// Command iocheck is a focused errcheck for the durability code: it
+// walks the given package directories and reports every io/os call
+// whose error result is discarded — a bare statement, a defer, or a
+// blank assignment. In a WAL or snapshot writer, an ignored short
+// write, fsync, rename or truncate error is a silent durability hole,
+// so the build gates on zero findings:
+//
+//	go run ./cmd/iocheck ./internal/wal ./internal/snapshot
+//
+// The check is syntactic (method-name based), which is exactly right
+// for its narrow target: these packages funnel all persistence through
+// a known set of file-mutating calls. `defer f.Close()` is allowed on
+// its own — closing a read handle is not a durability event — but a
+// deferred Sync/Truncate/Rename, or any bare mutating call, fails.
+package main
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// mutating lists method/function names whose error return must be
+// consumed: they change file or directory state.
+var mutating = map[string]bool{
+	"Write":       true,
+	"WriteAt":     true,
+	"WriteString": true,
+	"WriteFile":   true,
+	"Sync":        true,
+	"Truncate":    true,
+	"Flush":       true,
+	"Rename":      true,
+	"Remove":      true,
+	"RemoveAll":   true,
+	"Mkdir":       true,
+	"MkdirAll":    true,
+	"Chmod":       true,
+}
+
+// closers may be deferred without consuming the error (read-path
+// cleanup), but a bare Close statement still fails — on a written
+// file, Close is where delayed write errors surface.
+var closers = map[string]bool{"Close": true}
+
+type finding struct {
+	pos  token.Position
+	call string
+}
+
+func main() {
+	if len(os.Args) < 2 {
+		fmt.Fprintln(os.Stderr, "usage: iocheck <pkg-dir> [...]")
+		os.Exit(2)
+	}
+	var findings []finding
+	for _, dir := range os.Args[1:] {
+		fs, err := checkDir(dir)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "iocheck: %v\n", err)
+			os.Exit(2)
+		}
+		findings = append(findings, fs...)
+	}
+	for _, f := range findings {
+		fmt.Printf("%s: discarded error from %s\n", f.pos, f.call)
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "iocheck: %d discarded io error(s)\n", len(findings))
+		os.Exit(1)
+	}
+	fmt.Printf("iocheck: %s clean\n", strings.Join(os.Args[1:], " "))
+}
+
+func checkDir(dir string) ([]finding, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var findings []finding
+	fset := token.NewFileSet()
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+			continue
+		}
+		file, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, 0)
+		if err != nil {
+			return nil, err
+		}
+		findings = append(findings, checkFile(fset, file)...)
+	}
+	return findings, nil
+}
+
+func checkFile(fset *token.FileSet, file *ast.File) []finding {
+	var findings []finding
+	report := func(n ast.Node, call *ast.CallExpr) {
+		findings = append(findings, finding{
+			pos:  fset.Position(n.Pos()),
+			call: callName(call),
+		})
+	}
+	ast.Inspect(file, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.ExprStmt:
+			if call, name := riskyCall(s.X); call != nil && (mutating[name] || closers[name]) {
+				report(s, call)
+			}
+		case *ast.DeferStmt:
+			if name := calleeName(s.Call); mutating[name] {
+				report(s, s.Call)
+			}
+		case *ast.GoStmt:
+			if name := calleeName(s.Call); mutating[name] || closers[name] {
+				report(s, s.Call)
+			}
+		case *ast.AssignStmt:
+			// `_ = f.Sync()` (all-blank LHS) discards the error just as
+			// thoroughly as a bare statement.
+			if len(s.Rhs) != 1 {
+				return true
+			}
+			call, name := riskyCall(s.Rhs[0])
+			if call == nil || !(mutating[name] || closers[name]) {
+				return true
+			}
+			for _, lhs := range s.Lhs {
+				if id, ok := lhs.(*ast.Ident); !ok || id.Name != "_" {
+					return true
+				}
+			}
+			report(s, call)
+		}
+		return true
+	})
+	return findings
+}
+
+// riskyCall unwraps expr to a call and returns it with its callee
+// name, or nil when it is not a call.
+func riskyCall(expr ast.Expr) (*ast.CallExpr, string) {
+	call, ok := expr.(*ast.CallExpr)
+	if !ok {
+		return nil, ""
+	}
+	return call, calleeName(call)
+}
+
+// calleeName extracts the method or function name being called.
+func calleeName(call *ast.CallExpr) string {
+	switch fn := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		return fn.Sel.Name
+	case *ast.Ident:
+		return fn.Name
+	}
+	return ""
+}
+
+// callName renders the call for the report ("f.Sync", "os.Rename").
+func callName(call *ast.CallExpr) string {
+	switch fn := call.Fun.(type) {
+	case *ast.SelectorExpr:
+		if x, ok := fn.X.(*ast.Ident); ok {
+			return x.Name + "." + fn.Sel.Name
+		}
+		return "(...)." + fn.Sel.Name
+	case *ast.Ident:
+		return fn.Name
+	}
+	return "call"
+}

@@ -17,6 +17,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
@@ -38,6 +39,7 @@ import (
 	"repro/internal/telemetry"
 	"repro/internal/tpch"
 	"repro/internal/voter"
+	"repro/internal/wal"
 )
 
 var (
@@ -51,7 +53,8 @@ var (
 	flagRuns   = flag.Int("runs", 3, "timed runs per measurement (best reported)")
 	flagCount  = flag.Int("count", 0, "timed runs per measurement, benchstat-style (overrides -runs when > 0)")
 	flagWarmup = flag.Int("warmup", 1, "untimed warmup runs before each measurement")
-	flagSuite  = flag.String("suite", "", "run only a named measurement suite and exit (tpch: levelheaded TPC-H queries, no rival engines — the bench-save/bench-compare baseline)")
+	flagSuite  = flag.String("suite", "", "run only a named measurement suite and exit (tpch: levelheaded TPC-H queries, no rival engines — the bench-save/bench-compare baseline; ingest-ab: durability sync-policy A/B on TPC-H lineitem ingest)")
+	flagSync   = flag.String("sync", "", "run every engine with durability enabled in a temp dir under this WAL sync policy (always, group[:interval], none; empty = in-memory). Lets bench-compare measure the read-path cost of a durable engine")
 
 	flagStats   = flag.Bool("stats", false, "print a per-query observability line (first run of each query) and cumulative engine metrics at exit")
 	flagJSON    = flag.String("json", "", "write per-query levelheaded measurements (name, min/mean ns, rows, dispatch) as JSON to this file")
@@ -83,6 +86,10 @@ type benchRec struct {
 	// AllocPerOp is the mean heap bytes allocated per run (the
 	// QueryStats runtime/metrics delta).
 	AllocPerOp int64 `json:"alloc_bytes_per_op"`
+	// Note carries freeform context for pseudo-records (names starting
+	// with "_", e.g. the ingest-ab sync-policy measurements) that
+	// benchdiff excludes from the regression gate.
+	Note string `json:"note,omitempty"`
 }
 
 var benchRecs []benchRec
@@ -128,17 +135,19 @@ func main() {
 		defer srv.Close()
 		fmt.Printf("telemetry: http://%s/metrics\n", srv.Addr())
 	}
-	if *flagSuite == "tpch" {
+	defer cleanupTempDirs()
+	switch *flagSuite {
+	case "tpch":
 		suiteTPCH()
-		if *flagJSON != "" {
-			writeJSON(*flagJSON)
-		}
-		if *flagStats {
-			printCumulativeMetrics()
-		}
+		finishSuite()
 		return
-	} else if *flagSuite != "" {
-		log.Fatalf("unknown -suite %q (have: tpch)", *flagSuite)
+	case "ingest-ab":
+		suiteIngestAB()
+		finishSuite()
+		return
+	case "":
+	default:
+		log.Fatalf("unknown -suite %q (have: tpch, ingest-ab)", *flagSuite)
 	}
 	if *flagAll {
 		*flagTable, *flagFig = "all", "all"
@@ -297,11 +306,53 @@ func denseList() []int {
 	return out
 }
 
+// finishSuite is the shared tail of every -suite run: JSON dump and
+// the cumulative -stats metrics.
+func finishSuite() {
+	if *flagJSON != "" {
+		writeJSON(*flagJSON)
+	}
+	if *flagStats {
+		printCumulativeMetrics()
+	}
+}
+
+// tempDirs tracks the durability scratch directories created for
+// -sync and the ingest-ab suite; cleanupTempDirs removes them on a
+// normal exit (log.Fatal leaks them — they live under os.TempDir).
+var tempDirs []string
+
+func durTempDir(pattern string) string {
+	dir, err := os.MkdirTemp("", pattern)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tempDirs = append(tempDirs, dir)
+	return dir
+}
+
+func cleanupTempDirs() {
+	for _, d := range tempDirs {
+		if err := os.RemoveAll(d); err != nil {
+			fmt.Fprintf(os.Stderr, "cleanup %s: %v\n", d, err)
+		}
+	}
+}
+
 // newEngine builds an engine wired into the shared telemetry collector
 // (when -http is on) and tracks it for the cumulative -stats dump.
+// With -sync set, every engine is durable in its own temp dir, so the
+// suites measure read paths with the WAL machinery live.
 func newEngine(opts ...core.Option) *core.Engine {
 	if sharedTel != nil {
 		opts = append(opts, core.WithTelemetry(sharedTel))
+	}
+	if *flagSync != "" {
+		pol, err := wal.ParsePolicy(*flagSync)
+		if err != nil {
+			log.Fatal(err)
+		}
+		opts = append(opts, core.WithDurability(durTempDir("lhbench-dur-*"), pol))
 	}
 	e := core.New(opts...)
 	allEngines = append(allEngines, e)
@@ -375,6 +426,143 @@ func fmtAlloc(b int64) string {
 	default:
 		return fmt.Sprintf("%dB", b)
 	}
+}
+
+// ---- ingest-ab suite --------------------------------------------------
+
+// suiteIngestAB A/Bs the WAL sync policies on TPC-H ingest: the same
+// stream of generated lineitem rows is appended batch-by-batch into a
+// fresh engine per policy — in-memory (no durability), WAL without
+// fsync, group commit (the lhserve default), and fsync-per-batch. Each
+// policy's runs land in the -json output as a "_ingest/<policy>"
+// pseudo-record (benchdiff skips "_" names, so these annotate
+// BENCH_tpch.json without entering the regression gate).
+func suiteIngestAB() {
+	const totalRows, batch = 20000, 250
+	rows := genLineitemRows(totalRows)
+	policies := []struct {
+		name string
+		desc string
+		opts []core.Option
+	}{
+		{"mem", "no durability (baseline)", nil},
+		{"none", "WAL write per batch, no fsync", durOpts(wal.NoSync())},
+		{"group", "WAL write per batch, fsync on the group-commit interval", durOpts(wal.GroupCommit(wal.DefaultInterval))},
+		{"always", "WAL write + fsync per batch", durOpts(wal.SyncEvery())},
+	}
+	fmt.Printf("\n=== ingest A/B — sync policies (%d lineitem rows per run, batches of %d, %d runs after %d warmup)\n",
+		totalRows, batch, timedRuns(), *flagWarmup)
+	fmt.Printf("%-8s %12s %12s %10s\n", "policy", "min", "mean", "rows/s")
+	var memMin time.Duration
+	ctx := context.Background()
+	for _, pol := range policies {
+		eng := core.New(pol.opts...)
+		allEngines = append(allEngines, eng)
+		if _, err := eng.CreateTable(lineitemSchema()); err != nil {
+			log.Fatal(err)
+		}
+		ingestAll := func() {
+			for lo := 0; lo < len(rows); lo += batch {
+				hi := lo + batch
+				if hi > len(rows) {
+					hi = len(rows)
+				}
+				if _, err := eng.IngestRows(ctx, "lineitem", rows[lo:hi]); err != nil {
+					log.Fatal(err)
+				}
+			}
+		}
+		for i := 0; i < *flagWarmup; i++ {
+			ingestAll()
+		}
+		n := timedRuns()
+		minD := time.Duration(1<<62 - 1)
+		var sum time.Duration
+		for i := 0; i < n; i++ {
+			t0 := time.Now()
+			ingestAll()
+			d := time.Since(t0)
+			sum += d
+			if d < minD {
+				minD = d
+			}
+		}
+		eng.BeginShutdown()
+		eng.Drain(ctx)
+		if pol.name == "mem" {
+			memMin = minD
+		}
+		ratio := ""
+		if memMin > 0 && pol.name != "mem" {
+			ratio = fmt.Sprintf("  (%.2fx vs mem)", float64(minD)/float64(memMin))
+		}
+		rate := float64(totalRows) / minD.Seconds()
+		fmt.Printf("%-8s %12s %12s %10.0f%s\n", pol.name,
+			minD.Round(time.Microsecond), (sum / time.Duration(n)).Round(time.Microsecond), rate, ratio)
+		benchRecs = append(benchRecs, benchRec{
+			Name:   "_ingest/" + pol.name,
+			Runs:   n,
+			MinNs:  int64(minD),
+			MeanNs: int64(sum) / int64(n),
+			Rows:   totalRows,
+			Note:   fmt.Sprintf("sync A/B: %d lineitem rows per run in batches of %d; %s", totalRows, batch, pol.desc),
+		})
+	}
+}
+
+// durOpts wires a durability option with a scratch directory for one
+// ingest-ab engine.
+func durOpts(pol wal.Policy) []core.Option {
+	return []core.Option{core.WithDurability(durTempDir("lhbench-ingest-*"), pol)}
+}
+
+// lineitemSchema pulls the TPC-H lineitem schema out of the shared
+// schema list, so the ingest A/B exercises the real 14-column table
+// (three dictionary-encoded key domains, dates, strings).
+func lineitemSchema() storage.Schema {
+	for _, s := range tpch.Schemas() {
+		if s.Name == "lineitem" {
+			return s
+		}
+	}
+	log.Fatal("tpch schemas: no lineitem")
+	return storage.Schema{}
+}
+
+// genLineitemRows synthesizes n lineitem rows with TPC-H-shaped value
+// distributions (a small deterministic LCG keeps runs comparable).
+func genLineitemRows(n int) [][]interface{} {
+	flags := []string{"A", "N", "R"}
+	status := []string{"O", "F"}
+	modes := []string{"AIR", "MAIL", "RAIL", "SHIP", "TRUCK", "FOB", "REG AIR"}
+	rows := make([][]interface{}, n)
+	seed := uint64(2026)
+	next := func(mod int) int64 {
+		seed = seed*6364136223846793005 + 1442695040888963407
+		return int64((seed >> 33) % uint64(mod))
+	}
+	for i := range rows {
+		qty := float64(next(50) + 1)
+		price := float64(next(90000)+1000) / 100 * qty
+		ship := int64(9100 + next(2500))
+		rows[i] = []interface{}{
+			int64(i/4 + 1),          // l_orderkey: ~4 lines per order
+			next(20000) + 1,         // l_partkey
+			next(1000) + 1,          // l_suppkey
+			int64(i%4 + 1),          // l_linenumber
+			qty,                     // l_quantity
+			price,                   // l_extendedprice
+			float64(next(11)) / 100, // l_discount
+			float64(next(9)) / 100,  // l_tax
+			flags[next(3)],          // l_returnflag
+			status[next(2)],         // l_linestatus
+			ship,                    // l_shipdate (days)
+			ship + next(30),         // l_commitdate
+			ship + next(30),         // l_receiptdate
+			modes[next(7)],          // l_shipmode
+		}
+	}
+	return rows
 }
 
 // tpchEngine builds a populated, cache-warmed engine.

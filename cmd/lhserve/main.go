@@ -23,6 +23,14 @@
 // a table's backlog reaches N rows. /debug/queries reports per-table
 // delta backlog and last-compaction epoch alongside in-flight queries.
 //
+// -data-dir DIR makes ingestion durable: every acked append is
+// write-ahead logged before it commits (fsync cadence set by -sync),
+// compactions persist atomic snapshots, and a restarted lhserve
+// pointed at the same dir recovers snapshot + WAL tails instead of
+// regenerating -gen data. /readyz reports recovery state; an
+// X-Batch-Id header on /ingest makes client retries idempotent across
+// crashes. SIGTERM drains queries and fsyncs all WALs before exit.
+//
 // -slowlog FILE (with -slow THRESHOLD) appends one JSON line per query
 // slower than the threshold. -smoke runs a self-test: execute queries,
 // scrape /metrics through the real listener, and exit nonzero on any
@@ -54,6 +62,7 @@ import (
 	"repro/internal/telemetry"
 	"repro/internal/tpch"
 	"repro/internal/voter"
+	"repro/internal/wal"
 )
 
 var (
@@ -67,6 +76,9 @@ var (
 	flagSmoke   = flag.Bool("smoke", false, "self-test: run queries, scrape /metrics, exit")
 
 	flagAutoCompact = flag.Int("auto-compact", 0, "background-compact when a table's delta backlog reaches this many rows (0 = manual)")
+
+	flagDataDir = flag.String("data-dir", "", "durability directory: WAL + snapshots live here and are recovered on startup (empty = in-memory only)")
+	flagSync    = flag.String("sync", "group", "WAL sync policy: always, group[:dur], interval[:dur], none (with -data-dir)")
 
 	flagMaxConc   = flag.Int("max-concurrency", 0, "max concurrently executing queries (0 = unlimited)")
 	flagQueue     = flag.Int("queue-depth", 0, "admission wait-queue depth (with -max-concurrency)")
@@ -99,10 +111,39 @@ func main() {
 	if *flagAutoCompact > 0 {
 		opts = append(opts, core.WithAutoCompact(*flagAutoCompact))
 	}
+	if *flagDataDir != "" {
+		policy, err := wal.ParsePolicy(*flagSync)
+		if err != nil {
+			log.Fatal(err)
+		}
+		opts = append(opts, core.WithDurability(*flagDataDir, policy))
+	}
 	eng := core.New(opts...)
-	mix := populate(eng)
+	if err := eng.RecoveryError(); err != nil {
+		// Recovery problems degrade, never abort: the engine is up with
+		// whatever state survived, and /readyz carries the error.
+		log.Printf("lhserve: recovery degraded: %v", err)
+	}
 
+	// The listener comes up before populate so /readyz can answer "not
+	// yet" (and /metrics is scrapable) during a long generate/recover.
+	var ready atomic.Bool
 	mux := http.NewServeMux()
+	mux.HandleFunc("/readyz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if !ready.Load() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+		}
+		resp := map[string]interface{}{
+			"ready":     ready.Load(),
+			"durable":   *flagDataDir != "",
+			"recovered": eng.Recovered(),
+		}
+		if err := eng.RecoveryError(); err != nil {
+			resp["recovery_error"] = err.Error()
+		}
+		json.NewEncoder(w).Encode(resp)
+	})
 	mux.Handle("/", telemetry.Handler(eng.Telemetry()))
 	mux.HandleFunc("/query", func(w http.ResponseWriter, r *http.Request) {
 		handleQuery(eng, w, r)
@@ -126,6 +167,18 @@ func main() {
 	srv := &http.Server{Handler: mux, ReadHeaderTimeout: 10 * time.Second}
 	go srv.Serve(ln)
 	addr := ln.Addr().String()
+
+	mix := populate(eng)
+	if *flagDataDir != "" && !eng.Recovered() {
+		// A fresh populate goes through the bulk SetColumnData path,
+		// which bypasses the WAL by design; snapshot it now so the
+		// generated data survives a crash too.
+		if err := eng.Compact(context.Background()); err != nil {
+			log.Fatal("initial snapshot: ", err)
+		}
+		fmt.Printf("lhserve: initial snapshot written to %s\n", *flagDataDir)
+	}
+	ready.Store(true)
 	fmt.Printf("lhserve: engine up — metrics at http://%s/metrics, queries via POST http://%s/query\n", addr, addr)
 
 	if *flagSmoke {
@@ -162,8 +215,14 @@ func main() {
 }
 
 // populate generates the requested dataset and returns the query mix
-// the replay workers cycle through.
+// the replay workers cycle through. When startup recovery (-data-dir)
+// restored persisted tables, generation is skipped — the recovered
+// data IS the dataset — and only the query mix is returned.
 func populate(eng *core.Engine) []string {
+	if eng.Recovered() {
+		fmt.Printf("lhserve: recovered persisted state from %s, skipping -gen %s populate\n", *flagDataDir, *flagGen)
+		return queryMix()
+	}
 	switch *flagGen {
 	case "tpch":
 		sz, err := tpch.Populate(eng.Catalog(), *flagSF, 2026)
@@ -171,11 +230,7 @@ func populate(eng *core.Engine) []string {
 			log.Fatal(err)
 		}
 		fmt.Printf("generated TPC-H SF %g (%d lineitems)\n", *flagSF, sz.Lineitem)
-		mix := make([]string, 0, len(tpch.QueryNames))
-		for _, name := range tpch.QueryNames {
-			mix = append(mix, tpch.Queries[name])
-		}
-		return mix
+		return queryMix()
 	case "matrix":
 		spec, err := lagen.Profile("harbor", *flagLA)
 		if err != nil {
@@ -186,12 +241,32 @@ func populate(eng *core.Engine) []string {
 			log.Fatal(err)
 		}
 		fmt.Printf("generated %s-sim matrix: n=%d nnz=%d\n", spec.Name, spec.N, nnz)
-		return []string{lagen.SMVQuery, lagen.SMMQuery}
+		return queryMix()
 	case "voter":
 		if err := voter.Generate(eng.Catalog(), 100000, 500, 2026); err != nil {
 			log.Fatal(err)
 		}
 		fmt.Println("generated voter dataset (tables: voters, precincts)")
+		return queryMix()
+	default:
+		log.Fatalf("unknown dataset %q", *flagGen)
+		return nil
+	}
+}
+
+// queryMix returns the replay mix for -gen without generating data
+// (the recovered-startup path).
+func queryMix() []string {
+	switch *flagGen {
+	case "tpch":
+		mix := make([]string, 0, len(tpch.QueryNames))
+		for _, name := range tpch.QueryNames {
+			mix = append(mix, tpch.Queries[name])
+		}
+		return mix
+	case "matrix":
+		return []string{lagen.SMVQuery, lagen.SMMQuery}
+	case "voter":
 		return []string{`SELECT count(*) AS n FROM voters`}
 	default:
 		log.Fatalf("unknown dataset %q", *flagGen)
@@ -308,8 +383,9 @@ const maxIngestBody = 32 << 20
 
 // ingestResponse is the /ingest JSON payload.
 type ingestResponse struct {
-	Table string `json:"table"`
-	Rows  int    `json:"rows"`
+	Table     string `json:"table"`
+	Rows      int    `json:"rows"`
+	Duplicate bool   `json:"duplicate,omitempty"`
 }
 
 // handleIngest appends rows to a table: POST /ingest?table=T with an
@@ -319,6 +395,11 @@ type ingestResponse struct {
 // overloaded engine sheds the batch with 429 + Retry-After. Appended
 // rows are visible to the next query; compaction happens in the
 // background (see -auto-compact) or via the engine API.
+//
+// An optional X-Batch-Id header makes the request idempotent: the id
+// is logged in the WAL alongside the rows, so a client retrying after
+// a 5xx/timeout gets {"duplicate": true} instead of double-ingesting —
+// including retries that land after a crash and recovery (-data-dir).
 func handleIngest(eng *core.Engine, w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		http.Error(w, "POST required", http.StatusMethodNotAllowed)
@@ -329,8 +410,10 @@ func handleIngest(eng *core.Engine, w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "missing ?table=", http.StatusBadRequest)
 		return
 	}
+	batchID := r.Header.Get("X-Batch-Id")
 	body := io.LimitReader(r.Body, maxIngestBody)
 	var n int
+	var dup bool
 	var err error
 	switch format := r.URL.Query().Get("format"); format {
 	case "", "ndjson":
@@ -345,8 +428,12 @@ func handleIngest(eng *core.Engine, w http.ResponseWriter, r *http.Request) {
 			http.Error(w, err.Error(), http.StatusBadRequest)
 			return
 		}
-		n, err = eng.IngestRows(r.Context(), table, rows)
+		n, dup, err = eng.IngestBatch(r.Context(), table, batchID, rows)
 	case "delim":
+		if batchID != "" {
+			http.Error(w, "X-Batch-Id requires the ndjson format", http.StatusBadRequest)
+			return
+		}
 		delim := r.URL.Query().Get("delim")
 		if delim == "" {
 			delim = ","
@@ -365,7 +452,7 @@ func handleIngest(eng *core.Engine, w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	w.Header().Set("Content-Type", "application/json")
-	json.NewEncoder(w).Encode(ingestResponse{Table: table, Rows: n})
+	json.NewEncoder(w).Encode(ingestResponse{Table: table, Rows: n, Duplicate: dup})
 }
 
 // decodeNDJSON converts newline-delimited JSON values into rows for
@@ -499,6 +586,13 @@ func smoke(eng *core.Engine, addr string, mix []string) error {
 			return "", fmt.Errorf("GET %s: status %d", path, resp.StatusCode)
 		}
 		return string(body), nil
+	}
+	readyz, err := get("/readyz")
+	if err != nil {
+		return err
+	}
+	if !strings.Contains(readyz, `"ready":true`) {
+		return fmt.Errorf("/readyz not ready: %s", readyz)
 	}
 	metrics, err := get("/metrics")
 	if err != nil {

@@ -62,6 +62,9 @@ type Engine struct {
 	bgCtx           context.Context
 	bgCancel        context.CancelFunc
 	bgWG            sync.WaitGroup
+
+	// Durability state (nil unless WithDurability): see durable.go.
+	dur *durState
 }
 
 // Option configures an Engine.
@@ -165,16 +168,36 @@ func New(opts ...Option) *Engine {
 	e.tel.AddCounterSource(e.gov.Counters)
 	e.tel.AddCounterSource(e.deltaCounters)
 	e.metrics.SetExtra(e.tel.Quantiles)
+	if e.dur != nil {
+		// Recovery runs before the engine is visible to any caller, so
+		// the first query already sees the restored state; failures are
+		// recorded (RecoveryError) and the engine comes up regardless.
+		e.recoverStartup()
+		// Hook the catalog (possibly the one recovery just rebuilt) so
+		// EVERY subsequent table creation — via Engine.CreateTable or
+		// directly on the catalog by a dataset generator — persists its
+		// schema and gets a WAL attached before it accepts appends.
+		e.cat.OnCreate(func(t *storage.Table) error {
+			return e.registerDurableTable(t.Schema.Name)
+		})
+		e.startGroupCommit()
+		e.tel.AddCounterSource(e.durCounters)
+	}
 	return e
 }
 
 // Catalog exposes the engine's catalog for loading data.
 func (e *Engine) Catalog() *storage.Catalog { return e.cat }
 
-// CreateTable registers a new base table.
+// CreateTable registers a new base table. On a durable engine the
+// schema manifest is rewritten and a WAL attached before the table is
+// returned, so even the very first append is recoverable.
 func (e *Engine) CreateTable(s storage.Schema) (*storage.Table, error) {
 	e.mu.Lock()
 	defer e.mu.Unlock()
+	// Durability (WAL attach + schema persistence) rides the catalog's
+	// OnCreate hook, so it also covers generators creating tables
+	// directly on the catalog.
 	return e.cat.Create(s)
 }
 
@@ -215,6 +238,15 @@ func (e *Engine) Compact(ctx context.Context) (err error) {
 		e.compactions.Add(1)
 		e.compactedRows.Add(int64(n))
 		e.purgeStaleTries()
+	}
+	if cerr == nil && e.dur != nil {
+		// Persist the compacted state: atomic snapshot write, then WAL
+		// truncation up to the rotated cutoffs. A failed snapshot leaves
+		// the WAL segments in place — recovery replays them over the
+		// previous snapshot, so durability is never weakened by the
+		// failure, and the error tells the caller the checkpoint didn't
+		// advance.
+		cerr = e.writeSnapshot()
 	}
 	return cerr
 }
@@ -541,8 +573,18 @@ func (e *Engine) Drain(ctx context.Context) int {
 		}
 	}
 	// A background compaction was cancelled by BeginShutdown; wait for
-	// it to unwind so no goroutine outlives the drain.
+	// it to unwind so no goroutine outlives the drain. (bgWG also covers
+	// the group-commit flusher and any auto-compact snapshot write.)
 	e.bgWG.Wait()
+	if e.dur != nil {
+		// A caller-driven Compact may still be mid-snapshot-write: take
+		// the compaction lock once so Drain cannot return while that
+		// write is in flight, then final-fsync every WAL so no acked
+		// group-commit batch is left unsynced at exit.
+		e.compactMu.Lock()
+		e.compactMu.Unlock() //nolint:staticcheck // barrier, not a critical section
+		e.syncWALs()
+	}
 	return cancelled
 }
 

@@ -1,0 +1,250 @@
+package core
+
+import (
+	"context"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/storage"
+	"repro/internal/wal"
+)
+
+func durableEngine(t *testing.T, dir string, policy wal.Policy) *Engine {
+	t.Helper()
+	return New(WithDurability(dir, policy))
+}
+
+func mkEvents(t *testing.T, e *Engine) *storage.Table {
+	t.Helper()
+	tab, err := e.CreateTable(storage.Schema{Name: "events", Cols: []storage.ColumnDef{
+		{Name: "id", Kind: storage.Int64, Role: storage.Key, PK: true},
+		{Name: "v", Kind: storage.Float64, Role: storage.Annotation},
+		{Name: "tag", Kind: storage.String, Role: storage.Annotation},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tab
+}
+
+func sumV(t *testing.T, e *Engine) (int, float64) {
+	t.Helper()
+	res, err := e.Query("SELECT count(*) AS c, sum(v) AS s FROM events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return int(res.Cols[0].Float(0)), res.Cols[1].Float(0)
+}
+
+// TestDurableRecovery drives the full acked-write-survives contract
+// in-process: appends pre- and post-freeze, a compaction snapshot in
+// the middle, then a "crash" (drop the engine, reopen the dir) and a
+// bit-exact comparison of query results.
+func TestDurableRecovery(t *testing.T) {
+	dir := t.TempDir()
+	e1 := durableEngine(t, dir, wal.SyncEvery())
+	tab := mkEvents(t, e1)
+	for i := 0; i < 40; i++ {
+		if err := tab.Append(int64(i), float64(i%97), "pre"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e1.Freeze(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 40; i < 70; i++ {
+		if _, err := e1.IngestRows(context.Background(), "events",
+			[][]interface{}{{int64(i), float64(i % 97), "post"}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := e1.Compact(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	for i := 70; i < 90; i++ {
+		if err := tab.Append(int64(i), float64(i%97), "tail"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	c1, s1 := sumV(t, e1)
+	if c1 != 90 {
+		t.Fatalf("pre-crash count %d", c1)
+	}
+
+	// "Crash": no Drain, no close. SyncEvery means everything acked is
+	// on disk already.
+	e2 := durableEngine(t, dir, wal.SyncEvery())
+	if err := e2.RecoveryError(); err != nil {
+		t.Fatalf("recovery error: %v", err)
+	}
+	if !e2.Recovered() {
+		t.Fatal("Recovered() = false after non-empty recovery")
+	}
+	c2, s2 := sumV(t, e2)
+	if c2 != c1 || math.Float64bits(s2) != math.Float64bits(s1) {
+		t.Fatalf("recovered (%d, %v), want (%d, %v)", c2, s2, c1, s1)
+	}
+
+	// Appends keep working after recovery and survive another cycle.
+	if err := e2.Catalog().Table("events").Append(int64(90), 4.0, "again"); err != nil {
+		t.Fatal(err)
+	}
+	e2.Drain(context.Background())
+	e3 := durableEngine(t, dir, wal.SyncEvery())
+	c3, _ := sumV(t, e3)
+	if c3 != 91 {
+		t.Fatalf("second recovery count %d, want 91", c3)
+	}
+}
+
+// TestDurableGroupCommitCrash: under the group-commit default, a
+// process crash (as opposed to power loss) must still lose nothing —
+// records are written per append, only the fsync is deferred.
+func TestDurableGroupCommitCrash(t *testing.T) {
+	dir := t.TempDir()
+	e1 := durableEngine(t, dir, wal.GroupCommit(0))
+	tab := mkEvents(t, e1)
+	for i := 0; i < 25; i++ {
+		if err := tab.Append(int64(i), 1.0, "x"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// No drain, no sync interval elapsed: simulated SIGKILL.
+	e2 := durableEngine(t, dir, wal.GroupCommit(0))
+	c, _ := sumV(t, e2)
+	if c != 25 {
+		t.Fatalf("recovered %d rows, want 25", c)
+	}
+	e2.BeginShutdown()
+	e2.Drain(context.Background())
+}
+
+// TestDurableCorruptTail: a bit-flipped WAL tail truncates, counts,
+// and never prevents startup.
+func TestDurableCorruptTail(t *testing.T) {
+	dir := t.TempDir()
+	e1 := durableEngine(t, dir, wal.SyncEvery())
+	tab := mkEvents(t, e1)
+	for i := 0; i < 10; i++ {
+		if err := tab.Append(int64(i), 1.0, "x"); err != nil {
+			t.Fatal(err)
+		}
+	}
+	segs, err := wal.ListSegments(dir, "events")
+	if err != nil || len(segs) == 0 {
+		t.Fatalf("segments: %v %v", segs, err)
+	}
+	path := segs[len(segs)-1].Path
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-2] ^= 0x10
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	e2 := durableEngine(t, dir, wal.SyncEvery())
+	if err := e2.RecoveryError(); err != nil {
+		t.Fatalf("corruption must not fail startup: %v", err)
+	}
+	c, _ := sumV(t, e2)
+	if c != 9 {
+		t.Fatalf("recovered %d rows, want 9 (last record corrupt)", c)
+	}
+	if got := e2.durCounters()["wal_records_dropped"]; got == 0 {
+		t.Fatal("wal_records_dropped not incremented")
+	}
+	// The engine accepts writes again and the truncated tail never
+	// resurfaces.
+	if err := e2.Catalog().Table("events").Append(int64(50), 1.0, "y"); err != nil {
+		t.Fatal(err)
+	}
+	e3 := durableEngine(t, dir, wal.SyncEvery())
+	if c, _ := sumV(t, e3); c != 10 {
+		t.Fatalf("third generation count %d, want 10", c)
+	}
+}
+
+// TestIngestBatchDedup: batch ids dedupe live, across recovery (ids
+// replayed from the WAL), and across snapshots (ids in the manifest).
+func TestIngestBatchDedup(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+	e1 := durableEngine(t, dir, wal.SyncEvery())
+	mkEvents(t, e1)
+	row := [][]interface{}{{int64(1), 2.0, "a"}}
+	if n, dup, err := e1.IngestBatch(ctx, "events", "batch-1", row); n != 1 || dup || err != nil {
+		t.Fatalf("first: %d %v %v", n, dup, err)
+	}
+	if n, dup, err := e1.IngestBatch(ctx, "events", "batch-1", row); n != 0 || !dup || err != nil {
+		t.Fatalf("retry not deduped: %d %v %v", n, dup, err)
+	}
+
+	// Recovery from WAL alone.
+	e2 := durableEngine(t, dir, wal.SyncEvery())
+	if n, dup, err := e2.IngestBatch(ctx, "events", "batch-1", row); n != 0 || !dup || err != nil {
+		t.Fatalf("post-recovery retry not deduped: %d %v %v", n, dup, err)
+	}
+	if c, _ := sumV(t, e2); c != 1 {
+		t.Fatalf("count %d, want 1", c)
+	}
+	// Snapshot carries the set past WAL truncation.
+	if err := e2.Compact(ctx); err != nil {
+		t.Fatal(err)
+	}
+	e3 := durableEngine(t, dir, wal.SyncEvery())
+	if n, dup, err := e3.IngestBatch(ctx, "events", "batch-1", row); n != 0 || !dup || err != nil {
+		t.Fatalf("post-snapshot retry not deduped: %d %v %v", n, dup, err)
+	}
+}
+
+// TestDurableCatalogCreate: tables created directly on the catalog
+// (the dataset-generator path, bypassing Engine.CreateTable) must
+// still get a WAL attached and their rows recovered.
+func TestDurableCatalogCreate(t *testing.T) {
+	dir := t.TempDir()
+	e1 := durableEngine(t, dir, wal.SyncEvery())
+	tab, err := e1.Catalog().Create(storage.Schema{Name: "gen", Cols: []storage.ColumnDef{
+		{Name: "k", Kind: storage.Int64, Role: storage.Key, PK: true},
+		{Name: "v", Kind: storage.Float64, Role: storage.Annotation},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tab.WAL() == nil {
+		t.Fatal("catalog-created table has no WAL attached")
+	}
+	for i := 0; i < 5; i++ {
+		if err := tab.Append(int64(i), 1.0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e2 := durableEngine(t, dir, wal.SyncEvery())
+	res, err := e2.Query("SELECT count(*) AS c FROM gen")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := int(res.Cols[0].Float(0)); got != 5 {
+		t.Fatalf("recovered %d rows, want 5", got)
+	}
+}
+
+// TestDurableFreshDirIsEmpty: durability on an empty dir changes
+// nothing about engine behavior.
+func TestDurableFreshDirIsEmpty(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "nested", "data")
+	e := durableEngine(t, dir, wal.NoSync())
+	if e.Recovered() {
+		t.Fatal("Recovered() on fresh dir")
+	}
+	if err := e.RecoveryError(); err != nil {
+		t.Fatal(err)
+	}
+	mkEvents(t, e)
+	if _, err := os.Stat(filepath.Join(dir, "catalog.json")); err != nil {
+		t.Fatalf("catalog.json not written: %v", err)
+	}
+}

@@ -1,0 +1,105 @@
+package dict
+
+import "fmt"
+
+// Snapshot is the serializable form of a Dictionary: the ordered
+// prefix plus the unsorted tail in its original first-seen order.
+// Restoring a Snapshot reproduces the exact value→code mapping,
+// including tail codes — the property the on-disk catalog snapshot
+// relies on to keep persisted key codes meaningful across restarts.
+type Snapshot struct {
+	Kind     Kind      `json:"kind"`
+	Identity bool      `json:"identity,omitempty"`
+	HasNaN   bool      `json:"has_nan,omitempty"`
+	Base     int       `json:"base"`
+	N        int       `json:"n"`
+	Ints     []int64   `json:"ints,omitempty"`
+	Floats   []float64 `json:"floats,omitempty"`
+	Strs     []string  `json:"strs,omitempty"`
+	TailInts []int64   `json:"tail_ints,omitempty"`
+	TailStrs []string  `json:"tail_strs,omitempty"`
+}
+
+// Export captures d's full state. The returned snapshot shares d's
+// backing arrays — d is immutable, so that is safe for serialization.
+func (d *Dictionary) Export() Snapshot {
+	return Snapshot{
+		Kind:     d.kind,
+		Identity: d.identity,
+		HasNaN:   d.hasNaN,
+		Base:     d.base,
+		N:        d.n,
+		Ints:     d.ints,
+		Floats:   d.floats,
+		Strs:     d.strs,
+		TailInts: d.tailInts,
+		TailStrs: d.tailStrs,
+	}
+}
+
+// Restore rebuilds a Dictionary from a Snapshot, reconstructing the
+// tail lookup indexes. It validates internal consistency so a corrupt
+// or hand-edited snapshot fails loudly instead of minting dictionaries
+// whose codes silently disagree with persisted columns.
+func Restore(s Snapshot) (*Dictionary, error) {
+	d := &Dictionary{
+		kind:     s.Kind,
+		identity: s.Identity,
+		hasNaN:   s.HasNaN,
+		base:     s.Base,
+		n:        s.N,
+		ints:     s.Ints,
+		floats:   s.Floats,
+		strs:     s.Strs,
+		tailInts: s.TailInts,
+		tailStrs: s.TailStrs,
+	}
+	prefixLen := 0
+	switch s.Kind {
+	case Int:
+		if d.identity {
+			prefixLen = d.base
+		} else {
+			prefixLen = len(d.ints)
+		}
+	case Float:
+		prefixLen = len(d.floats)
+		if len(d.tailInts) != 0 || len(d.tailStrs) != 0 {
+			return nil, fmt.Errorf("dict: float snapshot carries a tail")
+		}
+	case String:
+		prefixLen = len(d.strs)
+	default:
+		return nil, fmt.Errorf("dict: snapshot has unknown kind %d", uint8(s.Kind))
+	}
+	if prefixLen != d.base {
+		return nil, fmt.Errorf("dict: snapshot prefix length %d != base %d", prefixLen, d.base)
+	}
+	tailLen := d.n - d.base
+	if tailLen < 0 {
+		return nil, fmt.Errorf("dict: snapshot n %d < base %d", d.n, d.base)
+	}
+	switch {
+	case tailLen == 0:
+		if len(d.tailInts) != 0 || len(d.tailStrs) != 0 {
+			return nil, fmt.Errorf("dict: snapshot tail present but n == base")
+		}
+	case s.Kind == String:
+		if len(d.tailStrs) != tailLen {
+			return nil, fmt.Errorf("dict: snapshot string tail %d != n-base %d", len(d.tailStrs), tailLen)
+		}
+		d.tailIdxS = make(map[string]uint32, tailLen)
+		for i, v := range d.tailStrs {
+			d.tailIdxS[v] = uint32(d.base + i)
+		}
+	default: // Int (explicit or identity) tails live in tailInts
+		if len(d.tailInts) != tailLen {
+			return nil, fmt.Errorf("dict: snapshot int tail %d != n-base %d", len(d.tailInts), tailLen)
+		}
+		d.tailIdxI = make(map[int64]uint32, tailLen)
+		for i, v := range d.tailInts {
+			d.tailIdxI[v] = uint32(d.base + i)
+		}
+	}
+	return d, nil
+}

@@ -12,6 +12,7 @@ var (
 	flagSeed  = flag.Int64("difftest.seed", 20260806, "base seed for the deterministic differential run")
 	flagLong  = flag.Duration("difftest.duration", 0, "run randomized lanes for this long instead of fixed counts")
 	flagCount = flag.Int("difftest.count", 0, "override per-lane case counts (0 = defaults)")
+	flagLane  = flag.String("difftest.lane", "", "run only this lane (empty = all)")
 )
 
 // laneRun generates cases until want non-skipped runs complete,
@@ -19,6 +20,9 @@ var (
 func laneRun(t *testing.T, name string, baseSeed int64, want int,
 	gen func(*Gen) (*Case, *QuerySpec)) int {
 	t.Helper()
+	if *flagLane != "" && *flagLane != name {
+		return 0
+	}
 	done := 0
 	for i := 0; done < want; i++ {
 		if i > want*40+200 {
@@ -69,6 +73,7 @@ func TestDifferentialShort(t *testing.T) {
 		"dict":            80,
 		"ingest":          60,
 		"hybrid":          600,
+		"recovery":        40,
 	}
 	if *flagCount > 0 {
 		for k := range counts {
@@ -105,7 +110,12 @@ func TestDifferentialShort(t *testing.T) {
 	total += laneRun(t, "hybrid", seed+8e6, counts["hybrid"], func(g *Gen) (*Case, *QuerySpec) {
 		return g.GenHybridCase()
 	})
-	if total < 500 && *flagCount == 0 {
+	// Durability: snapshot + WAL-replay recovery is invisible to query
+	// results (bit-identical pre-crash vs recovered).
+	total += laneRun(t, "recovery", seed+9e6, counts["recovery"], func(g *Gen) (*Case, *QuerySpec) {
+		return g.GenRecoveryCase()
+	})
+	if total < 500 && *flagCount == 0 && *flagLane == "" {
 		t.Fatalf("only %d query/dataset pairs ran; want >= 500", total)
 	}
 	t.Logf("differential run: %d pairs, zero disagreements", total)
@@ -133,6 +143,7 @@ func TestDifferentialLong(t *testing.T) {
 		{"dict", func(g *Gen) (*Case, *QuerySpec) { return g.GenDictCase(), nil }},
 		{"ingest", func(g *Gen) (*Case, *QuerySpec) { return g.GenIngestCase() }},
 		{"hybrid", func(g *Gen) (*Case, *QuerySpec) { return g.GenHybridCase() }},
+		{"recovery", func(g *Gen) (*Case, *QuerySpec) { return g.GenRecoveryCase() }},
 	}
 	ran := 0
 	for i := 0; time.Now().Before(deadline); i++ {

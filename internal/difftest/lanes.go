@@ -34,6 +34,8 @@ func RunLane(c *Case) Outcome {
 		return RunIngestLane(c)
 	case "hybrid":
 		return RunHybridLane(c)
+	case "recovery":
+		return RunRecoveryLane(c)
 	}
 	return Outcome{Verdict: Skip, Detail: "unknown lane " + c.Lane}
 }

@@ -21,6 +21,12 @@ type Catalog struct {
 	domains map[string]*dict.Dictionary
 	frozen  bool
 
+	// onCreate, when set (see OnCreate), observes every successful
+	// Create — including ones made directly on the catalog by dataset
+	// generators, bypassing the engine facade. The durability layer
+	// uses it to attach a WAL to every table no matter who created it.
+	onCreate func(*Table) error
+
 	// freezeMu serializes Freeze against concurrent appenders (writers
 	// hold the read side; Freeze holds the write side while it scans the
 	// base arrays and flips the frozen flags).
@@ -64,8 +70,20 @@ func (c *Catalog) Create(s Schema) (*Table, error) {
 	t.cat = c
 	c.tables[s.Name] = t
 	c.order = append(c.order, s.Name)
+	if c.onCreate != nil {
+		if err := c.onCreate(t); err != nil {
+			delete(c.tables, s.Name)
+			c.order = c.order[:len(c.order)-1]
+			return nil, fmt.Errorf("storage: create hook for %s: %w", s.Name, err)
+		}
+	}
 	return t, nil
 }
+
+// OnCreate installs a hook observing every subsequent Create (a hook
+// error fails the Create and unregisters the table). One hook; calling
+// again replaces it.
+func (c *Catalog) OnCreate(fn func(*Table) error) { c.onCreate = fn }
 
 // Table returns the named table, or nil.
 func (c *Catalog) Table(name string) *Table { return c.tables[name] }
@@ -84,7 +102,23 @@ func (c *Catalog) Frozen() bool { return c.frozen }
 // writes: rows appended after it land in per-table delta stores and
 // surface through epoch snapshots (snapshot.go); Compact folds them
 // back into right-sized base generations.
-func (c *Catalog) Freeze() error {
+func (c *Catalog) Freeze() error { return c.freezeWith(nil, nil) }
+
+// FreezeWith freezes using dictionaries restored from a snapshot
+// instead of building fresh ones: provided domain dictionaries (keyed
+// by domain name) and string-annotation dictionaries (keyed
+// "table.column") are installed as-is and the column codes re-encoded
+// against them. Because a restored dictionary carries its unsorted
+// tail in original first-seen order, the re-encoded codes are exactly
+// the pre-snapshot codes. A value missing from a provided dictionary
+// means the snapshot is inconsistent: FreezeWith fails without
+// freezing, and the caller falls back to a plain Freeze (fresh
+// dictionaries — different codes, same query semantics).
+func (c *Catalog) FreezeWith(domains, ann map[string]*dict.Dictionary) error {
+	return c.freezeWith(domains, ann)
+}
+
+func (c *Catalog) freezeWith(provDomains, provAnn map[string]*dict.Dictionary) error {
 	if c.frozen {
 		return nil
 	}
@@ -126,25 +160,29 @@ func (c *Catalog) Freeze() error {
 	for _, dn := range names {
 		dc := domains[dn]
 		var d *dict.Dictionary
-		switch dc.kind {
-		case Int64, Date:
-			b := dict.NewBuilder(dict.Int)
-			for _, col := range dc.cols {
-				for _, v := range col.Ints {
-					b.AddInt(v)
+		if prov := provDomains[dn]; prov != nil {
+			d = prov
+		} else {
+			switch dc.kind {
+			case Int64, Date:
+				b := dict.NewBuilder(dict.Int)
+				for _, col := range dc.cols {
+					for _, v := range col.Ints {
+						b.AddInt(v)
+					}
 				}
-			}
-			d = b.Build()
-		case String:
-			b := dict.NewBuilder(dict.String)
-			for _, col := range dc.cols {
-				for _, v := range col.Strs {
-					b.AddString(v)
+				d = b.Build()
+			case String:
+				b := dict.NewBuilder(dict.String)
+				for _, col := range dc.cols {
+					for _, v := range col.Strs {
+						b.AddString(v)
+					}
 				}
+				d = b.Build()
+			default:
+				return fmt.Errorf("storage: unsupported key kind in domain %q", dn)
 			}
-			d = b.Build()
-		default:
-			return fmt.Errorf("storage: unsupported key kind in domain %q", dn)
 		}
 		c.domains[dn] = d
 		for _, col := range dc.cols {
@@ -180,15 +218,21 @@ func (c *Catalog) Freeze() error {
 			}
 			switch col.Def.Kind {
 			case String:
-				b := dict.NewBuilder(dict.String)
-				for _, v := range col.Strs {
-					b.AddString(v)
+				d := provAnn[name+"."+col.Def.Name]
+				if d == nil {
+					b := dict.NewBuilder(dict.String)
+					for _, v := range col.Strs {
+						b.AddString(v)
+					}
+					d = b.Build()
 				}
-				d := b.Build()
 				col.dict = d
 				col.codes = make([]uint32, len(col.Strs))
 				for i, v := range col.Strs {
-					code, _ := d.EncodeString(v)
+					code, ok := d.EncodeString(v)
+					if !ok {
+						return fmt.Errorf("storage: value %q missing from restored dictionary %s.%s", v, name, col.Def.Name)
+					}
 					col.codes[i] = code
 				}
 			case Float64:

@@ -1,0 +1,188 @@
+package storage
+
+import (
+	"fmt"
+
+	"repro/internal/dict"
+	"repro/internal/wal"
+)
+
+// This file is the storage side of the durability subsystem: the WAL
+// sink every append funnels through, the batch-id plumbing for
+// idempotent client retries, and the consistent capture used to write
+// on-disk snapshots.
+
+// SetWAL attaches (or, with nil, detaches) the table's write-ahead
+// log. While attached, every append — Append, AppendBatch,
+// LoadDelimitedContext, pre- or post-freeze — is written and
+// policy-synced to the log BEFORE the rows become visible, under the
+// same table mutex that serializes the commit, so replay order equals
+// commit order. Recovery attaches the WAL only after replay completes
+// (replayed rows must not be re-logged). SetColumnData bypasses the
+// WAL by design: it is the bulk-generator path, covered by writing a
+// snapshot right after population.
+func (t *Table) SetWAL(l *wal.Log) {
+	t.mu.Lock()
+	t.wal = l
+	t.mu.Unlock()
+}
+
+// WAL returns the attached write-ahead log, or nil.
+func (t *Table) WAL() *wal.Log {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.wal
+}
+
+// AppendBatchID is AppendBatch carrying a client batch id that is
+// recorded in the WAL record, so recovery can rebuild the idempotency
+// dedup set (the X-Batch-Id contract in lhserve).
+func (t *Table) AppendBatchID(batchID string, rows [][]interface{}) error {
+	conv := make([][]cell, len(rows))
+	for i, r := range rows {
+		row, err := t.convertRow(r)
+		if err != nil {
+			return fmt.Errorf("row %d: %w", i, err)
+		}
+		conv[i] = row
+	}
+	return t.appendCellsID(conv, batchID)
+}
+
+// walAppendLocked logs one converted batch. Caller holds t.mu.
+func (t *Table) walAppendLocked(rows [][]cell, batchID string) error {
+	var epoch uint64
+	if t.cat != nil {
+		epoch = t.cat.epoch.Load()
+	}
+	e := wal.NewEncoder(epoch, batchID, len(rows))
+	for _, r := range rows {
+		for i, c := range t.Cols {
+			switch c.Def.Kind {
+			case Int64, Date:
+				e.Int64(r[i].i)
+			case Float64:
+				e.Float64(r[i].f)
+			case String:
+				e.String(r[i].s)
+			}
+		}
+	}
+	return t.wal.Append(e)
+}
+
+// DecodeWALRecord decodes one replayed WAL record against the table's
+// schema into Append-compatible rows.
+func (t *Table) DecodeWALRecord(r *wal.Record) ([][]interface{}, error) {
+	rows := make([][]interface{}, 0, r.NRows)
+	for n := 0; n < r.NRows; n++ {
+		row := make([]interface{}, len(t.Cols))
+		for i, c := range t.Cols {
+			switch c.Def.Kind {
+			case Int64, Date:
+				row[i] = r.Int64()
+			case Float64:
+				row[i] = r.Float64()
+			case String:
+				row[i] = r.String()
+			}
+		}
+		rows = append(rows, row)
+	}
+	if err := r.Err(); err != nil {
+		return nil, err
+	}
+	return rows, nil
+}
+
+// TableCapture is one table's durable state at capture time: the
+// immutable generation holding every folded row, plus the (usually
+// tiny) delta tail not yet folded, plus the WAL segment cutoff — every
+// row in Gen/TailRows was logged to a segment <= WALCutoff, every row
+// after the capture lands in a segment > WALCutoff.
+type TableCapture struct {
+	Name      string
+	Schema    Schema
+	Gen       *Table
+	TailRows  [][]interface{}
+	WALCutoff uint64
+}
+
+// Capture is a consistent durable view of the whole catalog.
+type Capture struct {
+	Epoch   uint64
+	Tables  []TableCapture
+	Domains map[string]*dict.Dictionary
+}
+
+// CaptureForSnapshot captures the catalog's durable state. For each
+// table, rotate (when non-nil) is called with the table name WHILE the
+// table mutex is held — the same mutex appends commit under — and must
+// rotate that table's WAL, returning the rotated-away segment
+// sequence. Holding the mutex across rotate+capture means no append
+// can straddle the cutoff: a row is either in the captured state (its
+// record in a segment <= cutoff) or will be replayed (segment >
+// cutoff), never both. Domain dictionaries are captured under snapMu,
+// which also blocks generation builds, so every value in every
+// captured generation is covered by the captured dictionaries.
+func (c *Catalog) CaptureForSnapshot(rotate func(table string) (uint64, error)) (*Capture, error) {
+	if !c.frozen {
+		return nil, fmt.Errorf("storage: CaptureForSnapshot before Freeze")
+	}
+	c.snapMu.Lock()
+	defer c.snapMu.Unlock()
+	cap := &Capture{Epoch: c.epoch.Load()}
+	for _, name := range c.order {
+		t := c.tables[name]
+		t.mu.Lock()
+		var cutoff uint64
+		if rotate != nil {
+			var err error
+			cutoff, err = rotate(name)
+			if err != nil {
+				t.mu.Unlock()
+				return nil, err
+			}
+		}
+		n := 0
+		var view []deltaCol
+		if t.delta != nil {
+			n = t.delta.rows
+			view = t.delta.view(n)
+		}
+		t.mu.Unlock()
+		gen := t.Live()
+		tc := TableCapture{Name: name, Schema: t.Schema, Gen: gen, WALCutoff: cutoff}
+		for r := gen.deltaMerged; r < n; r++ {
+			row := make([]interface{}, len(t.Cols))
+			for i, col := range t.Cols {
+				switch col.Def.Kind {
+				case Int64, Date:
+					row[i] = view[i].ints[r]
+				case Float64:
+					row[i] = view[i].floats[r]
+				case String:
+					row[i] = view[i].strs[r]
+				}
+			}
+			tc.TailRows = append(tc.TailRows, row)
+		}
+		cap.Tables = append(cap.Tables, tc)
+	}
+	cap.Domains = make(map[string]*dict.Dictionary, len(c.domains))
+	for dn, d := range c.domains {
+		cap.Domains[dn] = d
+	}
+	return cap, nil
+}
+
+// RestoreEpoch seeds the catalog's epoch counter after a snapshot
+// restore so post-recovery epochs continue the pre-crash sequence.
+func (c *Catalog) RestoreEpoch(e uint64) {
+	for {
+		cur := c.epoch.Load()
+		if cur >= e || c.epoch.CompareAndSwap(cur, e) {
+			return
+		}
+	}
+}

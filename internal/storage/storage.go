@@ -17,6 +17,7 @@ import (
 
 	"repro/internal/dict"
 	"repro/internal/qerr"
+	"repro/internal/wal"
 )
 
 // Kind is the logical type of a column.
@@ -132,6 +133,7 @@ type Table struct {
 	cat         *Catalog // owning catalog; nil for standalone tables
 	mu          sync.Mutex
 	delta       *deltaStore           // post-freeze append log
+	wal         *wal.Log              // durability sink; nil when not durable
 	live        atomic.Pointer[Table] // latest generation; nil ⇒ no deltas ever folded
 	lastCompact atomic.Uint64         // epoch of the last compaction
 
@@ -258,7 +260,14 @@ func (t *Table) convertRow(vals []interface{}) ([]cell, error) {
 // freeze, into the delta log after. It synchronizes against Freeze via
 // the catalog's freeze lock and against concurrent appenders and
 // snapshot builds via the table mutex.
-func (t *Table) appendCells(rows [][]cell) error {
+func (t *Table) appendCells(rows [][]cell) error { return t.appendCellsID(rows, "") }
+
+// appendCellsID is appendCells with a client batch id destined for the
+// WAL record. When a WAL is attached, the batch is logged (and synced,
+// per policy) while holding the table mutex, BEFORE any row is
+// committed — a WAL failure rejects the whole batch, so an acked
+// append is always on disk and an unacked one is never visible.
+func (t *Table) appendCellsID(rows [][]cell, batchID string) error {
 	if len(rows) == 0 {
 		return nil
 	}
@@ -267,6 +276,12 @@ func (t *Table) appendCells(rows [][]cell) error {
 		defer t.cat.freezeMu.RUnlock()
 	}
 	t.mu.Lock()
+	if t.wal != nil {
+		if err := t.walAppendLocked(rows, batchID); err != nil {
+			t.mu.Unlock()
+			return fmt.Errorf("storage: wal append on %s: %w", t.Schema.Name, err)
+		}
+	}
 	frozen := t.frozen
 	if frozen {
 		if t.delta == nil {

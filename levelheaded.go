@@ -42,6 +42,7 @@ import (
 	"repro/internal/qerr"
 	"repro/internal/storage"
 	"repro/internal/telemetry"
+	"repro/internal/wal"
 )
 
 // Re-exported storage types: schemas classify every attribute as a Key
@@ -180,6 +181,33 @@ var (
 	// delta backlog reaches the given row count (0 = manual Compact
 	// only).
 	WithAutoCompact = core.WithAutoCompact
+	// WithDurability makes every acked append crash-durable: rows are
+	// written to a per-table write-ahead log in dir before they commit,
+	// Compact additionally persists an atomic snapshot there, and a new
+	// engine pointed at the same dir recovers the snapshot plus WAL
+	// tails on startup (see Recovered / RecoveryError).
+	WithDurability = core.WithDurability
+)
+
+// SyncPolicy controls when WAL appends reach stable storage (see
+// WithDurability). Records are always *written* per append — any
+// policy survives a process crash; the policy only decides fsync
+// cadence, i.e. what survives power loss.
+type SyncPolicy = wal.Policy
+
+// Sync policy constructors.
+var (
+	// SyncEvery fsyncs after every append batch (power-loss-safe,
+	// slowest).
+	SyncEvery = wal.SyncEvery
+	// GroupCommit fsyncs on a background interval (d <= 0 uses the
+	// 50ms default). The recommended default.
+	GroupCommit = wal.GroupCommit
+	// NoSync never fsyncs; the OS flushes on its own schedule.
+	NoSync = wal.NoSync
+	// ParseSyncPolicy parses "always", "group[:dur]", "interval[:dur]"
+	// or "none" (the -sync flag syntax of lhserve).
+	ParseSyncPolicy = wal.ParsePolicy
 )
 
 // NewTelemetry creates a standalone telemetry collector to share across
@@ -368,6 +396,25 @@ func (e *Engine) QueryWithContext(ctx context.Context, sql string, qo QueryOptio
 func (e *Engine) IngestRows(ctx context.Context, table string, rows [][]interface{}) (int, error) {
 	return e.inner.IngestRows(ctx, table, rows)
 }
+
+// IngestBatch is IngestRows with an idempotency key: if batchID was
+// already ingested (on this engine, or before a crash — ids are logged
+// in the WAL and carried by snapshots), the batch is skipped and dup
+// is true. An empty batchID degrades to plain IngestRows. Requires
+// WithDurability for dedup to survive restarts.
+func (e *Engine) IngestBatch(ctx context.Context, table, batchID string, rows [][]interface{}) (n int, dup bool, err error) {
+	return e.inner.IngestBatch(ctx, table, batchID, rows)
+}
+
+// Recovered reports whether startup recovery (WithDurability) restored
+// any persisted state — a snapshot or at least one WAL record.
+func (e *Engine) Recovered() bool { return e.inner.Recovered() }
+
+// RecoveryError reports a non-corruption failure during startup
+// recovery (corrupt WAL tails are truncated and counted, never
+// errors). The engine still serves; callers decide whether degraded
+// durability is acceptable.
+func (e *Engine) RecoveryError() error { return e.inner.RecoveryError() }
 
 // TablesStatus reports per-table live-data state: visible rows, delta
 // rows awaiting compaction, generation, and last-compaction epoch.
