@@ -26,7 +26,7 @@ DIFFTEST_BUDGET ?= 60s
 # crash-recovery harness (acceptance: 50/50 green).
 CRASH_ITERS ?= 50
 
-.PHONY: all build vet lint test race bench-smoke bench-save bench-compare bench-durable hybrid-ab ingest-ab telemetry-race telemetry-smoke chaos crash iocheck difftest difftest-long ci clean
+.PHONY: all build vet lint test race bench-smoke bench-save bench-compare bench-durable hybrid-ab ingest-ab approx-ab telemetry-race telemetry-smoke chaos crash iocheck difftest difftest-long ci clean
 
 all: build
 
@@ -87,6 +87,15 @@ hybrid-ab:
 # records, which benchdiff skips.
 ingest-ab:
 	$(GO) run ./cmd/lhbench -suite ingest-ab -count $(BENCH_COUNT) -warmup $(BENCH_WARMUP) -json /tmp/bench_ingest_ab.json
+
+# A/B the approximate query tier against exact execution on TPC-H-style
+# count-distinct / heavy-hitter / filtered-aggregate queries (speedup,
+# chosen route, observed error vs the advertised bound — the run fails
+# if an observed error ever exceeds its bound). A measurement tool, not
+# a perf gate; the results annotate $(BENCH_BASELINE) as
+# "_approx/<name>" records, which benchdiff skips.
+approx-ab:
+	$(GO) run ./cmd/lhbench -suite approx-ab -sf $(BENCH_SF) -count $(BENCH_COUNT) -warmup $(BENCH_WARMUP) -json /tmp/bench_approx_ab.json
 
 # Durable read-path gate: the full TPC-H suite with every engine running
 # on a WAL + snapshot directory at the lhserve default sync policy

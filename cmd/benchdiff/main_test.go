@@ -1,0 +1,41 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// TestLoadSkipsAnnotationRecords pins the "_"-prefix convention: the
+// ingest-ab and approx-ab suites annotate the committed baseline with
+// "_ingest/*" and "_approx/*" pseudo-records, and load must keep every
+// one of them out of the diff and the regression gates.
+func TestLoadSkipsAnnotationRecords(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bench.json")
+	data := `[
+  {"name": "q1/sf0.01", "runs": 15, "min_ns": 1000, "alloc_bytes_per_op": 64},
+  {"name": "_ingest/mem", "runs": 15, "min_ns": 1, "alloc_bytes_per_op": 0, "note": "sync A/B"},
+  {"name": "_approx/distinct_part", "runs": 15, "min_ns": 2, "alloc_bytes_per_op": 0, "note": "approx A/B"},
+  {"name": "q6/sf0.01", "runs": 15, "min_ns": 2000, "alloc_bytes_per_op": 128}
+]`
+	if err := os.WriteFile(path, []byte(data), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	m := load(path)
+	if len(m) != 2 {
+		t.Fatalf("load kept %d records, want 2 (annotations must be skipped): %v", len(m), m)
+	}
+	for _, name := range []string{"q1/sf0.01", "q6/sf0.01"} {
+		if _, ok := m[name]; !ok {
+			t.Errorf("query record %q missing after load", name)
+		}
+	}
+	for _, name := range []string{"_ingest/mem", "_approx/distinct_part"} {
+		if _, ok := m[name]; ok {
+			t.Errorf("annotation record %q leaked into the comparable set", name)
+		}
+	}
+	if len(order) != 2 || order[0] != "q1/sf0.01" || order[1] != "q6/sf0.01" {
+		t.Errorf("order = %v, want the two query records in file order", order)
+	}
+}

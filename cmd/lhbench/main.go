@@ -32,6 +32,7 @@ import (
 	"repro/internal/blas"
 	"repro/internal/colstore"
 	"repro/internal/core"
+	"repro/internal/exec"
 	"repro/internal/lagen"
 	"repro/internal/pairwise"
 	"repro/internal/set"
@@ -53,7 +54,7 @@ var (
 	flagRuns   = flag.Int("runs", 3, "timed runs per measurement (best reported)")
 	flagCount  = flag.Int("count", 0, "timed runs per measurement, benchstat-style (overrides -runs when > 0)")
 	flagWarmup = flag.Int("warmup", 1, "untimed warmup runs before each measurement")
-	flagSuite  = flag.String("suite", "", "run only a named measurement suite and exit (tpch: levelheaded TPC-H queries, no rival engines — the bench-save/bench-compare baseline; ingest-ab: durability sync-policy A/B on TPC-H lineitem ingest)")
+	flagSuite  = flag.String("suite", "", "run only a named measurement suite and exit (tpch: levelheaded TPC-H queries, no rival engines — the bench-save/bench-compare baseline; ingest-ab: durability sync-policy A/B on TPC-H lineitem ingest; approx-ab: approximate tier vs exact on count-distinct/heavy-hitter queries)")
 	flagSync   = flag.String("sync", "", "run every engine with durability enabled in a temp dir under this WAL sync policy (always, group[:interval], none; empty = in-memory). Lets bench-compare measure the read-path cost of a durable engine")
 
 	flagStats   = flag.Bool("stats", false, "print a per-query observability line (first run of each query) and cumulative engine metrics at exit")
@@ -145,9 +146,13 @@ func main() {
 		suiteIngestAB()
 		finishSuite()
 		return
+	case "approx-ab":
+		suiteApproxAB()
+		finishSuite()
+		return
 	case "":
 	default:
-		log.Fatalf("unknown -suite %q (have: tpch, ingest-ab)", *flagSuite)
+		log.Fatalf("unknown -suite %q (have: tpch, ingest-ab, approx-ab)", *flagSuite)
 	}
 	if *flagAll {
 		*flagTable, *flagFig = "all", "all"
@@ -508,6 +513,142 @@ func suiteIngestAB() {
 			Note:   fmt.Sprintf("sync A/B: %d lineitem rows per run in batches of %d; %s", totalRows, batch, pol.desc),
 		})
 	}
+}
+
+// ---- approx-ab suite --------------------------------------------------
+
+// suiteApproxAB A/Bs the approximate query tier against exact execution
+// on TPC-H-style count-distinct, heavy-hitter and filtered-aggregate
+// queries over lineitem: the same engine answers each query twice — a
+// plain exact run, then an ApproxOK run that the cost model routes onto
+// a sketch or sample — reporting the speedup, the chosen route, and the
+// observed error against the advertised bound. Each query lands in the
+// -json output as an "_approx/<name>" pseudo-record (benchdiff skips
+// "_" names, so these annotate BENCH_tpch.json without entering the
+// regression gate).
+func suiteApproxAB() {
+	sf := sfList()[0]
+	eng := newEngine()
+	if _, err := tpch.Populate(eng.Catalog(), sf, 2026); err != nil {
+		log.Fatal(err)
+	}
+	queries := []struct{ name, sql string }{
+		{"distinct_part", "SELECT count(distinct l_partkey) FROM lineitem"},
+		{"distinct_supp", "SELECT count(distinct l_suppkey) FROM lineitem"},
+		{"hh_shipmode", "SELECT l_shipmode, count(*) FROM lineitem GROUP BY l_shipmode"},
+		{"filter_price", "SELECT count(*), sum(l_extendedprice) FROM lineitem WHERE l_quantity < 25"},
+	}
+	fmt.Printf("\n=== approx A/B — exact vs approximate tier (TPC-H SF %g, %d runs after %d warmup)\n",
+		sf, timedRuns(), *flagWarmup)
+	fmt.Printf("%-14s %12s %12s %9s  %-13s %12s %12s\n",
+		"query", "exact", "approx", "speedup", "route", "max err", "bound")
+	for _, q := range queries {
+		exactMin, _, exactRes := bestQueryWith(eng, q.sql, core.QueryOptions{})
+		approxMin, approxMean, approxRes := bestQueryWith(eng, q.sql, core.QueryOptions{ApproxOK: true})
+		route, bound := "exact", 0.0
+		if st := approxRes.Stats; st != nil {
+			route = st.Dispatch
+			bound = st.ErrorBound
+		}
+		obsErr := maxAbsError(exactRes, approxRes)
+		speedup := float64(exactMin) / float64(approxMin)
+		fmt.Printf("%-14s %12s %12s %8.2fx  %-13s %12.4g %12.4g\n",
+			q.name, exactMin.Round(time.Microsecond), approxMin.Round(time.Microsecond),
+			speedup, route, obsErr, bound)
+		if obsErr > bound && bound > 0 {
+			log.Fatalf("approx-ab %s: observed error %g exceeds advertised bound %g", q.name, obsErr, bound)
+		}
+		benchRecs = append(benchRecs, benchRec{
+			Name:     "_approx/" + q.name,
+			Runs:     timedRuns(),
+			MinNs:    int64(approxMin),
+			MeanNs:   int64(approxMean),
+			Rows:     approxRes.NumRows,
+			Dispatch: route,
+			Note: fmt.Sprintf("approx A/B vs exact: exact min %s, speedup %.2fx, observed error %.4g within advertised bound %.4g",
+				exactMin.Round(time.Microsecond), speedup, obsErr, bound),
+		})
+	}
+}
+
+// bestQueryWith times one query under explicit options over the timed
+// runs (after -warmup untimed runs, which also absorb the first-use
+// summary build on the ApproxOK side).
+func bestQueryWith(eng *core.Engine, sql string, qo core.QueryOptions) (time.Duration, time.Duration, *exec.Result) {
+	var res *exec.Result
+	var err error
+	for i := 0; i < *flagWarmup; i++ {
+		if res, err = eng.QueryWith(sql, qo); err != nil {
+			log.Fatal(err)
+		}
+	}
+	n := timedRuns()
+	minD := time.Duration(1<<62 - 1)
+	var sum time.Duration
+	for i := 0; i < n; i++ {
+		t0 := time.Now()
+		if res, err = eng.QueryWith(sql, qo); err != nil {
+			log.Fatal(err)
+		}
+		d := time.Since(t0)
+		sum += d
+		if d < minD {
+			minD = d
+		}
+	}
+	return minD, sum / time.Duration(n), res
+}
+
+// maxAbsError reports the largest absolute aggregate-cell difference
+// between an exact and an approximate result: rows align by the string
+// group column when present (groups absent from the approximate answer
+// are covered by MissBound, not this number), scalars align row 0.
+func maxAbsError(exact, approx *exec.Result) float64 {
+	if len(exact.Cols) == 0 || len(approx.Cols) == 0 || exact.NumRows == 0 || approx.NumRows == 0 {
+		return 0
+	}
+	worst := 0.0
+	if exact.Cols[0].Kind == exec.KindString {
+		byKey := map[string][]float64{}
+		for r := 0; r < exact.NumRows; r++ {
+			vals := make([]float64, 0, len(exact.Cols)-1)
+			for _, c := range exact.Cols[1:] {
+				vals = append(vals, aggCell(c, r))
+			}
+			byKey[exact.Cols[0].Str[r]] = vals
+		}
+		for r := 0; r < approx.NumRows; r++ {
+			vals := byKey[approx.Cols[0].Str[r]]
+			for ci, c := range approx.Cols[1:] {
+				if ci < len(vals) {
+					if d := mathAbs(aggCell(c, r) - vals[ci]); d > worst {
+						worst = d
+					}
+				}
+			}
+		}
+		return worst
+	}
+	for ci := range exact.Cols {
+		if d := mathAbs(aggCell(approx.Cols[ci], 0) - aggCell(exact.Cols[ci], 0)); d > worst {
+			worst = d
+		}
+	}
+	return worst
+}
+
+func aggCell(c *exec.Column, r int) float64 {
+	if c.Kind == exec.KindFloat {
+		return c.F64[r]
+	}
+	return float64(c.I64[r])
+}
+
+func mathAbs(v float64) float64 {
+	if v < 0 {
+		return -v
+	}
+	return v
 }
 
 // durOpts wires a durability option with a scratch directory for one

@@ -305,6 +305,14 @@ type queryResponse struct {
 	NumRows  int             `json:"num_rows"`
 	Dispatch string          `json:"dispatch,omitempty"`
 	TotalNs  int64           `json:"total_ns"`
+	// Approximate-tier contract (X-Approx-OK requests): Approx marks an
+	// estimated answer, ErrorBound/Confidence its accuracy contract,
+	// Degraded that the tier was entered because the engine was
+	// overloaded (the request would otherwise have been a 429).
+	Approx     bool    `json:"approx,omitempty"`
+	ErrorBound float64 `json:"error_bound,omitempty"`
+	Confidence float64 `json:"confidence,omitempty"`
+	Degraded   bool    `json:"degraded,omitempty"`
 }
 
 // maxHTTPRows bounds the /query payload; the row count still reports
@@ -342,7 +350,15 @@ func handleQuery(eng *core.Engine, w http.ResponseWriter, r *http.Request) {
 		http.Error(w, "empty query", http.StatusBadRequest)
 		return
 	}
-	res, err := eng.QueryContext(r.Context(), sql)
+	var qo core.QueryOptions
+	// X-Approx-OK opts the request into the approximate tier: eligible
+	// aggregates may be answered from sketches/samples with an error
+	// bound, and under overload the query degrades to the tier instead
+	// of shedding with 429 (exact-only requests keep the 429 contract).
+	if v := r.Header.Get("X-Approx-OK"); v != "" && v != "0" && !strings.EqualFold(v, "false") {
+		qo.ApproxOK = true
+	}
+	res, err := eng.QueryWithContext(r.Context(), sql, qo)
 	if err != nil {
 		writeQueryError(w, err)
 		return
@@ -351,6 +367,10 @@ func handleQuery(eng *core.Engine, w http.ResponseWriter, r *http.Request) {
 	if res.Stats != nil {
 		resp.Dispatch = res.Stats.Dispatch
 		resp.TotalNs = int64(res.Stats.Phases.Total)
+		resp.Approx = res.Stats.Approx
+		resp.ErrorBound = res.Stats.ErrorBound
+		resp.Confidence = res.Stats.Confidence
+		resp.Degraded = res.Stats.Degraded
 	}
 	n := res.NumRows
 	if n > maxHTTPRows {
@@ -608,6 +628,8 @@ func smoke(eng *core.Engine, addr string, mix []string) error {
 		"# HELP levelheaded_query_latency_seconds",
 		"levelheaded_statement_calls_total{fingerprint=",
 		"levelheaded_statements_tracked",
+		"levelheaded_approx_queries_total",
+		"levelheaded_approx_degraded_total",
 	} {
 		if !strings.Contains(metrics, want) {
 			return fmt.Errorf("/metrics missing %q", want)
@@ -638,6 +660,9 @@ func smoke(eng *core.Engine, addr string, mix []string) error {
 	}
 	if err := smokeIngest(eng, addr); err != nil {
 		return fmt.Errorf("ingest: %w", err)
+	}
+	if err := smokeApprox(eng, addr); err != nil {
+		return fmt.Errorf("approx: %w", err)
 	}
 	ids := eng.Telemetry().Registry.TraceIDs()
 	if len(ids) == 0 {
@@ -734,6 +759,45 @@ func smokeIngest(eng *core.Engine, addr string) error {
 		return fmt.Errorf("count after compact = %d, want %d", final, after)
 	}
 	fmt.Printf("smoke: ingested 2 rows into %s (count %d -> %d), compacted clean\n", table, before, final)
+	return nil
+}
+
+// smokeApprox round-trips a COUNT(DISTINCT) through the real listener
+// with the X-Approx-OK opt-in header and checks the response carries
+// the approximate-tier contract fields.
+func smokeApprox(eng *core.Engine, addr string) error {
+	names := eng.Catalog().Tables()
+	if len(names) == 0 {
+		return fmt.Errorf("no tables")
+	}
+	table := names[0]
+	col := eng.Catalog().Table(table).Schema.Cols[0].Name
+	sql := fmt.Sprintf("SELECT count(distinct %s) AS c FROM %s", col, table)
+	req, err := http.NewRequest(http.MethodPost, "http://"+addr+"/query", strings.NewReader(sql))
+	if err != nil {
+		return err
+	}
+	req.Header.Set("X-Approx-OK", "1")
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		return fmt.Errorf("POST /query: status %d: %s", resp.StatusCode, body)
+	}
+	var qr queryResponse
+	if err := json.Unmarshal(body, &qr); err != nil {
+		return fmt.Errorf("/query response is not JSON: %w", err)
+	}
+	if qr.NumRows != 1 || qr.Dispatch == "" {
+		return fmt.Errorf("distinct query response malformed: %s", body)
+	}
+	if qr.Approx && (qr.ErrorBound <= 0 || qr.Confidence <= 0) {
+		return fmt.Errorf("approx answer without accuracy contract: %s", body)
+	}
+	fmt.Printf("smoke: approx %q dispatch=%s approx=%t bound=%g\n", sql, qr.Dispatch, qr.Approx, qr.ErrorBound)
 	return nil
 }
 

@@ -1,0 +1,278 @@
+// Package approx is the approximate query tier: a scan-shaped
+// evaluator over single-table aggregate queries that can answer from a
+// per-table summary (HyperLogLog cardinalities, Count-Min group counts,
+// a uniform reservoir row sample) instead of the full WCOJ pipeline,
+// reporting an explicit error bound with every estimate. It also owns
+// the exact hash-set evaluation of COUNT(DISTINCT col) — a shape the
+// trie engine does not execute — so the sketches always have an exact
+// anchor on the same code path.
+//
+// The tier is strictly opt-in (QueryOptions.ApproxOK): without the
+// opt-in the only shape served here is the exact distinct scan, and
+// every other query falls through to the normal engine untouched.
+package approx
+
+import (
+	"fmt"
+
+	"repro/internal/sqlparse"
+	"repro/internal/storage"
+)
+
+// Agg is one aggregate call of a supported shape.
+type Agg struct {
+	Fn       string // count | sum | avg | min | max
+	Col      string // argument column name; "" for count(*)
+	Distinct bool   // count(distinct Col)
+}
+
+// OutCol maps one SELECT position to its source: a GROUP BY column
+// (Group ≥ 0) or an aggregate (Agg ≥ 0).
+type OutCol struct {
+	Name  string
+	Group int
+	Agg   int
+}
+
+// Shape is a supported single-table aggregate query: optional WHERE
+// over the table's columns, plain-column GROUP BY, and SELECT items
+// that are either group columns or bare aggregate calls.
+type Shape struct {
+	Table   string
+	Where   sqlparse.Expr
+	GroupBy []string
+	Aggs    []Agg
+	Out     []OutCol
+
+	HasDistinct bool
+	HasMinMax   bool
+}
+
+// Analyze reports whether q is a supported shape over sch. A (nil,
+// false) return means "not this tier's query" — the caller falls
+// through to the normal engine, whose planner produces the
+// authoritative error for unsupported distinct shapes.
+func Analyze(q *sqlparse.Query, sch *storage.Schema) (*Shape, bool) {
+	if len(q.From) != 1 || q.Having != nil {
+		return nil, false
+	}
+	alias := q.From[0].Alias
+	if alias == "" {
+		alias = q.From[0].Table
+	}
+	sh := &Shape{Table: q.From[0].Table}
+
+	resolve := func(cr sqlparse.ColRef) (string, bool) {
+		if cr.Qualifier != "" && cr.Qualifier != alias {
+			return "", false
+		}
+		if sch.Col(cr.Name) == nil {
+			return "", false
+		}
+		return cr.Name, true
+	}
+
+	if q.Where != nil {
+		if !filterSupported(q.Where, resolve) {
+			return nil, false
+		}
+		sh.Where = q.Where
+	}
+
+	for _, ge := range q.GroupBy {
+		cr, ok := ge.(sqlparse.ColRef)
+		if !ok {
+			return nil, false
+		}
+		name, ok := resolve(cr)
+		if !ok {
+			return nil, false
+		}
+		sh.GroupBy = append(sh.GroupBy, name)
+	}
+
+	addAgg := func(a Agg) int {
+		for i, b := range sh.Aggs {
+			if b == a {
+				return i
+			}
+		}
+		sh.Aggs = append(sh.Aggs, a)
+		return len(sh.Aggs) - 1
+	}
+
+	for _, it := range q.Select {
+		out := OutCol{Name: selectName(it), Group: -1, Agg: -1}
+		switch e := it.Expr.(type) {
+		case sqlparse.ColRef:
+			name, ok := resolve(e)
+			if !ok {
+				return nil, false
+			}
+			gi := -1
+			for i, g := range sh.GroupBy {
+				if g == name {
+					gi = i
+				}
+			}
+			if gi < 0 {
+				return nil, false
+			}
+			out.Group = gi
+		case sqlparse.FuncCall:
+			a, ok := analyzeAgg(e, sch, resolve)
+			if !ok {
+				return nil, false
+			}
+			out.Agg = addAgg(a)
+		default:
+			return nil, false
+		}
+		sh.Out = append(sh.Out, out)
+	}
+	if len(sh.Out) == 0 {
+		return nil, false
+	}
+
+	for _, a := range sh.Aggs {
+		if a.Distinct {
+			sh.HasDistinct = true
+		}
+		if a.Fn == "min" || a.Fn == "max" {
+			sh.HasMinMax = true
+		}
+	}
+	return sh, true
+}
+
+// analyzeAgg validates one aggregate call: count(*) / count(col) /
+// count(distinct col), and sum/avg/min/max over a numeric column.
+func analyzeAgg(fc sqlparse.FuncCall, sch *storage.Schema, resolve func(sqlparse.ColRef) (string, bool)) (Agg, bool) {
+	switch fc.Name {
+	case "count", "sum", "avg", "min", "max":
+	default:
+		return Agg{}, false
+	}
+	if fc.Star || len(fc.Args) == 0 {
+		if fc.Name != "count" || fc.Distinct {
+			return Agg{}, false
+		}
+		return Agg{Fn: "count"}, true
+	}
+	if len(fc.Args) != 1 {
+		return Agg{}, false
+	}
+	cr, ok := fc.Args[0].(sqlparse.ColRef)
+	if !ok {
+		return Agg{}, false
+	}
+	name, ok := resolve(cr)
+	if !ok {
+		return Agg{}, false
+	}
+	if fc.Distinct && fc.Name != "count" {
+		return Agg{}, false
+	}
+	if !fc.Distinct && fc.Name != "count" && sch.Col(name).Kind == storage.String {
+		// String columns have no numeric aggregate; let the normal
+		// pipeline produce its own error.
+		return Agg{}, false
+	}
+	if fc.Name == "count" && !fc.Distinct {
+		// COUNT(col) counts rows in this engine (no NULLs): same as
+		// count(*), keep the argument for the output name only.
+		return Agg{Fn: "count", Col: name}, true
+	}
+	return Agg{Fn: fc.Name, Col: name, Distinct: fc.Distinct}, true
+}
+
+// filterSupported walks a WHERE expression and accepts exactly the
+// node set the tier's row evaluator implements, with every column
+// reference resolving into the table.
+func filterSupported(e sqlparse.Expr, resolve func(sqlparse.ColRef) (string, bool)) bool {
+	switch v := e.(type) {
+	case sqlparse.ColRef:
+		_, ok := resolve(v)
+		return ok
+	case sqlparse.NumberLit, sqlparse.StringLit, sqlparse.DateLit:
+		return true
+	case sqlparse.BinaryExpr:
+		return filterSupported(v.L, resolve) && filterSupported(v.R, resolve)
+	case sqlparse.UnaryExpr:
+		return filterSupported(v.X, resolve)
+	case sqlparse.BetweenExpr:
+		return filterSupported(v.X, resolve) && filterSupported(v.Lo, resolve) && filterSupported(v.Hi, resolve)
+	case sqlparse.InExpr:
+		if !filterSupported(v.X, resolve) {
+			return false
+		}
+		for _, x := range v.Vals {
+			if !filterSupported(x, resolve) {
+				return false
+			}
+		}
+		return true
+	case sqlparse.LikeExpr:
+		return filterSupported(v.X, resolve)
+	case sqlparse.ExtractExpr:
+		return filterSupported(v.X, resolve)
+	case sqlparse.CaseExpr:
+		for _, w := range v.Whens {
+			if !filterSupported(w.Cond, resolve) || !filterSupported(w.Then, resolve) {
+				return false
+			}
+		}
+		return v.Else == nil || filterSupported(v.Else, resolve)
+	}
+	return false
+}
+
+func selectName(it sqlparse.SelectItem) string {
+	if it.Alias != "" {
+		return it.Alias
+	}
+	return it.Expr.String()
+}
+
+// Sketchable reports whether the shape can be answered from whole-table
+// sketches alone: no filter, and either a scalar count/count-distinct
+// read (HLL) or a single-column count-only GROUP BY (Count-Min).
+func (sh *Shape) Sketchable() (route string, ok bool) {
+	if sh.Where != nil {
+		return "", false
+	}
+	if len(sh.GroupBy) == 0 {
+		for _, a := range sh.Aggs {
+			if a.Fn != "count" {
+				return "", false
+			}
+		}
+		if !sh.HasDistinct {
+			// count(*) alone is exact from the row count; nothing to
+			// approximate.
+			return "", false
+		}
+		return "hll", true
+	}
+	if len(sh.GroupBy) != 1 {
+		return "", false
+	}
+	for _, a := range sh.Aggs {
+		if a.Fn != "count" || a.Distinct {
+			return "", false
+		}
+	}
+	return "cms", true
+}
+
+// Sampleable reports whether the shape can be answered from a uniform
+// row sample: distinct and min/max have no unbiased sample estimator,
+// everything else scales.
+func (sh *Shape) Sampleable() bool {
+	return !sh.HasDistinct && !sh.HasMinMax
+}
+
+func (sh *Shape) String() string {
+	return fmt.Sprintf("approx shape: table=%s groups=%d aggs=%d distinct=%t",
+		sh.Table, len(sh.GroupBy), len(sh.Aggs), sh.HasDistinct)
+}

@@ -1,0 +1,187 @@
+package approx
+
+import (
+	"math"
+
+	"repro/internal/costopt"
+	"repro/internal/exec"
+	"repro/internal/obs"
+	"repro/internal/sketch"
+	"repro/internal/storage"
+)
+
+// Answer is one approximate-tier evaluation: the result plus the
+// advertised accuracy contract.
+type Answer struct {
+	Res   *exec.Result
+	Route string // obs.Dispatch* label
+	// Approx is false only for the exact distinct scan.
+	Approx bool
+	// ErrorBound is the largest per-column bound; ErrorBounds has one
+	// entry per output column (0 for group columns and exact values).
+	ErrorBound  float64
+	ErrorBounds []float64
+	Confidence  float64
+	// MissBound, on group routes, is the largest true count an output
+	// group absent from the answer may have (0 = answer is complete).
+	MissBound float64
+}
+
+func finishBounds(a *Answer) *Answer {
+	for _, b := range a.ErrorBounds {
+		if b > a.ErrorBound {
+			a.ErrorBound = b
+		}
+	}
+	if a.Approx {
+		a.Confidence = Confidence
+	}
+	return a
+}
+
+// Route picks the tier's route for an opted-in query: a whole-table
+// sketch read when the shape allows it, a sample evaluation otherwise,
+// and "" when the priced win is not decisive (caller runs exact).
+// rows is the snapshot row count, sampleCap the reservoir capacity,
+// drift the statement's observed cost_ratio (0 = unknown).
+func Route(sh *Shape, rows, sampleCap int, drift float64) (string, *costopt.ApproxDecision) {
+	if skRoute, ok := sh.Sketchable(); ok {
+		dec := costopt.ChooseApprox(rows, sampleCap, 1<<sketch.DefaultHLLPrecision, drift)
+		if dec.Route == costopt.RouteSketch {
+			return skRoute, dec
+		}
+		return "", dec
+	}
+	if sh.Sampleable() {
+		dec := costopt.ChooseApprox(rows, sampleCap, 0, drift)
+		if dec.Route == costopt.RouteSample {
+			return "sample", dec
+		}
+		return "", dec
+	}
+	return "", costopt.ChooseApprox(rows, sampleCap, 0, drift)
+}
+
+// EvalHLL answers a scalar count / count-distinct shape from the
+// per-column HLL sketches (n is the covered row count).
+func EvalHLL(sh *Shape, sum *Summary, sch *storage.Schema, n int) (*Answer, error) {
+	finals := make([]float64, len(sh.Aggs))
+	bounds := make([]float64, len(sh.Aggs))
+	for i, a := range sh.Aggs {
+		if !a.Distinct {
+			finals[i] = float64(n) // count(*) is exact from coverage
+			continue
+		}
+		ci := colIndex(sch, a.Col)
+		h := sum.HLLs[ci]
+		est := math.Round(h.Estimate())
+		if est > float64(n) {
+			est = float64(n)
+		}
+		finals[i] = est
+		bounds[i] = hllBound(h, est)
+	}
+	a := &Answer{Route: obs.DispatchApproxHLL, Approx: true}
+	a.Res = newResult(sh, sch)
+	appendRow(a.Res, sh, nil, finals)
+	a.ErrorBounds = outBounds(sh, bounds)
+	return finishBounds(a), nil
+}
+
+// EvalCMS answers a single-column count-only GROUP BY from the sample's
+// candidate groups and the column's Count-Min counts.
+func EvalCMS(sh *Shape, sum *Summary, sch *storage.Schema, n int) (*Answer, error) {
+	ci := colIndex(sch, sh.GroupBy[0])
+	cms := sum.CMSs[ci]
+	a := &Answer{Route: obs.DispatchApproxCMS, Approx: true}
+	a.Res = newResult(sh, sch)
+
+	seen := map[string]struct{}{}
+	bounds := make([]float64, len(sh.Aggs))
+	for _, row := range sum.Sample.Rows() {
+		v := canonVal(row[ci])
+		key := canonKey(v)
+		if _, dup := seen[key]; dup {
+			continue
+		}
+		seen[key] = struct{}{}
+		cnt := float64(cms.Count(sketch.HashValue(ValueHashSeed, v)))
+		finals := make([]float64, len(sh.Aggs))
+		for i := range sh.Aggs {
+			finals[i] = cnt // every agg on this route is a count
+		}
+		appendRow(a.Res, sh, []any{v}, finals)
+	}
+	for i := range bounds {
+		bounds[i] = cms.ErrorBound()
+	}
+	a.ErrorBounds = outBounds(sh, bounds)
+	a.MissBound = MissBound(n, len(sum.Sample.Rows()))
+	return finishBounds(a), nil
+}
+
+// EvalSample answers a filtered/grouped count-sum-avg shape by running
+// the shared scan loop over the reservoir rows and scaling by N/k.
+func EvalSample(sh *Shape, rows [][]any, sch *storage.Schema, n int) (*Answer, error) {
+	k := len(rows)
+	scale := 1.0
+	if k > 0 {
+		scale = float64(n) / float64(k)
+	}
+	sc := NewRowScanner(sch, rows)
+	groups, err := sh.scan(sc)
+	if err != nil {
+		return nil, err
+	}
+	scalar := len(sh.GroupBy) == 0
+	if scalar && len(groups) == 0 {
+		groups = append(groups, newGroupAcc(sh, nil))
+	}
+
+	a := &Answer{Route: obs.DispatchApproxSample, Approx: true}
+	a.Res = newResult(sh, sch)
+	bounds := make([]float64, len(sh.Aggs))
+	for _, g := range groups {
+		finals := make([]float64, len(sh.Aggs))
+		for i, agg := range sh.Aggs {
+			switch agg.Fn {
+			case "count":
+				finals[i] = math.Round(g.accs[i] * scale)
+				bounds[i] = math.Max(bounds[i], countBound(n, k))
+			case "sum":
+				finals[i] = g.accs[i] * scale
+				bounds[i] = math.Max(bounds[i], sumBound(n, k, g.accs[i], g.accsSq[i], g.maxAbs[i]))
+			case "avg":
+				finals[i] = g.accs[i] / g.counts[i]
+				bounds[i] = math.Max(bounds[i], avgBound(int(g.counts[i]), g.accs[i], g.accsSq[i], g.maxAbs[i]))
+			}
+		}
+		appendRow(a.Res, sh, g.keyVals, finals)
+	}
+	a.ErrorBounds = outBounds(sh, bounds)
+	if !scalar {
+		a.MissBound = MissBound(n, k)
+	}
+	return finishBounds(a), nil
+}
+
+// outBounds spreads per-aggregate bounds onto output-column positions
+// (group columns are exact: bound 0).
+func outBounds(sh *Shape, aggBounds []float64) []float64 {
+	out := make([]float64, len(sh.Out))
+	for i, oc := range sh.Out {
+		if oc.Agg >= 0 {
+			out[i] = aggBounds[oc.Agg]
+		}
+	}
+	return out
+}
+
+func colIndex(sch *storage.Schema, name string) int {
+	for i := range sch.Cols {
+		if sch.Cols[i].Name == name {
+			return i
+		}
+	}
+	return -1
+}

@@ -1,0 +1,326 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/obs"
+	"repro/internal/qerr"
+	"repro/internal/storage"
+)
+
+// approxEngine builds an engine with one fact table of n rows:
+// k (int key), v (int annotation, i%50), s (string annotation, 8
+// distinct), f (float annotation).
+func approxEngine(t *testing.T, n int, opts ...Option) *Engine {
+	t.Helper()
+	eng := New(opts...)
+	tab, err := eng.CreateTable(storage.Schema{Name: "facts", Cols: []storage.ColumnDef{
+		{Name: "k", Kind: storage.Int64, Role: storage.Key, Domain: "dk"},
+		{Name: "v", Kind: storage.Int64, Role: storage.Annotation},
+		{Name: "s", Kind: storage.String, Role: storage.Annotation},
+		{Name: "f", Kind: storage.Float64, Role: storage.Annotation},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := []string{"ash", "birch", "cedar", "elm", "fir", "oak", "pine", "yew"}
+	for i := 0; i < n; i++ {
+		if err := tab.Append(int64(i), int64(i%50), names[i%len(names)], float64(i%10)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return eng
+}
+
+func scalarF(t *testing.T, eng *Engine, sql string, qo QueryOptions) (float64, *obs.QueryStats) {
+	t.Helper()
+	res, err := eng.QueryWithContext(context.Background(), sql, qo)
+	if err != nil {
+		t.Fatalf("%s: %v", sql, err)
+	}
+	if res.NumRows != 1 || len(res.Cols) != 1 {
+		t.Fatalf("%s: want 1x1 result, got %dx%d", sql, res.NumRows, len(res.Cols))
+	}
+	return res.Cols[0].F64[0], res.Stats
+}
+
+func TestCountDistinctExactDefault(t *testing.T) {
+	eng := approxEngine(t, 500)
+	got, st := scalarF(t, eng, "SELECT count(distinct v) AS c FROM facts", QueryOptions{})
+	if got != 50 {
+		t.Fatalf("count(distinct v) = %v, want 50", got)
+	}
+	if st.Approx {
+		t.Fatal("exact distinct scan reported Approx=true")
+	}
+	if st.Dispatch != obs.DispatchDistinctScan {
+		t.Fatalf("dispatch = %q, want %q", st.Dispatch, obs.DispatchDistinctScan)
+	}
+	if st.ErrorBound != 0 || st.Confidence != 0 {
+		t.Fatalf("exact answer advertised bounds: %v / %v", st.ErrorBound, st.Confidence)
+	}
+
+	// Filtered distinct stays exact (no sketch covers a filter).
+	got, st = scalarF(t, eng, "SELECT count(distinct v) AS c FROM facts WHERE v < 10", QueryOptions{ApproxOK: true})
+	if got != 10 || st.Approx {
+		t.Fatalf("filtered distinct = %v approx=%t, want 10 exact", got, st.Approx)
+	}
+
+	// Grouped distinct works through the same scan.
+	res, err := eng.Query("SELECT s, count(distinct v) AS c FROM facts GROUP BY s")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumRows != 8 {
+		t.Fatalf("grouped distinct rows = %d, want 8", res.NumRows)
+	}
+}
+
+func TestApproxHLLRoute(t *testing.T) {
+	eng := approxEngine(t, 4000)
+	exact, _ := scalarF(t, eng, "SELECT count(distinct k) AS c FROM facts", QueryOptions{})
+	if exact != 4000 {
+		t.Fatalf("exact distinct k = %v", exact)
+	}
+	got, st := scalarF(t, eng, "SELECT count(distinct k) AS c FROM facts", QueryOptions{ApproxOK: true})
+	if !st.Approx {
+		t.Fatalf("4000-row distinct under ApproxOK stayed exact (dispatch %s)", st.Dispatch)
+	}
+	if st.Dispatch != obs.DispatchApproxHLL {
+		t.Fatalf("dispatch = %q, want %q", st.Dispatch, obs.DispatchApproxHLL)
+	}
+	if st.ErrorBound <= 0 || st.Confidence != 0.999 {
+		t.Fatalf("bound=%v confidence=%v", st.ErrorBound, st.Confidence)
+	}
+	if math.Abs(got-exact) > st.ErrorBound {
+		t.Fatalf("HLL estimate %v off exact %v beyond bound %v", got, exact, st.ErrorBound)
+	}
+}
+
+func TestApproxSampleRoute(t *testing.T) {
+	eng := approxEngine(t, 2000, WithApproxSampleRows(64))
+	const q = "SELECT count(*) AS c, sum(f) AS s FROM facts WHERE v < 25"
+	res, err := eng.QueryWith(q, QueryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exactC := res.Col("c").F64[0]
+	exactS := res.Col("s").F64[0]
+
+	ares, err := eng.QueryWith(q, QueryOptions{ApproxOK: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := ares.Stats
+	if !st.Approx || st.Dispatch != obs.DispatchApproxSample {
+		t.Fatalf("approx=%t dispatch=%q, want sample route", st.Approx, st.Dispatch)
+	}
+	if len(st.ErrorBounds) != 2 {
+		t.Fatalf("per-column bounds = %v", st.ErrorBounds)
+	}
+	gotC := ares.Col("c").F64[0]
+	gotS := ares.Col("s").F64[0]
+	if math.Abs(gotC-exactC) > st.ErrorBounds[0] {
+		t.Fatalf("count %v off exact %v beyond bound %v", gotC, exactC, st.ErrorBounds[0])
+	}
+	if math.Abs(gotS-exactS) > st.ErrorBounds[1] {
+		t.Fatalf("sum %v off exact %v beyond bound %v", gotS, exactS, st.ErrorBounds[1])
+	}
+
+	// min/max shapes have no sample estimator: they stay exact on the
+	// normal pipeline even under ApproxOK.
+	mres, err := eng.QueryWith("SELECT max(f) AS m FROM facts", QueryOptions{ApproxOK: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mres.Stats.Approx {
+		t.Fatal("max() routed approximate")
+	}
+	if mres.Col("m").F64[0] != 9 {
+		t.Fatalf("max(f) = %v", mres.Col("m").F64[0])
+	}
+}
+
+func TestApproxCMSRoute(t *testing.T) {
+	eng := approxEngine(t, 4000)
+	const q = "SELECT s, count(*) AS c FROM facts GROUP BY s"
+	res, err := eng.QueryWith(q, QueryOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	exact := map[string]float64{}
+	for i := 0; i < res.NumRows; i++ {
+		exact[res.Col("s").Str[i]] = res.Col("c").F64[i]
+	}
+
+	ares, err := eng.QueryWith(q, QueryOptions{ApproxOK: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := ares.Stats
+	if !st.Approx || st.Dispatch != obs.DispatchApproxCMS {
+		t.Fatalf("approx=%t dispatch=%q, want cms route", st.Approx, st.Dispatch)
+	}
+	// Every heavy hitter (all 8 groups are 500 rows >> MissBound) must
+	// surface, with its count within the CMS bound.
+	if ares.NumRows != 8 {
+		t.Fatalf("cms groups = %d, want 8 (miss bound %v)", ares.NumRows, st.MissBound)
+	}
+	for i := 0; i < ares.NumRows; i++ {
+		name := ares.Col("s").Str[i]
+		got := ares.Col("c").F64[i]
+		want, ok := exact[name]
+		if !ok {
+			t.Fatalf("cms invented group %q", name)
+		}
+		if math.Abs(got-want) > st.ErrorBound {
+			t.Fatalf("group %q count %v off exact %v beyond bound %v", name, got, want, st.ErrorBound)
+		}
+	}
+}
+
+func TestApproxOptInIsBitIdentical(t *testing.T) {
+	// Below every route threshold, ApproxOK must change nothing.
+	eng := approxEngine(t, 200)
+	for _, q := range []string{
+		"SELECT count(*) AS c FROM facts",
+		"SELECT sum(f) AS s FROM facts WHERE v < 10",
+		"SELECT s, count(*) AS c FROM facts GROUP BY s",
+	} {
+		r1, err := eng.QueryWith(q, QueryOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r2, err := eng.QueryWith(q, QueryOptions{ApproxOK: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r2.Stats.Approx {
+			t.Fatalf("%s: tiny table routed approximate", q)
+		}
+		if r1.NumRows != r2.NumRows {
+			t.Fatalf("%s: row counts differ", q)
+		}
+		for ci := range r1.Cols {
+			for ri := range r1.Cols[ci].F64 {
+				b1 := math.Float64bits(r1.Cols[ci].F64[ri])
+				b2 := math.Float64bits(r2.Cols[ci].F64[ri])
+				if b1 != b2 {
+					t.Fatalf("%s: col %d row %d differ bitwise", q, ci, ri)
+				}
+			}
+		}
+	}
+}
+
+func TestApproxSummaryFollowsAppends(t *testing.T) {
+	eng := approxEngine(t, 4000)
+	got, _ := scalarF(t, eng, "SELECT count(distinct k) AS c FROM facts", QueryOptions{ApproxOK: true})
+	if math.Abs(got-4000) > 400 {
+		t.Fatalf("initial estimate %v", got)
+	}
+	// Double the key range through the delta store: the summary must
+	// extend over the appended suffix without a rebuild.
+	tab := eng.Catalog().Table("facts")
+	for i := 4000; i < 8000; i++ {
+		if err := tab.Append(int64(i), int64(i%50), "oak", 1.0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, st := scalarF(t, eng, "SELECT count(distinct k) AS c FROM facts", QueryOptions{ApproxOK: true})
+	if math.Abs(got-8000) > st.ErrorBound {
+		t.Fatalf("post-append estimate %v (bound %v), want ~8000", got, st.ErrorBound)
+	}
+	// Compact refreshes the summary; the answer must not regress.
+	if err := eng.Compact(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	got2, st2 := scalarF(t, eng, "SELECT count(distinct k) AS c FROM facts", QueryOptions{ApproxOK: true})
+	if got2 != got {
+		t.Fatalf("estimate moved across compact: %v -> %v", got, got2)
+	}
+	if math.Abs(got2-8000) > st2.ErrorBound {
+		t.Fatalf("post-compact estimate %v beyond bound %v", got2, st2.ErrorBound)
+	}
+}
+
+func TestApproxDegradeUnderOverload(t *testing.T) {
+	eng := approxEngine(t, 4000, WithMaxConcurrency(1), WithQueueDepth(0))
+	// Saturate the only admission slot directly.
+	release, err := eng.gov.Acquire(context.Background(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer release()
+
+	// Exact-only queries shed.
+	_, err = eng.QueryWith("SELECT count(*) AS c FROM facts", QueryOptions{})
+	var oe *qerr.OverloadedError
+	if !errors.As(err, &oe) {
+		t.Fatalf("want OverloadedError, got %v", err)
+	}
+
+	// Opted-in queries degrade to the approximate tier instead.
+	res, err := eng.QueryWith("SELECT count(distinct k) AS c FROM facts", QueryOptions{ApproxOK: true})
+	if err != nil {
+		t.Fatalf("degrade failed: %v", err)
+	}
+	st := res.Stats
+	if !st.Approx || !st.Degraded {
+		t.Fatalf("approx=%t degraded=%t, want both", st.Approx, st.Degraded)
+	}
+	if math.Abs(res.Cols[0].F64[0]-4000) > st.ErrorBound {
+		t.Fatalf("degraded estimate %v beyond bound %v", res.Cols[0].F64[0], st.ErrorBound)
+	}
+
+	// Opted-in but unboundable shapes (min/max) still shed.
+	_, err = eng.QueryWith("SELECT max(f) AS m FROM facts", QueryOptions{ApproxOK: true})
+	if !errors.As(err, &oe) {
+		t.Fatalf("unboundable degrade: want OverloadedError, got %v", err)
+	}
+
+	counters := map[string]int64{}
+	for k, v := range eng.approxCounters() {
+		counters[k] = v
+	}
+	if counters["approx_degraded_total"] != 1 {
+		t.Fatalf("approx_degraded_total = %d, want 1", counters["approx_degraded_total"])
+	}
+}
+
+func TestExplainApproxShapes(t *testing.T) {
+	eng := approxEngine(t, 4000)
+	plan, err := eng.Explain("SELECT count(distinct k) AS c FROM facts")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(plan, "approx shape") || !strings.Contains(plan, "route") {
+		t.Fatalf("explain missing approx tier info:\n%s", plan)
+	}
+	out, err := eng.ExplainAnalyze("SELECT count(distinct k) AS c FROM facts")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "distinct-scan") {
+		t.Fatalf("explain analyze missing dispatch:\n%s", out)
+	}
+}
+
+func TestDistinctOverJoinRejected(t *testing.T) {
+	eng := approxEngine(t, 100)
+	_, err := eng.CreateTable(storage.Schema{Name: "dim2", Cols: []storage.ColumnDef{
+		{Name: "k", Kind: storage.Int64, Role: storage.Key, Domain: "dk"},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, qerr2 := eng.Query("SELECT count(distinct facts.v) AS c FROM facts, dim2 WHERE facts.k = dim2.k")
+	var pe *qerr.PlanError
+	if !errors.As(qerr2, &pe) {
+		t.Fatalf("distinct over join: want PlanError, got %v", qerr2)
+	}
+}

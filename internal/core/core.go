@@ -17,6 +17,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/approx"
 	"repro/internal/costopt"
 	"repro/internal/exec"
 	"repro/internal/governor"
@@ -62,6 +63,15 @@ type Engine struct {
 	bgCtx           context.Context
 	bgCancel        context.CancelFunc
 	bgWG            sync.WaitGroup
+
+	// Approximate-tier state (see approx.go): per-table summaries
+	// (HLL + Count-Min + reservoir sample) built lazily on first
+	// approximate use and extended as snapshots grow.
+	approxMu         sync.Mutex
+	summaries        map[string]*approx.Summary
+	approxSampleRows int
+	approxQueries    atomic.Int64
+	approxDegraded   atomic.Int64
 
 	// Durability state (nil unless WithDurability): see durable.go.
 	dur *durState
@@ -148,9 +158,17 @@ func WithAutoCompact(rows int) Option {
 	return func(e *Engine) { e.autoCompactRows = rows }
 }
 
+// WithApproxSampleRows sets the per-table reservoir capacity of the
+// approximate query tier (default approx.DefaultSampleRows). Smaller
+// samples answer faster with wider error bounds, and make the sample
+// route price in on smaller tables.
+func WithApproxSampleRows(n int) Option {
+	return func(e *Engine) { e.approxSampleRows = n }
+}
+
 // New creates an empty engine.
 func New(opts ...Option) *Engine {
-	e := &Engine{cat: storage.NewCatalog(), cache: exec.NewTrieCache(), plans: map[string]*preparedPlan{}}
+	e := &Engine{cat: storage.NewCatalog(), cache: exec.NewTrieCache(), plans: map[string]*preparedPlan{}, summaries: map[string]*approx.Summary{}}
 	// LH_FORCE_PATH pins every GHD node to one access path ("wcoj" or
 	// "binary"), faultinject-style: an env knob for A/B runs and chaos
 	// drills that needs no code changes in the caller. Unknown values are
@@ -167,6 +185,7 @@ func New(opts ...Option) *Engine {
 	e.tel.AddCounterSource(e.metrics.SnapshotCounters)
 	e.tel.AddCounterSource(e.gov.Counters)
 	e.tel.AddCounterSource(e.deltaCounters)
+	e.tel.AddCounterSource(e.approxCounters)
 	e.metrics.SetExtra(e.tel.Quantiles)
 	if e.dur != nil {
 		// Recovery runs before the engine is visible to any caller, so
@@ -238,6 +257,7 @@ func (e *Engine) Compact(ctx context.Context) (err error) {
 		e.compactions.Add(1)
 		e.compactedRows.Add(int64(n))
 		e.purgeStaleTries()
+		e.refreshSummaries()
 	}
 	if cerr == nil && e.dur != nil {
 		// Persist the compacted state: atomic snapshot write, then WAL
@@ -389,6 +409,14 @@ type QueryOptions struct {
 	// MemoryBudget overrides the engine-level per-query memory budget
 	// for this query (0 keeps the engine setting).
 	MemoryBudget int64
+	// ApproxOK declares the caller tolerates approximate answers: the
+	// engine may route eligible single-table aggregates to the
+	// sketch/sample tier when the cost model prices exact execution at
+	// >= 4x the approximate one (Result.Stats.Approx reports when it
+	// did, with an explicit error bound), and a query shed by admission
+	// control degrades to the approximate tier instead of failing with
+	// qerr.OverloadedError.
+	ApproxOK bool
 }
 
 // Query parses, plans, optimizes and executes one SQL query.
@@ -426,6 +454,28 @@ func (e *Engine) QueryWithContext(ctx context.Context, sql string, qo QueryOptio
 	aq.SetPhase("queued")
 	release, aerr := e.gov.Acquire(ctx, 1)
 	if aerr != nil {
+		// Overload degrade: an opted-in (ApproxOK) query shed by the
+		// governor retries on the approximate tier without admission — a
+		// bounded sketch/sample read — instead of surfacing the shed.
+		// Shapes the tier cannot bound fall through to the original error.
+		var oe *qerr.OverloadedError
+		if qo.ApproxOK && errors.As(aerr, &oe) {
+			aq.SetPhase("degraded")
+			if res, ok, derr := e.tryApprox(sql, qo, st, true); ok && derr == nil {
+				st.Degraded = true
+				e.approxDegraded.Add(1)
+				st.Phases.Total = time.Since(t0)
+				st.Trace.Finish()
+				e.tel.Registry.Finish(aq)
+				e.observeLatency(st, nil)
+				st.RowsOut = res.NumRows
+				res.Stats = st
+				e.metrics.Record(st)
+				e.recordStatement(st, nil)
+				e.logSlow(st, nil)
+				return res, nil
+			}
+		}
 		st.Phases.Total = time.Since(t0)
 		st.Trace.Finish()
 		e.tel.Registry.Finish(aq)
@@ -479,6 +529,8 @@ func (e *Engine) recordStatement(st *obs.QueryStats, err error) {
 		Paths:       st.AccessPaths,
 		EstCost:     est,
 		ActualCost:  actual,
+		Approx:      st.Approx,
+		ErrorBound:  st.ErrorBound,
 	})
 }
 
@@ -501,6 +553,12 @@ func (e *Engine) runQuery(ctx context.Context, sql string, qo QueryOptions, st *
 		}
 	}()
 	aq.SetPhase("prepare")
+	// Approximate-tier intercept: COUNT(DISTINCT) shapes (which the WCOJ
+	// pipeline does not execute) and, under ApproxOK, sketch/sample
+	// routes whose priced win is decisive. Unhandled shapes fall through.
+	if res, handled, aerr := e.tryApprox(sql, qo, st, false); handled {
+		return res, aerr
+	}
 	p, ch, err := e.prepareStats(sql, qo, st)
 	if err != nil {
 		return nil, err
@@ -871,6 +929,11 @@ func recordPlanStats(st *obs.QueryStats, p *planner.Plan, ch *costopt.Choice) {
 // Explain renders the query plan: hypergraph, GHD, per-node attribute
 // orders with their §V cost terms.
 func (e *Engine) Explain(sql string) (string, error) {
+	// Distinct-bearing single-table aggregates are served by the
+	// approximate tier (the WCOJ planner rejects them); render its plan.
+	if s, ok := e.explainApprox(sql); ok {
+		return s, nil
+	}
 	p, ch, err := e.prepare(sql, QueryOptions{})
 	if err != nil {
 		return "", err

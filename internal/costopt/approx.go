@@ -1,0 +1,74 @@
+// Approximate-tier routing: price an exact evaluation of an
+// approx-eligible aggregate against its sketch or sample alternative on
+// the same §V icost scale, and route to the approximate tier only when
+// the win is decisive. The decision is gated on the caller declaring
+// tolerance (QueryOptions.ApproxOK) — this file only prices.
+package costopt
+
+import "fmt"
+
+// Approximate-tier route labels.
+const (
+	RouteExact  = "exact"
+	RouteSample = "sample"
+	RouteSketch = "sketch"
+)
+
+// approxMinRatio is how decisively the approximate candidate must beat
+// the exact scan before the tier engages: below 4× the exact answer is
+// cheap enough that trading accuracy for it is a bad deal.
+const approxMinRatio = 4
+
+// ApproxDecision is the priced exact-vs-approximate choice for one
+// approx-eligible query.
+type ApproxDecision struct {
+	Route string // RouteExact, RouteSample or RouteSketch
+	// ExactCost prices the full-table scan the exact evaluator would
+	// run: one decoded-column probe per row (bs∩uint class), corrected
+	// by the statement's observed cost-ratio drift like ClassifyPaths.
+	ExactCost float64
+	// ApproxCost prices the chosen alternative: sample rows at the same
+	// per-row probe cost, or sketch cells at bitset-probe cost.
+	ApproxCost float64
+	// Drift is the clamped cost_ratio correction applied (1 = none).
+	Drift float64
+}
+
+// String renders the decision for EXPLAIN output.
+func (d *ApproxDecision) String() string {
+	return fmt.Sprintf("approx route=%s (icost: exact=%.0f approx=%.0f, drift×%.2f)",
+		d.Route, d.ExactCost, d.ApproxCost, d.Drift)
+}
+
+// ChooseApprox prices the exact scan over rows against an approximate
+// candidate — a reservoir evaluation over sampleRows when sketchCells
+// is 0, a sketch read over sketchCells cells otherwise — and picks a
+// route. drift is the statement's observed cost_ratio (0 when unknown),
+// applied to the exact side: a statement whose scans run hotter than
+// the model thinks degrades sooner.
+func ChooseApprox(rows, sampleRows, sketchCells int, drift float64) *ApproxDecision {
+	corr := 1.0
+	if drift > 0 {
+		corr = drift
+		if corr < driftMin {
+			corr = driftMin
+		}
+		if corr > driftMax {
+			corr = driftMax
+		}
+	}
+	d := &ApproxDecision{Route: RouteExact, Drift: corr}
+	d.ExactCost = float64(rows) * costBsUint * corr
+	if sketchCells > 0 {
+		d.ApproxCost = float64(sketchCells) * costBsBs
+		if d.ExactCost >= approxMinRatio*d.ApproxCost {
+			d.Route = RouteSketch
+		}
+		return d
+	}
+	d.ApproxCost = float64(sampleRows) * costBsUint
+	if d.ExactCost >= approxMinRatio*d.ApproxCost {
+		d.Route = RouteSample
+	}
+	return d
+}

@@ -74,6 +74,7 @@ func TestDifferentialShort(t *testing.T) {
 		"ingest":          60,
 		"hybrid":          600,
 		"recovery":        40,
+		"approx":          200,
 	}
 	if *flagCount > 0 {
 		for k := range counts {
@@ -115,6 +116,11 @@ func TestDifferentialShort(t *testing.T) {
 	total += laneRun(t, "recovery", seed+9e6, counts["recovery"], func(g *Gen) (*Case, *QuerySpec) {
 		return g.GenRecoveryCase()
 	})
+	// Approximate tier: sketch/sample estimates within their advertised
+	// error bounds of the exact reference; no opt-in stays bit-identical.
+	total += laneRun(t, "approx", seed+10e6, counts["approx"], func(g *Gen) (*Case, *QuerySpec) {
+		return g.GenApproxCase(), nil
+	})
 	if total < 500 && *flagCount == 0 && *flagLane == "" {
 		t.Fatalf("only %d query/dataset pairs ran; want >= 500", total)
 	}
@@ -144,6 +150,7 @@ func TestDifferentialLong(t *testing.T) {
 		{"ingest", func(g *Gen) (*Case, *QuerySpec) { return g.GenIngestCase() }},
 		{"hybrid", func(g *Gen) (*Case, *QuerySpec) { return g.GenHybridCase() }},
 		{"recovery", func(g *Gen) (*Case, *QuerySpec) { return g.GenRecoveryCase() }},
+		{"approx", func(g *Gen) (*Case, *QuerySpec) { return g.GenApproxCase(), nil }},
 	}
 	ran := 0
 	for i := 0; time.Now().Before(deadline); i++ {

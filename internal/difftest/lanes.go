@@ -36,6 +36,8 @@ func RunLane(c *Case) Outcome {
 		return RunHybridLane(c)
 	case "recovery":
 		return RunRecoveryLane(c)
+	case "approx":
+		return RunApproxLane(c)
 	}
 	return Outcome{Verdict: Skip, Detail: "unknown lane " + c.Lane}
 }

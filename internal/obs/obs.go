@@ -31,6 +31,13 @@ const (
 	DispatchSpMVScatter = "spmv-scatter" // specialized relaxed-order SpMV kernel
 	DispatchWCOJ        = "generic-wcoj" // generic worst-case optimal join interpreter
 	DispatchHybrid      = "hybrid"       // mixed binary/WCOJ access paths across GHD nodes
+
+	// Approximate-tier dispatches (and the exact distinct scan that
+	// anchors them).
+	DispatchDistinctScan = "distinct-scan" // exact hash-set COUNT(DISTINCT) scan
+	DispatchApproxHLL    = "approx-hll"    // HyperLogLog COUNT(DISTINCT) estimate
+	DispatchApproxCMS    = "approx-cms"    // Count-Min heavy-hitter group counts
+	DispatchApproxSample = "approx-sample" // scaled aggregates over a reservoir sample
 )
 
 // Phases holds one duration per query-lifecycle phase. Freeze is only
@@ -134,6 +141,27 @@ type QueryStats struct {
 	// per-node intersections to audit).
 	NodeCosts []NodeCost
 
+	// Approx is true when the result came from the approximate tier
+	// (sketch or sample evaluation) rather than exact execution;
+	// ApproxRoute names the tier's route decision ("exact", "sample",
+	// "sketch"), set for every approx-eligible query including those
+	// routed exact. Degraded marks a query that entered the tier because
+	// admission control was overloaded and the caller had opted in.
+	Approx      bool
+	ApproxRoute string
+	Degraded    bool
+	// ErrorBound is the largest advertised absolute error across output
+	// aggregate columns (0 for exact results); ErrorBounds carries the
+	// per-output-column bounds (group columns are always exact, bound
+	// 0). Confidence is the probability the bounds hold (0.999 for the
+	// tier's estimators).
+	ErrorBound  float64
+	ErrorBounds []float64
+	Confidence  float64
+	// MissBound, on grouped approximate routes, bounds the true count of
+	// any group absent from the answer (0 = the answer is complete).
+	MissBound float64
+
 	RowsOut int
 }
 
@@ -179,6 +207,22 @@ func (q *QueryStats) String() string {
 	}
 	if q.SnapshotEpoch > 0 {
 		fmt.Fprintf(&b, "snapshot: epoch=%d delta rows folded=%d\n", q.SnapshotEpoch, q.DeltaRowsFolded)
+	}
+	if q.ApproxRoute != "" {
+		degraded := ""
+		if q.Degraded {
+			degraded = " (degraded under overload)"
+		}
+		if q.Approx {
+			miss := ""
+			if q.MissBound > 0 {
+				miss = fmt.Sprintf(" miss bound=%g", q.MissBound)
+			}
+			fmt.Fprintf(&b, "approx: route=%s error bound=%g confidence=%g%s%s\n",
+				q.ApproxRoute, q.ErrorBound, q.Confidence, miss, degraded)
+		} else {
+			fmt.Fprintf(&b, "approx: route=%s (exact answer)%s\n", q.ApproxRoute, degraded)
+		}
 	}
 	fmt.Fprintf(&b, "rows: %d\n", q.RowsOut)
 	return b.String()

@@ -635,6 +635,13 @@ func (b *builder) buildAggExpr(e sqlparse.Expr) (*EmitNode, int, error) {
 // addAggregate registers one aggregate function call, returning its
 // index, or -1 when AVG expanded into two aggregates.
 func (b *builder) addAggregate(fc sqlparse.FuncCall) (int, error) {
+	if fc.Distinct {
+		// Distinct aggregation is served by the approximate tier's scan
+		// evaluator (exact hash-set or HLL), not the WCOJ pipeline: a
+		// distinct call reaching the planner means the front-end could not
+		// handle the query shape.
+		return 0, fmt.Errorf("planner: %s(distinct) is only supported over a single table without joins", fc.Name)
+	}
 	switch fc.Name {
 	case "count":
 		// COUNT(*) and COUNT(expr) (no NULLs in this engine) are the

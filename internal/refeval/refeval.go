@@ -95,11 +95,19 @@ func EvalQuery(q *sqlparse.Query, rels map[string]*Relation) (*Result, error) {
 	joins, filters := splitWhere(ev, q.Where)
 
 	aggs := collectAggs(q)
+	for _, a := range aggs {
+		if a.distinct && a.fn != "count" {
+			return nil, fmt.Errorf("refeval: distinct is only supported in count()")
+		}
+	}
 	type group struct {
 		keyVals []any
 		accs    []float64
 		counts  []float64
-		rows    int
+		// sets[i] holds the distinct canonical values seen by a
+		// count(distinct x) aggregate (nil for non-distinct aggs).
+		sets []map[string]struct{}
+		rows int
 	}
 	groups := map[string]*group{}
 	var order []string
@@ -144,7 +152,7 @@ func EvalQuery(q *sqlparse.Query, rels map[string]*Relation) (*Result, error) {
 		key := sb.String()
 		g := groups[key]
 		if g == nil {
-			g = &group{keyVals: keyVals, accs: make([]float64, len(aggs)), counts: make([]float64, len(aggs))}
+			g = &group{keyVals: keyVals, accs: make([]float64, len(aggs)), counts: make([]float64, len(aggs)), sets: make([]map[string]struct{}, len(aggs))}
 			for i, a := range aggs {
 				switch a.fn {
 				case "min":
@@ -152,12 +160,25 @@ func EvalQuery(q *sqlparse.Query, rels map[string]*Relation) (*Result, error) {
 				case "max":
 					g.accs[i] = math.Inf(-1)
 				}
+				if a.distinct {
+					g.sets[i] = map[string]struct{}{}
+				}
 			}
 			groups[key] = g
 			order = append(order, key)
 		}
 		g.rows++
 		for i, a := range aggs {
+			if a.distinct {
+				// count(distinct x): collect the canonical value (NaN and
+				// -0.0 fold like group keys) and count the set at the end.
+				v, err := ev.val(a.arg)
+				if err != nil {
+					return err
+				}
+				g.sets[i][groupKeyPart(canonGroupVal(v))] = struct{}{}
+				continue
+			}
 			switch a.fn {
 			case "count":
 				g.accs[i]++
@@ -221,7 +242,7 @@ func EvalQuery(q *sqlparse.Query, rels map[string]*Relation) (*Result, error) {
 	// nothing qualified (the engine emits one all-zero aggregate row for
 	// empty scans and empty joins alike).
 	if len(q.GroupBy) == 0 && len(groups) == 0 {
-		g := &group{accs: make([]float64, len(aggs)), counts: make([]float64, len(aggs))}
+		g := &group{accs: make([]float64, len(aggs)), counts: make([]float64, len(aggs)), sets: make([]map[string]struct{}, len(aggs))}
 		groups[""] = g
 		order = append(order, "")
 	}
@@ -231,9 +252,9 @@ func EvalQuery(q *sqlparse.Query, rels map[string]*Relation) (*Result, error) {
 	for _, it := range q.Select {
 		res.Cols = append(res.Cols, &Column{Name: selectName(it), IsAgg: exprHasAgg(it.Expr)})
 	}
-	aggIndex := func(fn string, arg sqlparse.Expr) int {
+	aggIndex := func(fn string, arg sqlparse.Expr, distinct bool) int {
 		for i, a := range aggs {
-			if a.fn == fn && exprEq(a.arg, arg) {
+			if a.fn == fn && a.distinct == distinct && exprEq(a.arg, arg) {
 				return i
 			}
 		}
@@ -246,6 +267,9 @@ func EvalQuery(q *sqlparse.Query, rels map[string]*Relation) (*Result, error) {
 		finals := make([]float64, len(aggs))
 		for i, a := range aggs {
 			v := g.accs[i]
+			if a.distinct {
+				v = float64(len(g.sets[i]))
+			}
 			if g.rows == 0 && math.IsInf(v, 0) {
 				v = 0
 			}
@@ -257,8 +281,8 @@ func EvalQuery(q *sqlparse.Query, rels map[string]*Relation) (*Result, error) {
 			finals[i] = v
 		}
 		evalAgg := func(e sqlparse.Expr) (float64, error) {
-			return ev.aggExpr(e, func(fn string, arg sqlparse.Expr) (float64, error) {
-				i := aggIndex(fn, arg)
+			return ev.aggExpr(e, func(fn string, arg sqlparse.Expr, distinct bool) (float64, error) {
+				i := aggIndex(fn, arg, distinct)
 				if i < 0 {
 					return 0, fmt.Errorf("refeval: aggregate %s not collected", fn)
 				}
@@ -616,19 +640,20 @@ func (ev *evaluator) col(cr sqlparse.ColRef) (*storage.ColumnDef, any, error) {
 // --- aggregate handling ---
 
 type aggCall struct {
-	fn  string
-	arg sqlparse.Expr // nil for count(*)
+	fn       string
+	arg      sqlparse.Expr // nil for count(*)
+	distinct bool          // count(distinct arg)
 }
 
 func collectAggs(q *sqlparse.Query) []aggCall {
 	var aggs []aggCall
-	add := func(fn string, arg sqlparse.Expr) {
+	add := func(fn string, arg sqlparse.Expr, distinct bool) {
 		for _, a := range aggs {
-			if a.fn == fn && exprEq(a.arg, arg) {
+			if a.fn == fn && a.distinct == distinct && exprEq(a.arg, arg) {
 				return
 			}
 		}
-		aggs = append(aggs, aggCall{fn, arg})
+		aggs = append(aggs, aggCall{fn, arg, distinct})
 	}
 	var walk func(e sqlparse.Expr)
 	walk = func(e sqlparse.Expr) {
@@ -636,9 +661,9 @@ func collectAggs(q *sqlparse.Query) []aggCall {
 		case sqlparse.FuncCall:
 			if isAggName(v.Name) {
 				if v.Star || len(v.Args) == 0 {
-					add(v.Name, nil)
+					add(v.Name, nil, false)
 				} else {
-					add(v.Name, v.Args[0])
+					add(v.Name, v.Args[0], v.Distinct)
 				}
 				return
 			}
@@ -712,7 +737,7 @@ func exprHasAgg(e sqlparse.Expr) bool {
 // aggExpr evaluates a SELECT/HAVING expression over finished group
 // aggregates: aggregate calls resolve through lookup, group columns
 // through keyVals, and arithmetic in float64.
-func (ev *evaluator) aggExpr(e sqlparse.Expr, lookup func(fn string, arg sqlparse.Expr) (float64, error), keyVals []any, groupBy []sqlparse.Expr) (float64, error) {
+func (ev *evaluator) aggExpr(e sqlparse.Expr, lookup func(fn string, arg sqlparse.Expr, distinct bool) (float64, error), keyVals []any, groupBy []sqlparse.Expr) (float64, error) {
 	switch v := e.(type) {
 	case sqlparse.NumberLit:
 		return v.Val, nil
@@ -721,9 +746,9 @@ func (ev *evaluator) aggExpr(e sqlparse.Expr, lookup func(fn string, arg sqlpars
 	case sqlparse.FuncCall:
 		if isAggName(v.Name) {
 			if v.Star || len(v.Args) == 0 {
-				return lookup(v.Name, nil)
+				return lookup(v.Name, nil, false)
 			}
-			return lookup(v.Name, v.Args[0])
+			return lookup(v.Name, v.Args[0], v.Distinct)
 		}
 		return 0, fmt.Errorf("refeval: function %s in aggregate context", v.Name)
 	case sqlparse.BinaryExpr:

@@ -1,0 +1,94 @@
+package refeval
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/storage"
+)
+
+// rel builds a one-table fixture with an int key k, an int annotation v
+// and a string annotation s.
+func rel() map[string]*Relation {
+	r := &Relation{Schema: storage.Schema{Name: "t", Cols: []storage.ColumnDef{
+		{Name: "k", Kind: storage.Int64, Role: storage.Key},
+		{Name: "v", Kind: storage.Int64, Role: storage.Annotation},
+		{Name: "s", Kind: storage.String, Role: storage.Annotation},
+		{Name: "f", Kind: storage.Float64, Role: storage.Annotation},
+	}}}
+	rows := [][]any{
+		{int64(1), int64(10), "a", 1.5},
+		{int64(2), int64(10), "b", -0.0},
+		{int64(3), int64(20), "a", 0.0},
+		{int64(4), int64(20), "a", math.NaN()},
+		{int64(5), int64(30), "c", math.NaN()},
+	}
+	r.Rows = rows
+	return map[string]*Relation{"t": r}
+}
+
+func scalar(t *testing.T, sql string) float64 {
+	t.Helper()
+	res, err := Eval(sql, rel())
+	if err != nil {
+		t.Fatalf("Eval(%q): %v", sql, err)
+	}
+	if res.NumRows != 1 || len(res.Cols) != 1 {
+		t.Fatalf("Eval(%q): %d rows × %d cols, want 1×1", sql, res.NumRows, len(res.Cols))
+	}
+	return res.Cols[0].Vals[0].(float64)
+}
+
+func TestCountDistinctExact(t *testing.T) {
+	if got := scalar(t, "SELECT count(distinct v) FROM t"); got != 3 {
+		t.Fatalf("count(distinct v) = %v, want 3", got)
+	}
+	if got := scalar(t, "SELECT count(distinct s) FROM t"); got != 3 {
+		t.Fatalf("count(distinct s) = %v, want 3", got)
+	}
+	if got := scalar(t, "SELECT count(v) FROM t"); got != 5 {
+		t.Fatalf("count(v) = %v, want 5", got)
+	}
+	// -0.0 folds into +0.0 and all NaN payloads are one value.
+	if got := scalar(t, "SELECT count(distinct f) FROM t"); got != 3 {
+		t.Fatalf("count(distinct f) = %v, want 3 (1.5, 0, NaN)", got)
+	}
+	// Filtered distinct.
+	if got := scalar(t, "SELECT count(distinct s) FROM t WHERE v = 20"); got != 1 {
+		t.Fatalf("filtered count(distinct s) = %v, want 1", got)
+	}
+	// Empty scan keeps the one-row scalar convention with a zero count.
+	if got := scalar(t, "SELECT count(distinct v) FROM t WHERE v > 99"); got != 0 {
+		t.Fatalf("empty count(distinct v) = %v, want 0", got)
+	}
+}
+
+func TestCountDistinctGrouped(t *testing.T) {
+	res, err := Eval("SELECT v, count(distinct s), count(*) FROM t GROUP BY v", rel())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumRows != 3 {
+		t.Fatalf("groups = %d, want 3", res.NumRows)
+	}
+	want := map[int64][2]float64{10: {2, 2}, 20: {1, 2}, 30: {1, 1}}
+	for i := 0; i < res.NumRows; i++ {
+		g := res.Cols[0].Vals[i].(int64)
+		w, ok := want[g]
+		if !ok {
+			t.Fatalf("unexpected group %d", g)
+		}
+		if d := res.Cols[1].Vals[i].(float64); d != w[0] {
+			t.Errorf("group %d count(distinct s) = %v, want %v", g, d, w[0])
+		}
+		if c := res.Cols[2].Vals[i].(float64); c != w[1] {
+			t.Errorf("group %d count(*) = %v, want %v", g, c, w[1])
+		}
+	}
+}
+
+func TestDistinctNonCountRejected(t *testing.T) {
+	if _, err := Eval("SELECT sum(distinct v) FROM t", rel()); err == nil {
+		t.Fatal("sum(distinct) should be rejected")
+	}
+}

@@ -1,0 +1,68 @@
+package sketch
+
+import "math"
+
+// Default Count-Min geometry for the per-column group-count sketches:
+// depth 4 ⇒ overcount-failure probability e⁻⁴ ≈ 1.8% per point query,
+// width 2048 ⇒ guaranteed overcount ≤ (e/2048)·N ≈ 0.13% of the stream.
+const (
+	DefaultCMSDepth = 4
+	DefaultCMSWidth = 2048
+)
+
+// CMS is a Count-Min sketch (Cormode & Muthukrishnan 2005) over 64-bit
+// value hashes: point counts are never under-estimated, and over-
+// estimate by at most ErrorBound with probability 1-e^-depth.
+type CMS struct {
+	depth int
+	width int
+	rows  [][]uint64
+	seeds []uint64
+	n     uint64
+}
+
+// NewCMS returns an empty depth×width sketch. Row seeds derive
+// deterministically from the geometry so equal streams build equal
+// sketches.
+func NewCMS(depth, width int) *CMS {
+	c := &CMS{depth: depth, width: width}
+	c.rows = make([][]uint64, depth)
+	c.seeds = make([]uint64, depth)
+	for i := range c.rows {
+		c.rows[i] = make([]uint64, width)
+		c.seeds[i] = splitmix64(uint64(i) + 0x5bf03635)
+	}
+	return c
+}
+
+// AddHash observes one canonical value hash.
+func (c *CMS) AddHash(x uint64) {
+	for i := 0; i < c.depth; i++ {
+		c.rows[i][splitmix64(x^c.seeds[i])%uint64(c.width)]++
+	}
+	c.n++
+}
+
+// Count returns the point-count estimate for a value hash (an upper
+// bound on the true count).
+func (c *CMS) Count(x uint64) uint64 {
+	min := uint64(math.MaxUint64)
+	for i := 0; i < c.depth; i++ {
+		if v := c.rows[i][splitmix64(x^c.seeds[i])%uint64(c.width)]; v < min {
+			min = v
+		}
+	}
+	return min
+}
+
+// N reports the total number of observations.
+func (c *CMS) N() uint64 { return c.n }
+
+// ErrorBound is the additive overcount guarantee εN with ε = e/width,
+// held with probability 1-e^-depth per point query.
+func (c *CMS) ErrorBound() float64 {
+	return math.E / float64(c.width) * float64(c.n)
+}
+
+// Bytes reports the counter-array footprint.
+func (c *CMS) Bytes() int { return c.depth * c.width * 8 }

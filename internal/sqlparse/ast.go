@@ -70,11 +70,14 @@ type UnaryExpr struct {
 	X  Expr
 }
 
-// FuncCall is an aggregate or scalar function call. Star marks COUNT(*).
+// FuncCall is an aggregate or scalar function call. Star marks COUNT(*);
+// Distinct marks COUNT(DISTINCT col) (the only distinct aggregate the
+// engine accepts — the planner rejects distinct on other functions).
 type FuncCall struct {
-	Name string
-	Args []Expr
-	Star bool
+	Name     string
+	Args     []Expr
+	Star     bool
+	Distinct bool
 }
 
 // CaseExpr is CASE WHEN c1 THEN v1 [...] [ELSE e] END.
@@ -164,6 +167,11 @@ func (e FuncCall) String() string {
 	args := make([]string, len(e.Args))
 	for i, a := range e.Args {
 		args[i] = a.String()
+	}
+	if e.Distinct {
+		// Distinct-ness is part of the call's identity: String() drives
+		// aggregate dedup in refeval and exprEq everywhere.
+		return e.Name + "(distinct " + strings.Join(args, ", ") + ")"
 	}
 	return e.Name + "(" + strings.Join(args, ", ") + ")"
 }

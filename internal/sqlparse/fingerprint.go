@@ -139,6 +139,11 @@ func normExpr(b *strings.Builder, e Expr) {
 			return
 		}
 		b.WriteByte('(')
+		if x.Distinct {
+			// count(distinct x) and count(x) must fingerprint apart: they
+			// are different statements to the planner and the approx tier.
+			b.WriteString("distinct ")
+		}
 		for i, a := range x.Args {
 			if i > 0 {
 				b.WriteString(", ")

@@ -126,6 +126,8 @@ func TestFingerprintDistinctShapes(t *testing.T) {
 		"SELECT count(*) AS c FROM t",             // aggregate
 		"SELECT sum(a) AS c FROM t",               // aggregate function name
 		"SELECT a FROM t GROUP BY a",              // grouping
+		"SELECT count(a) AS c FROM t",             // plain count(col)
+		"SELECT count(distinct a) AS c FROM t",    // distinct-ness is part of the shape
 	}
 	seen := map[uint64]string{}
 	for _, sql := range shapes {

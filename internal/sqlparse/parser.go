@@ -476,7 +476,13 @@ func (p *parser) parsePrimary() (Expr, error) {
 				}
 				return fc, nil
 			}
+			if p.acceptKeyword("distinct") {
+				fc.Distinct = true
+			}
 			if p.acceptSymbol(")") {
+				if fc.Distinct {
+					return nil, fmt.Errorf("sql: %s(distinct) needs an argument", fc.Name)
+				}
 				return fc, nil
 			}
 			for {

@@ -75,6 +75,36 @@ func TestAggregatesAndArithmetic(t *testing.T) {
 	}
 }
 
+func TestCountDistinct(t *testing.T) {
+	q := mustParse(t, "SELECT count(distinct c_custkey) FROM customer")
+	fc := q.Select[0].Expr.(FuncCall)
+	if fc.Name != "count" || !fc.Distinct || len(fc.Args) != 1 {
+		t.Fatalf("count(distinct) = %+v", fc)
+	}
+	if got := fc.String(); got != "count(distinct c_custkey)" {
+		t.Fatalf("String() = %q", got)
+	}
+	// Round trip: the rendered form must re-parse to the same AST text.
+	q2 := mustParse(t, "SELECT "+fc.String()+" FROM customer")
+	if q2.Select[0].Expr.String() != fc.String() {
+		t.Fatalf("round trip: %q vs %q", q2.Select[0].Expr.String(), fc.String())
+	}
+	// Plain count must stay non-distinct.
+	q3 := mustParse(t, "SELECT count(c_custkey) FROM customer")
+	if q3.Select[0].Expr.(FuncCall).Distinct {
+		t.Fatal("count(col) parsed as distinct")
+	}
+	// distinct with no argument is an error.
+	if _, err := Parse("SELECT count(distinct) FROM customer"); err == nil {
+		t.Fatal("count(distinct) with no arg should not parse")
+	}
+	// distinct survives inside GROUP BY queries with other aggregates.
+	q4 := mustParse(t, "SELECT g, count(distinct v), sum(v) FROM r GROUP BY g")
+	if !q4.Select[1].Expr.(FuncCall).Distinct || q4.Select[2].Expr.(FuncCall).Distinct {
+		t.Fatalf("distinct flags: %+v", q4.Select)
+	}
+}
+
 func TestPrecedence(t *testing.T) {
 	q := mustParse(t, "SELECT a + b * c FROM r")
 	add := q.Select[0].Expr.(BinaryExpr)

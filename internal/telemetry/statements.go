@@ -30,6 +30,8 @@ type StatementObservation struct {
 	Paths       []string // per-GHD-node access paths (pre-order)
 	EstCost     float64  // Σ per-node §V model cost
 	ActualCost  float64  // Σ per-node observed icost-weighted work
+	Approx      bool     // answered by the approximate tier
+	ErrorBound  float64  // advertised absolute error of this call (0 exact)
 }
 
 // StatementStats is one fingerprint's live accumulator.
@@ -70,6 +72,11 @@ type StatementSnapshot struct {
 	ActualCost float64 `json:"actual_cost"`
 	CostRatio  float64 `json:"cost_ratio"` // ActualCost/EstCost, 0 when unknown
 
+	// Approximate-tier usage: how many calls were answered with sketch
+	// or sample estimates, and the error bound advertised last time.
+	ApproxCalls    uint64  `json:"approx_calls,omitempty"`
+	LastErrorBound float64 `json:"last_error_bound,omitempty"`
+
 	// Plan drift: the optimizer's root attribute order last seen for
 	// this fingerprint, how many times it changed, and the snapshot
 	// epoch of the latest change (compaction re-sizing tables can
@@ -102,6 +109,7 @@ func (s *StatementSnapshot) Merge(o *StatementSnapshot) {
 	s.DeltaRows += o.DeltaRows
 	s.EstCost += o.EstCost
 	s.ActualCost += o.ActualCost
+	s.ApproxCalls += o.ApproxCalls
 	s.PlanChanges += o.PlanChanges
 	if o.MemHighWater > s.MemHighWater {
 		s.MemHighWater = o.MemHighWater
@@ -114,6 +122,7 @@ func (s *StatementSnapshot) Merge(o *StatementSnapshot) {
 		s.LastOrder = o.LastOrder
 		s.LastPaths = o.LastPaths
 		s.LastEpoch = o.LastEpoch
+		s.LastErrorBound = o.LastErrorBound
 	}
 	if o.LastChangeEpoch > s.LastChangeEpoch {
 		s.LastChangeEpoch = o.LastChangeEpoch
@@ -213,6 +222,10 @@ func (st *StatementStore) Record(o StatementObservation) {
 	s.DeltaRows += uint64(o.DeltaRows)
 	s.EstCost += o.EstCost
 	s.ActualCost += o.ActualCost
+	if o.Approx {
+		s.ApproxCalls++
+		s.LastErrorBound = o.ErrorBound
+	}
 	if len(o.Order) > 0 {
 		if len(s.LastOrder) > 0 && !eqStrs(s.LastOrder, o.Order) {
 			s.PlanChanges++

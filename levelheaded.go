@@ -181,6 +181,10 @@ var (
 	// delta backlog reaches the given row count (0 = manual Compact
 	// only).
 	WithAutoCompact = core.WithAutoCompact
+	// WithApproxSampleRows sets the per-table reservoir sample capacity
+	// of the approximate query tier (0 = the 4096-row default). Smaller
+	// samples answer faster with wider error bounds.
+	WithApproxSampleRows = core.WithApproxSampleRows
 	// WithDurability makes every acked append crash-durable: rows are
 	// written to a per-table write-ahead log in dir before they commit,
 	// Compact additionally persists an atomic snapshot there, and a new
@@ -306,12 +310,16 @@ func WithMemBudget(n int64) QueryOption {
 	return func(c *queryConfig) { c.qo.MemoryBudget = n }
 }
 
-// WithApproxOK declares the caller would accept an approximate answer.
-// Reserved: the engine currently always computes exact results, but
-// callers can already declare tolerance so future sketch-based plans
-// need no API change.
+// WithApproxOK declares the caller tolerates approximate answers: the
+// engine may route eligible single-table aggregates to the
+// sketch/sample tier when the cost model prices exact execution high
+// enough, and a query shed by admission control degrades to the
+// approximate tier instead of failing with *OverloadedError.
+// Result.Stats.Approx reports whether the answer is approximate, with
+// Result.Stats.ErrorBound / Confidence carrying the accuracy contract.
+// Without the opt-in every result stays exact and bit-identical.
 func WithApproxOK() QueryOption {
-	return func(c *queryConfig) {}
+	return func(c *queryConfig) { c.qo.ApproxOK = true }
 }
 
 // WithThreadCap overrides the engine thread setting for this query.
